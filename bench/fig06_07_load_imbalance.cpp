@@ -1,0 +1,86 @@
+/// \file fig06_07_load_imbalance.cpp
+/// \brief Regenerates paper Figs. 6 & 7: the per-rank spatial-ownership
+/// distribution of the single-mode cutoff run at an early and a late
+/// timestep — flat early, spread out once the interface rolls up.
+///
+/// This is a *real distributed execution* on thread-ranks (default 64,
+/// paper used 256; pass --scale=paper for 256 ranks): the full migrate /
+/// ghost / neighbor-list / force / return pipeline runs every derivative
+/// evaluation and the census is taken from the actual spatial ownership,
+/// exactly as the paper measured it.
+///
+/// Paper shape to match: at the early step every rank owns ~1/P of all
+/// points; at the late step ranks inside the rollup own up to ~1.6x the
+/// mean while outside ranks stay near the mean (0.2%–0.65% around the
+/// 0.39% mean for P=256).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/beatnik.hpp"
+#include "io/writers.hpp"
+
+namespace b = beatnik;
+
+int main(int argc, char** argv) {
+    const bool paper_scale = argc > 1 && std::string(argv[1]) == "--scale=paper";
+    const int nranks = paper_scale ? 256 : 64;
+    const int mesh = paper_scale ? 192 : 96;
+    const int early_step = 6;
+    const int late_step = paper_scale ? 48 : 42;
+
+    std::printf("=== Figs. 6-7: particles owned per rank, single-mode cutoff run ===\n");
+    std::printf("%d thread-ranks, %d^2 mesh, free boundary, cutoff 0.5 "
+                "(real distributed execution)\n\n", nranks, mesh);
+
+    std::vector<double> early_shares, late_shares;
+    double late_height = 0.0;
+    b::comm::Context::run(nranks, [&](b::comm::Communicator& comm) {
+        auto params = b::decks::singlemode_highorder(mesh, 0.5);
+        params.initial.magnitude = 0.3;
+        params.gravity = 50.0;
+        b::Solver solver(comm, params);
+        solver.advance(early_step);
+        auto early = b::ownership_census(comm, solver);
+        solver.advance(late_step - early_step);
+        auto late = b::ownership_census(comm, solver);
+        auto summary = b::summarize(solver.state());
+        if (comm.rank() == 0) {
+            early_shares = early;
+            late_shares = late;
+            late_height = summary.max_height;
+        }
+    });
+
+    auto print_series = [&](const char* fig, int step, const std::vector<double>& shares) {
+        auto stats = b::imbalance_stats(shares);
+        std::printf("%s (timestep %d): %% of all particles owned per rank\n", fig, step);
+        for (std::size_t r = 0; r < shares.size(); ++r) {
+            std::printf("%6.3f%s", shares[r] * 100.0, (r + 1) % 8 == 0 ? "\n" : " ");
+        }
+        if (shares.size() % 8 != 0) std::printf("\n");
+        std::printf("  min %.3f%%  max %.3f%%  mean %.3f%%  imbalance %.3f\n\n",
+                    stats.min_share * 100.0, stats.max_share * 100.0,
+                    100.0 / static_cast<double>(shares.size()), stats.imbalance);
+        return stats;
+    };
+    auto early_stats = print_series("Fig. 6", early_step, early_shares);
+    auto late_stats = print_series("Fig. 7", late_step, late_shares);
+    std::printf("late-time interface amplitude max|z3| = %.3f\n", late_height);
+
+    // CSV: one row per rank with both snapshots.
+    b::io::CsvWriter csv("fig06_07_ownership.csv", {"rank", "early_share", "late_share"});
+    for (std::size_t r = 0; r < early_shares.size(); ++r) {
+        std::vector<double> row{static_cast<double>(r), early_shares[r], late_shares[r]};
+        csv.row(row);
+    }
+
+    double early_spread = early_stats.max_share - early_stats.min_share;
+    double late_spread = late_stats.max_share - late_stats.min_share;
+    std::printf("\nshape: early distribution nearly flat (spread %.4f%%), late spread "
+                "%.4f%% — imbalance grows with rollup: %s (paper: YES)\n",
+                early_spread * 100.0, late_spread * 100.0,
+                late_spread > 1.5 * early_spread ? "YES" : "NO");
+    std::printf("wrote fig06_07_ownership.csv\n");
+    return 0;
+}

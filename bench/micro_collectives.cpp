@@ -1,0 +1,89 @@
+/// \file micro_collectives.cpp
+/// \brief Real-execution collective benchmarks on thread-ranks
+/// (google-benchmark): the three alltoall algorithms, allreduce, and
+/// barrier across rank counts — the ablation data for the collective-
+/// algorithm design choices in DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.hpp"
+
+namespace bc = beatnik::comm;
+
+namespace {
+
+void BM_Barrier(benchmark::State& state) {
+    const int p = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        bc::Context::run(p, [](bc::Communicator& comm) {
+            for (int i = 0; i < 10; ++i) comm.barrier();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_AllreduceVector(benchmark::State& state) {
+    const int p = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    for (auto _ : state) {
+        bc::Context::run(p, [n](bc::Communicator& comm) {
+            std::vector<double> xs(n, comm.rank());
+            for (int i = 0; i < 5; ++i) comm.allreduce(std::span<double>(xs), bc::op::Sum{});
+            benchmark::DoNotOptimize(xs.data());
+        });
+    }
+    state.SetBytesProcessed(state.iterations() * 5 *
+                            static_cast<std::int64_t>(n * sizeof(double) * static_cast<std::size_t>(p)));
+}
+BENCHMARK(BM_AllreduceVector)->Args({4, 1})->Args({4, 4096})->Args({16, 4096});
+
+void BM_AlltoallAlgo(benchmark::State& state) {
+    const int p = static_cast<int>(state.range(0));
+    const auto block = static_cast<std::size_t>(state.range(1));
+    const auto algo = static_cast<bc::AlltoallAlgo>(state.range(2));
+    for (auto _ : state) {
+        bc::ContextConfig cfg;
+        cfg.alltoall_algo = algo;
+        bc::Context::run(
+            p,
+            [&](bc::Communicator& comm) {
+                std::vector<double> sendbuf(block * static_cast<std::size_t>(p),
+                                            comm.rank() * 1.0);
+                for (int i = 0; i < 3; ++i) {
+                    auto r = comm.alltoall(std::span<const double>(sendbuf));
+                    benchmark::DoNotOptimize(r.data());
+                }
+            },
+            cfg);
+    }
+    const char* names[] = {"pairwise", "linear", "bruck"};
+    state.SetLabel(names[state.range(2)]);
+    state.SetBytesProcessed(state.iterations() * 3 *
+                            static_cast<std::int64_t>(block * sizeof(double) *
+                                                      static_cast<std::size_t>(p) *
+                                                      static_cast<std::size_t>(p)));
+}
+// Sweep: small blocks favor bruck (fewer messages), large favor pairwise.
+BENCHMARK(BM_AlltoallAlgo)
+    ->Args({8, 8, 0})
+    ->Args({8, 8, 1})
+    ->Args({8, 8, 2})
+    ->Args({8, 8192, 0})
+    ->Args({8, 8192, 1})
+    ->Args({8, 8192, 2})
+    ->Args({16, 64, 0})
+    ->Args({16, 64, 2});
+
+void BM_ContextSpawn(benchmark::State& state) {
+    // Fixed cost of standing up N rank-threads (relevant when reading the
+    // other numbers: each iteration above includes one spawn).
+    const int p = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        bc::Context::run(p, [](bc::Communicator&) {});
+    }
+}
+BENCHMARK(BM_ContextSpawn)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/// \file micro_kernels.cpp
+/// \brief Single-rank kernel microbenchmarks (google-benchmark): the
+/// Birkhoff–Rott pair kernel, neighbor search, halo exchange, and
+/// particle migration — the measured rates behind MachineModel::pair_rate
+/// and the ablation data for the cutoff/bin-size design choices.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "core/beatnik.hpp"
+
+namespace b = beatnik;
+namespace bc = beatnik::comm;
+namespace bg = beatnik::grid;
+namespace bs = beatnik::search;
+
+namespace {
+
+void BM_BRKernelPairs(benchmark::State& state) {
+    // Raw pair-interaction throughput (the cutoff solver's inner loop).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    beatnik::SplitMix64 rng(3);
+    std::vector<b::Vec3> pos(n), gam(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pos[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        gam[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+    for (auto _ : state) {
+        b::Vec3 acc{};
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += b::br_kernel(pos[0], pos[i], gam[i], 1e-4);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["pairs_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * static_cast<double>(n),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BRKernelPairs)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_NeighborSearchBuildQuery(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const double radius = 0.2;
+    beatnik::SplitMix64 rng(11);
+    std::vector<double> pts(3 * n);
+    for (auto& v : pts) v = rng.uniform(-1.5, 1.5);
+    for (auto _ : state) {
+        bs::BinGrid3D grid(pts, radius);
+        auto list = grid.query(pts, true);
+        benchmark::DoNotOptimize(list.indices.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborSearchBuildQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_HaloExchange(benchmark::State& state) {
+    // Real width-2 halo exchange of a 3-component field on a rank grid.
+    const int p = static_cast<int>(state.range(0));
+    const int mesh = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        bc::Context::run(p, [&](bc::Communicator& comm) {
+            bg::GlobalMesh2D gm({0, 0}, {1, 1}, {mesh, mesh}, {true, true});
+            bg::CartTopology2D topo(p, {0, 0}, {true, true});
+            bg::LocalGrid2D lg(gm, topo, comm.rank(), 2);
+            bg::NodeField<double, 3> f(lg);
+            f.fill(1.0);
+            for (int i = 0; i < 5; ++i) bg::halo_exchange(comm, topo, lg, f);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_HaloExchange)->Args({4, 128})->Args({16, 128})->Args({16, 512});
+
+void BM_Migrate(benchmark::State& state) {
+    // Particle migration with a configurable off-rank fraction — the
+    // ablation for "how much does migration volume matter" (DESIGN.md §5).
+    struct P {
+        double x[7];
+    };
+    const int p = static_cast<int>(state.range(0));
+    const int percent_moving = static_cast<int>(state.range(1));
+    constexpr std::size_t kPerRank = 5000;
+    for (auto _ : state) {
+        bc::Context::run(p, [&](bc::Communicator& comm) {
+            std::vector<P> particles(kPerRank);
+            std::vector<int> dest(kPerRank);
+            for (std::size_t k = 0; k < kPerRank; ++k) {
+                bool moves = static_cast<int>(beatnik::hash_mix(5, k) % 100) < percent_moving;
+                dest[k] = moves ? static_cast<int>(beatnik::hash_mix(9, k) %
+                                                   static_cast<std::uint64_t>(comm.size()))
+                                : comm.rank();
+            }
+            auto r = bg::migrate(comm, std::span<const P>(particles),
+                                 std::span<const int>(dest));
+            benchmark::DoNotOptimize(r.data());
+        });
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kPerRank) * p);
+}
+BENCHMARK(BM_Migrate)->Args({8, 0})->Args({8, 10})->Args({8, 50})->Args({8, 100});
+
+void BM_CutoffSolverEval(benchmark::State& state) {
+    // One full cutoff-solver derivative evaluation (the five-step
+    // pipeline) at a small real scale.
+    const int p = static_cast<int>(state.range(0));
+    const int mesh = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        bc::Context::run(p, [&](bc::Communicator& comm) {
+            auto params = b::decks::multimode_highorder(mesh, 0.4);
+            b::Solver solver(comm, params);
+            solver.step();
+        });
+    }
+    state.SetLabel("includes solver setup");
+}
+BENCHMARK(BM_CutoffSolverEval)->Args({4, 32})->Args({4, 64})->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+/// \file model_validation.cpp
+/// \brief Validates the netsim performance model against *real measured*
+/// executions: the pairwise and Bruck all-to-all algorithms are raced on
+/// thread-ranks at a small and a large block size, their actual message
+/// traces are replayed through a host-calibrated model, and the model
+/// must pick the same winner as the measurement in each regime.
+///
+/// This is precisely the kind of prediction the Fig. 9 reproduction
+/// relies on (which all-to-all strategy wins where), so validating it
+/// against reality—in the only regime where we *have* reality—backs the
+/// modeled scaling claims. Absolute times are not compared (the host is
+/// a shared-memory machine, not a cluster); winners are.
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "comm/communicator.hpp"
+#include "netsim/simulator.hpp"
+
+namespace bc = beatnik::comm;
+namespace bn = beatnik::netsim;
+
+namespace {
+
+constexpr int kRanks = 16;
+
+/// Run a real alltoall with the given algorithm and block size; returns
+/// measured seconds per operation and the recorded one-operation trace.
+double measure_alltoall(bc::AlltoallAlgo algo, std::size_t block_doubles,
+                        std::vector<bn::Msg>& trace_out) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 60.0;
+    cfg.enable_trace = true;
+    cfg.alltoall_algo = algo;
+    constexpr int kIters = 20;
+
+    double measured = 0.0;
+    std::mutex m;
+    bc::Context::run(
+        kRanks,
+        [&](bc::Communicator& comm) {
+            std::vector<double> sendbuf(block_doubles * kRanks,
+                                        static_cast<double>(comm.rank()));
+            // Warm-up.
+            auto sink = comm.alltoall(std::span<const double>(sendbuf));
+            comm.barrier();
+            beatnik::Stopwatch watch;
+            for (int it = 0; it < kIters; ++it) {
+                sink = comm.alltoall(std::span<const double>(sendbuf));
+            }
+            comm.barrier();
+            if (comm.rank() == 0) {
+                std::lock_guard lock(m);
+                measured = watch.seconds() / kIters;
+            }
+        },
+        cfg);
+
+    // Context::run owns its context, so re-run one traced operation in a
+    // context we keep to read the trace back.
+    bc::Context ctx(kRanks, cfg);
+    std::vector<int> identity(kRanks);
+    std::iota(identity.begin(), identity.end(), 0);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < kRanks; ++r) {
+        threads.emplace_back([&, r] {
+            bc::Communicator comm(ctx, 0, r, identity);
+            std::vector<double> sendbuf(block_doubles * kRanks, 1.0);
+            auto sink = comm.alltoall(std::span<const double>(sendbuf));
+            (void)sink;
+        });
+    }
+    for (auto& t : threads) t.join();
+    trace_out.clear();
+    for (const auto& rec : ctx.trace()->snapshot()) {
+        if (rec.bytes > 0) trace_out.push_back({rec.src_world, rec.dst_world, rec.bytes});
+    }
+    return measured;
+}
+
+double model_trace(const std::vector<bn::Msg>& trace, const bn::MachineModel& host) {
+    bn::Phase phase;
+    phase.label = "alltoall";
+    phase.messages = trace;
+    bn::NetworkSimulator sim(host, kRanks);
+    return sim.simulate({phase}).makespan;
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== netsim model validation: algorithm winner, measured vs modeled ===\n");
+    std::printf("%d thread-ranks; pairwise vs Bruck alltoall at two block sizes\n\n", kRanks);
+
+    // Host machine model: each rank-thread behaves like its own "node"
+    // whose mailbox serializes incoming copies; the dominant per-message
+    // cost is the condvar wake + lock handoff (~several microseconds).
+    bn::MachineModel host;
+    host.ranks_per_node = 1;
+    host.inter_latency = 8.0e-6;           // thread wake + matching
+    host.inter_bandwidth = 8.0e9;          // mailbox memcpy bandwidth
+    host.nic_injection_bandwidth = 8.0e9;  // serialized mailbox access
+    host.nic_per_message_overhead = 4.0e-6;
+    host.per_message_overhead = 1.0e-6;
+    host.incast_factor = 0.0;              // mutexes already serialize above
+
+    struct Regime {
+        const char* name;
+        std::size_t block;
+    };
+    bool all_agree = true;
+    for (Regime regime :
+         {Regime{"small blocks (64 B)", 8}, Regime{"large blocks (512 KiB)", 65536}}) {
+        std::vector<bn::Msg> trace_pw, trace_bruck;
+        double m_pw = measure_alltoall(bc::AlltoallAlgo::pairwise, regime.block, trace_pw);
+        double m_bk = measure_alltoall(bc::AlltoallAlgo::bruck, regime.block, trace_bruck);
+        double s_pw = model_trace(trace_pw, host);
+        double s_bk = model_trace(trace_bruck, host);
+        const char* measured_winner = m_pw < m_bk ? "pairwise" : "bruck";
+        const char* modeled_winner = s_pw < s_bk ? "pairwise" : "bruck";
+        bool agree = std::string(measured_winner) == modeled_winner;
+        all_agree &= agree;
+        std::printf("%-22s measured: pairwise %.6fs bruck %.6fs -> %s\n", regime.name, m_pw,
+                    m_bk, measured_winner);
+        std::printf("%-22s modeled:  pairwise %.6fs bruck %.6fs -> %s   [%s]\n", "", s_pw,
+                    s_bk, modeled_winner, agree ? "agrees" : "DISAGREES");
+        std::printf("%-22s traces:   pairwise %zu msgs, bruck %zu msgs\n\n", "",
+                    trace_pw.size(), trace_bruck.size());
+    }
+    std::printf("validation: model predicts the measured algorithm winner in both "
+                "regimes: %s\n", all_agree ? "YES" : "NO");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/// \file example_utils.hpp
+/// \brief Tiny flag parser + printing helpers shared by the example
+/// drivers (kept header-only and dependency-free on purpose).
+#pragma once
+
+#include <cstdlib>
+#include <string_view>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/beatnik.hpp"
+
+namespace beatnik::examples {
+
+/// "--key value" and "--flag" style argument access with defaults.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string_view arg = argv[i];
+            if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') continue;
+            std::string key(arg.data() + 2, arg.size() - 2);
+            if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "1";
+            }
+        }
+    }
+
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stoi(it->second);
+    }
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+    [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const {
+        auto it = values_.find(key);
+        return it == values_.end() ? std::move(fallback) : it->second;
+    }
+    [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+inline Order parse_order(const std::string& s) {
+    if (s == "low") return Order::low;
+    if (s == "medium") return Order::medium;
+    if (s == "high") return Order::high;
+    throw InvalidArgument("unknown order '" + s + "' (expected low|medium|high)");
+}
+
+inline Boundary parse_boundary(const std::string& s) {
+    if (s == "periodic") return Boundary::periodic;
+    if (s == "free") return Boundary::free;
+    throw InvalidArgument("unknown boundary '" + s + "' (expected periodic|free)");
+}
+
+inline BRSolverKind parse_br(const std::string& s) {
+    if (s == "exact") return BRSolverKind::exact;
+    if (s == "cutoff") return BRSolverKind::cutoff;
+    throw InvalidArgument("unknown BR solver '" + s + "' (expected exact|cutoff)");
+}
+
+inline const char* order_name(Order o) {
+    switch (o) {
+    case Order::low: return "low";
+    case Order::medium: return "medium";
+    case Order::high: return "high";
+    }
+    return "?";
+}
+
+/// Rank-0-only stream (avoids interleaved output from rank threads).
+inline void print0(const comm::Communicator& comm, const std::string& line) {
+    if (comm.rank() == 0) std::cout << line << '\n';
+}
+
+} // namespace beatnik::examples

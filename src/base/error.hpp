@@ -1,0 +1,81 @@
+/// \file error.hpp
+/// \brief Error types and runtime check macros shared by every Beatnik module.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace beatnik {
+
+/// Base class for all errors thrown by this library.
+///
+/// Every failure path in the library throws (never aborts), so that
+/// rank-threads can propagate failures to the harness that spawned them.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on misuse of an API (bad arguments, wrong state).
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a communication operation fails (mismatched message,
+/// deadlock timeout, rank out of range, ...).
+class CommError : public Error {
+public:
+    explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an I/O operation fails.
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Minimal stand-in for std::format (not available in GCC 12's libstdc++):
+/// streams all arguments into a string.
+template <class... Args>
+std::string strcat_msg(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(std::string_view kind, std::string_view expr,
+                                             std::string_view file, int line,
+                                             const std::string& msg) {
+    throw Error(strcat_msg(kind, " failed: `", expr, "` at ", file, ":", line,
+                           msg.empty() ? "" : " — ", msg));
+}
+} // namespace detail
+
+} // namespace beatnik
+
+/// Always-on invariant check. Throws beatnik::Error on failure.
+/// Used for conditions that depend on user input or cross-module contracts.
+#define BEATNIK_REQUIRE(expr, ...)                                                        \
+    do {                                                                                  \
+        if (!(expr)) [[unlikely]] {                                                       \
+            ::beatnik::detail::throw_check_failure("requirement", #expr, __FILE__,        \
+                                                   __LINE__, ::std::string{__VA_ARGS__}); \
+        }                                                                                 \
+    } while (false)
+
+/// Debug-only internal consistency check (compiled out in release builds).
+#ifdef NDEBUG
+#define BEATNIK_ASSERT(expr, ...) ((void)0)
+#else
+#define BEATNIK_ASSERT(expr, ...)                                                        \
+    do {                                                                                  \
+        if (!(expr)) [[unlikely]] {                                                       \
+            ::beatnik::detail::throw_check_failure("assertion", #expr, __FILE__,          \
+                                                   __LINE__, ::std::string{__VA_ARGS__}); \
+        }                                                                                 \
+    } while (false)
+#endif

@@ -1,0 +1,70 @@
+/// \file timer.hpp
+/// \brief Wall-clock timers and a labelled section-timing registry.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace beatnik {
+
+/// Simple monotonic wall-clock stopwatch.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Accumulates named timing sections, e.g. per-solver phase
+/// ("halo", "fft", "migrate", "force"). Not thread-safe by design: each
+/// rank-thread owns its own SectionTimers instance.
+class SectionTimers {
+public:
+    /// RAII guard that charges elapsed time to a named section.
+    class Scope {
+    public:
+        Scope(SectionTimers& owner, std::string name)
+            : owner_(owner), name_(std::move(name)) {}
+        ~Scope() { owner_.add(name_, watch_.seconds()); }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        SectionTimers& owner_;
+        std::string name_;
+        Stopwatch watch_;
+    };
+
+    /// Start timing a named section; time is charged when the guard dies.
+    [[nodiscard]] Scope time(std::string name) { return Scope(*this, std::move(name)); }
+
+    /// Add raw seconds to a section.
+    void add(const std::string& name, double seconds) { totals_[name] += seconds; }
+
+    /// Total seconds charged to \p name (0.0 if never timed).
+    [[nodiscard]] double total(const std::string& name) const {
+        auto it = totals_.find(name);
+        return it == totals_.end() ? 0.0 : it->second;
+    }
+
+    /// All section totals, ordered by name.
+    [[nodiscard]] const std::map<std::string, double>& totals() const { return totals_; }
+
+    void clear() { totals_.clear(); }
+
+private:
+    std::map<std::string, double> totals_;
+};
+
+} // namespace beatnik

@@ -1,0 +1,61 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace beatnik::comm {
+
+Communicator Communicator::split(int color, int key) {
+    const int p = size();
+
+    // 1. Everyone learns everyone's (color, key).
+    struct ColorKey {
+        int color;
+        int key;
+    };
+    ColorKey mine{color, key};
+    std::vector<ColorKey> all = allgather(std::span<const ColorKey>(&mine, 1));
+
+    // 2. Rank 0 allocates one fresh context-wide id per distinct color and
+    //    broadcasts the assignment, keeping id allocation race-free even
+    //    when several communicators split concurrently.
+    std::vector<int> sorted_colors;
+    sorted_colors.reserve(static_cast<std::size_t>(p));
+    for (const auto& ck : all) sorted_colors.push_back(ck.color);
+    std::sort(sorted_colors.begin(), sorted_colors.end());
+    sorted_colors.erase(std::unique(sorted_colors.begin(), sorted_colors.end()),
+                        sorted_colors.end());
+
+    std::vector<int> ids(sorted_colors.size(), 0);
+    if (rank_ == 0) {
+        for (auto& id : ids) id = ctx_->new_comm_id();
+    }
+    bcast(std::span<int>(ids.data(), ids.size()), 0);
+
+    // 3. Build my group: members with my color ordered by (key, old rank).
+    std::vector<std::tuple<int, int, int>> group; // (key, old_rank, world_rank)
+    for (int r = 0; r < p; ++r) {
+        if (all[static_cast<std::size_t>(r)].color == color) {
+            group.emplace_back(all[static_cast<std::size_t>(r)].key, r,
+                               world_ranks_[static_cast<std::size_t>(r)]);
+        }
+    }
+    std::sort(group.begin(), group.end());
+
+    std::vector<int> new_world_ranks;
+    new_world_ranks.reserve(group.size());
+    int new_rank = -1;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        new_world_ranks.push_back(std::get<2>(group[i]));
+        if (std::get<1>(group[i]) == rank_) new_rank = static_cast<int>(i);
+    }
+    BEATNIK_ASSERT(new_rank >= 0);
+
+    auto color_pos = static_cast<std::size_t>(
+        std::lower_bound(sorted_colors.begin(), sorted_colors.end(), color) -
+        sorted_colors.begin());
+    return Communicator(*ctx_, ids[color_pos], new_rank, std::move(new_world_ranks));
+}
+
+} // namespace beatnik::comm

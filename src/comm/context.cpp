@@ -1,0 +1,62 @@
+#include "comm/context.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "comm/communicator.hpp"
+
+namespace beatnik::comm {
+
+Context::Context(int size, ContextConfig config) : size_(size), config_(config) {
+    BEATNIK_REQUIRE(size >= 1, "context size must be >= 1");
+    mailboxes_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+        mailboxes_.push_back(
+            std::make_unique<Mailbox>(abort_, config_.recv_timeout_seconds));
+    }
+}
+
+Context::~Context() = default;
+
+void Context::abort() {
+    abort_.store(true, std::memory_order_release);
+    for (auto& box : mailboxes_) box->interrupt();
+}
+
+void Context::run(int nranks, const std::function<void(Communicator&)>& fn,
+                  ContextConfig config) {
+    Context ctx(nranks, config);
+
+    // World rank -> world rank identity mapping shared by every rank's
+    // communicator instance.
+    std::vector<int> identity(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) identity[static_cast<std::size_t>(r)] = r;
+
+    std::vector<std::exception_ptr> failures(static_cast<std::size_t>(nranks));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        threads.emplace_back([&ctx, &fn, &identity, &failures, r] {
+            try {
+                Communicator world(ctx, /*comm_id=*/0, r, identity);
+                fn(world);
+            } catch (...) {
+                failures[static_cast<std::size_t>(r)] = std::current_exception();
+                ctx.abort();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    for (int r = 0; r < nranks; ++r) {
+        if (failures[static_cast<std::size_t>(r)]) {
+            try {
+                std::rethrow_exception(failures[static_cast<std::size_t>(r)]);
+            } catch (const std::exception& e) {
+                throw Error(strcat_msg("rank ", r, " failed: ", e.what()));
+            }
+        }
+    }
+}
+
+} // namespace beatnik::comm

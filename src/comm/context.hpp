@@ -1,0 +1,78 @@
+/// \file context.hpp
+/// \brief The rank runtime: runs N logical ranks as threads of one process.
+///
+/// This is the repo's stand-in for an MPI runtime (see DESIGN.md §1). A
+/// Context owns one Mailbox per rank plus shared bookkeeping (communicator
+/// id allocation, abort flag, optional message trace). Context::run() is
+/// the `mpirun` equivalent: it spawns one thread per rank, hands each a
+/// world Communicator, and joins, propagating the first rank failure.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/error.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/trace.hpp"
+#include "comm/types.hpp"
+
+namespace beatnik::comm {
+
+class Communicator;
+
+/// Runtime knobs for a rank run.
+struct ContextConfig {
+    /// Receives that block longer than this throw CommError, turning
+    /// deadlocks into diagnosable test failures. <= 0 disables the timeout.
+    double recv_timeout_seconds = 120.0;
+    /// When true, every point-to-point transfer is recorded in trace().
+    bool enable_trace = false;
+    /// Default algorithm for alltoall/alltoallv exchanges.
+    AlltoallAlgo alltoall_algo = AlltoallAlgo::pairwise;
+};
+
+/// Shared state for one group of rank-threads.
+class Context {
+public:
+    Context(int size, ContextConfig config = {});
+    ~Context();
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    [[nodiscard]] int size() const { return size_; }
+    [[nodiscard]] const ContextConfig& config() const { return config_; }
+
+    [[nodiscard]] Mailbox& mailbox(int world_rank) {
+        BEATNIK_ASSERT(world_rank >= 0 && world_rank < size_);
+        return *mailboxes_[static_cast<std::size_t>(world_rank)];
+    }
+
+    /// Allocate a fresh communicator id (used by split/dup). Thread-safe.
+    [[nodiscard]] int new_comm_id() { return next_comm_id_.fetch_add(1); }
+
+    /// Message trace, or nullptr when tracing is disabled.
+    [[nodiscard]] Trace* trace() { return config_.enable_trace ? &trace_ : nullptr; }
+
+    /// Signal all ranks to unwind (called when one rank throws).
+    void abort();
+    [[nodiscard]] bool aborted() const { return abort_.load(std::memory_order_acquire); }
+
+    /// Run \p fn on \p nranks rank-threads. Each invocation gets a world
+    /// communicator of the given size. Rethrows the first rank exception
+    /// after all threads have been joined.
+    static void run(int nranks, const std::function<void(Communicator&)>& fn,
+                    ContextConfig config = {});
+
+private:
+    int size_;
+    ContextConfig config_;
+    std::atomic<bool> abort_{false};
+    std::atomic<int> next_comm_id_{1};   // id 0 is the world communicator
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    Trace trace_;
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,117 @@
+/// \file mailbox.hpp
+/// \brief Per-rank message queue with (communicator, source, tag) matching.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "base/error.hpp"
+#include "comm/types.hpp"
+
+namespace beatnik::comm {
+
+/// A message in flight: payload plus matching metadata.
+struct Envelope {
+    int comm_id = 0;              ///< Communicator the message belongs to.
+    int src = 0;                  ///< Sender rank *within that communicator*.
+    int tag = 0;
+    std::vector<std::byte> payload;
+};
+
+/// Unexpected-message queue for one rank. Senders deliver() envelopes;
+/// the owning rank-thread blocks in receive() until a matching envelope
+/// arrives. Matching is FIFO per (comm, src, tag) triple, which gives the
+/// same non-overtaking guarantee MPI provides.
+///
+/// The mailbox also observes a context-wide abort flag so that when any
+/// rank-thread fails, blocked receivers wake up and unwind instead of
+/// deadlocking the whole process.
+class Mailbox {
+public:
+    Mailbox(const std::atomic<bool>& abort_flag, double timeout_seconds)
+        : abort_(abort_flag), timeout_seconds_(timeout_seconds) {}
+
+    Mailbox(const Mailbox&) = delete;
+    Mailbox& operator=(const Mailbox&) = delete;
+
+    /// Deposit a message (called from the *sender's* thread).
+    void deliver(Envelope&& env) {
+        {
+            std::lock_guard lock(mutex_);
+            queue_.push_back(std::move(env));
+        }
+        cv_.notify_all();
+    }
+
+    /// Block until a message matching (comm_id, src, tag) is available and
+    /// return it. \p src may be any_source and \p tag may be any_tag.
+    /// Throws CommError on context abort or receive timeout.
+    Envelope receive(int comm_id, int src, int tag) {
+        std::unique_lock lock(mutex_);
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds_));
+        for (;;) {
+            if (abort_.load(std::memory_order_acquire)) {
+                throw CommError("receive aborted: another rank failed");
+            }
+            if (auto it = find_match(comm_id, src, tag); it != queue_.end()) {
+                Envelope env = std::move(*it);
+                queue_.erase(it);
+                return env;
+            }
+            if (timeout_seconds_ <= 0.0) {
+                cv_.wait(lock);
+            } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+                throw CommError(
+                    "receive timed out (probable deadlock): waiting for comm=" +
+                    std::to_string(comm_id) + " src=" + std::to_string(src) +
+                    " tag=" + std::to_string(tag));
+            }
+        }
+    }
+
+    /// Non-blocking probe-and-take. Returns false if no matching message
+    /// is currently queued.
+    bool try_receive(int comm_id, int src, int tag, Envelope& out) {
+        std::lock_guard lock(mutex_);
+        if (auto it = find_match(comm_id, src, tag); it != queue_.end()) {
+            out = std::move(*it);
+            queue_.erase(it);
+            return true;
+        }
+        return false;
+    }
+
+    /// Wake all waiters (used on context abort).
+    void interrupt() { cv_.notify_all(); }
+
+    /// Number of queued (unreceived) messages. For tests and leak checks.
+    std::size_t pending() const {
+        std::lock_guard lock(mutex_);
+        return queue_.size();
+    }
+
+private:
+    std::deque<Envelope>::iterator find_match(int comm_id, int src, int tag) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->comm_id != comm_id) continue;
+            if (src != any_source && it->src != src) continue;
+            if (tag != any_tag && it->tag != tag) continue;
+            return it;
+        }
+        return queue_.end();
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Envelope> queue_;
+    const std::atomic<bool>& abort_;
+    double timeout_seconds_;
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,64 @@
+/// \file trace.hpp
+/// \brief Message tracing: records every point-to-point transfer so that
+/// communication schedules of *real* executions can be replayed through the
+/// netsim performance model (see src/netsim).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beatnik::comm {
+
+/// One recorded point-to-point transfer, in world-rank coordinates.
+struct TraceRecord {
+    int src_world = 0;
+    int dst_world = 0;
+    std::size_t bytes = 0;
+    int tag = 0;
+    std::uint32_t phase = 0;   ///< User-advanced phase counter (e.g. "reshape 2").
+};
+
+/// Thread-safe append-only trace shared by all ranks of a Context.
+class Trace {
+public:
+    /// Record one transfer. Called from sender threads.
+    void record(int src_world, int dst_world, std::size_t bytes, int tag) {
+        std::lock_guard lock(mutex_);
+        records_.push_back({src_world, dst_world, bytes, tag, phase_});
+    }
+
+    /// Advance the phase label attached to subsequent records. Typically
+    /// called between communication stages (collectively or by one rank —
+    /// phases are only labels, not synchronization).
+    void set_phase(std::uint32_t phase) {
+        std::lock_guard lock(mutex_);
+        phase_ = phase;
+    }
+
+    /// Copy out everything recorded so far.
+    [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+        std::lock_guard lock(mutex_);
+        return records_;
+    }
+
+    void clear() {
+        std::lock_guard lock(mutex_);
+        records_.clear();
+        phase_ = 0;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return records_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<TraceRecord> records_;
+    std::uint32_t phase_ = 0;
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,56 @@
+/// \file types.hpp
+/// \brief Shared message-passing vocabulary: wildcards, status, reduction ops.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace beatnik::comm {
+
+/// Wildcard source rank for receives (matches any sender).
+inline constexpr int any_source = -1;
+/// Wildcard tag for receives (matches any tag).
+inline constexpr int any_tag = -1;
+
+/// Outcome of a completed receive.
+struct Status {
+    int source = any_source;      ///< Rank (within the communicator) that sent the message.
+    int tag = any_tag;            ///< Tag the message was sent with.
+    std::size_t bytes = 0;        ///< Payload size in bytes.
+};
+
+/// Element-wise reduction operators for reduce/allreduce/scan.
+/// Modeled as stateless functors so they inline into the reduction loops.
+namespace op {
+
+struct Sum {
+    template <class T> T operator()(const T& a, const T& b) const { return a + b; }
+};
+struct Prod {
+    template <class T> T operator()(const T& a, const T& b) const { return a * b; }
+};
+struct Max {
+    template <class T> T operator()(const T& a, const T& b) const { return std::max(a, b); }
+};
+struct Min {
+    template <class T> T operator()(const T& a, const T& b) const { return std::min(a, b); }
+};
+struct LogicalAnd {
+    template <class T> T operator()(const T& a, const T& b) const { return a && b; }
+};
+struct LogicalOr {
+    template <class T> T operator()(const T& a, const T& b) const { return a || b; }
+};
+
+} // namespace op
+
+/// Algorithm used by all-to-all style exchanges. The choice changes the
+/// number and size of point-to-point messages — exactly the effect the
+/// paper's heFFTe `AllToAll` knob (Table 1 / Fig. 9) exposes.
+enum class AlltoallAlgo {
+    pairwise,   ///< P-1 rounds of ring-offset sendrecv (large-message friendly).
+    linear,     ///< post all isends/irecvs, then wait (what heFFTe's p2p path does).
+    bruck,      ///< log2(P) rounds with message aggregation (small-message friendly).
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,19 @@
+/// \file beatnik.hpp
+/// \brief Umbrella header: the full public API of the Beatnik
+/// reproduction core library.
+///
+/// Typical use (see examples/quickstart.cpp):
+/// \code
+///   beatnik::comm::Context::run(4, [](beatnik::comm::Communicator& comm) {
+///       beatnik::Params params = beatnik::decks::multimode_loworder(128);
+///       beatnik::Solver solver(comm, params);
+///       solver.advance(20);
+///       auto s = beatnik::summarize(solver.state());
+///   });
+/// \endcode
+#pragma once
+
+#include "core/diagnostics.hpp"
+#include "core/input_decks.hpp"
+#include "core/silo_writer.hpp"
+#include "core/solver.hpp"

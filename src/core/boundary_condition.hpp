@@ -1,0 +1,125 @@
+/// \file boundary_condition.hpp
+/// \brief Ghost-cell handling beyond the physical boundary (paper §3.1).
+///
+/// After a halo exchange, ghost nodes that map to the *other side* of a
+/// periodic axis hold the owner's coordinates and must be shifted by the
+/// domain extent so stencils see a continuous surface. At free (non-
+/// periodic) boundaries no neighbor exists; position and vorticity are
+/// linearly extrapolated into the ghost band, matching the paper's
+/// description ("extrapolates position and vorticity into boundary
+/// cells").
+#pragma once
+
+#include "core/surface_mesh.hpp"
+#include "grid/field.hpp"
+
+namespace beatnik {
+
+class BoundaryCondition {
+public:
+    explicit BoundaryCondition(const SurfaceMesh& mesh) : mesh_(&mesh) {}
+
+    /// Fix up the position field's ghosts (call after every halo
+    /// exchange of positions).
+    void apply_position(grid::NodeField<double, 3>& z) const {
+        if (mesh_->periodic()) {
+            correct_periodic_positions(z);
+        } else {
+            extrapolate(z);
+        }
+    }
+
+    /// Fix up a non-position field's ghosts (vorticity, velocity,
+    /// Bernoulli scalar): periodic ghosts are already correct copies; free
+    /// boundaries extrapolate.
+    template <int C>
+    void apply_value(grid::NodeField<double, C>& f) const {
+        if (!mesh_->periodic()) extrapolate(f);
+    }
+
+private:
+    /// Add +-L offsets to ghost copies that wrapped around an axis. The
+    /// surface is periodic as z(i + N, j) = z(i, j) + (Lx, 0, 0) and
+    /// z(i, j + M) = z(i, j) + (0, Ly, 0).
+    void correct_periodic_positions(grid::NodeField<double, 3>& z) const {
+        const auto& local = mesh_->local();
+        const auto& global = mesh_->global();
+        const int w = local.halo_width();
+        const double lx = global.extent(0);
+        const double ly = global.extent(1);
+        auto ghosted = local.ghosted_space();
+        grid::for_each(ghosted, [&](int i, int j) {
+            int gi = local.global_offset(0) + i;
+            int gj = local.global_offset(1) + j;
+            (void)w;
+            if (gi < 0) z(i, j, 0) -= lx;
+            if (gi >= global.num_nodes(0)) z(i, j, 0) += lx;
+            if (gj < 0) z(i, j, 1) -= ly;
+            if (gj >= global.num_nodes(1)) z(i, j, 1) += ly;
+        });
+    }
+
+    /// Linear extrapolation into ghost bands that have no owning rank
+    /// (physical free boundary only — interior block edges were filled by
+    /// the halo exchange). Axis 0 first, then axis 1 (which also fills
+    /// corners using the already-extrapolated edge values).
+    template <int C>
+    void extrapolate(grid::NodeField<double, C>& f) const {
+        const auto& local = mesh_->local();
+        const auto& global = mesh_->global();
+        const int w = local.halo_width();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        const bool at_ilo = local.global_offset(0) == 0;
+        const bool at_ihi = local.global_offset(0) + ni == global.num_nodes(0);
+        const bool at_jlo = local.global_offset(1) == 0;
+        const bool at_jhi = local.global_offset(1) + nj == global.num_nodes(1);
+
+        if (at_ilo) {
+            for (int k = 1; k <= w; ++k) {
+                for (int j = 0; j < nj; ++j) {
+                    for (int c = 0; c < C; ++c) {
+                        f(-k, j, c) = f(0, j, c) + k * (f(0, j, c) - f(1, j, c));
+                    }
+                }
+            }
+        }
+        if (at_ihi) {
+            for (int k = 1; k <= w; ++k) {
+                for (int j = 0; j < nj; ++j) {
+                    for (int c = 0; c < C; ++c) {
+                        f(ni - 1 + k, j, c) =
+                            f(ni - 1, j, c) + k * (f(ni - 1, j, c) - f(ni - 2, j, c));
+                    }
+                }
+            }
+        }
+        // Axis 1 passes run over the i-extended range so corners get
+        // extrapolated from the already-filled axis-0 ghosts.
+        const int ilo = at_ilo ? -w : 0;
+        const int ihi = at_ihi ? ni + w : ni;
+        if (at_jlo) {
+            for (int k = 1; k <= w; ++k) {
+                for (int i = ilo; i < ihi; ++i) {
+                    for (int c = 0; c < C; ++c) {
+                        f(i, -k, c) = f(i, 0, c) + k * (f(i, 0, c) - f(i, 1, c));
+                    }
+                }
+            }
+        }
+        if (at_jhi) {
+            for (int k = 1; k <= w; ++k) {
+                for (int i = ilo; i < ihi; ++i) {
+                    for (int c = 0; c < C; ++c) {
+                        f(i, nj - 1 + k, c) =
+                            f(i, nj - 1, c) + k * (f(i, nj - 1, c) - f(i, nj - 2, c));
+                    }
+                }
+            }
+        }
+    }
+
+    const SurfaceMesh* mesh_;
+};
+
+} // namespace beatnik

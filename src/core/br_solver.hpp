@@ -1,0 +1,42 @@
+/// \file br_solver.hpp
+/// \brief Birkhoff–Rott far-field solver interface + shared kernel
+/// (paper §3.2).
+///
+/// A BR solver computes the interface velocity
+///   W(x) = (dA / 4*pi) * sum_j gamma_j x (x - z_j) / (|x - z_j|^2 + eps^2)^{3/2}
+/// at every owned surface node, where gamma is the Biot–Savart source
+/// produced by the ZModel and eps is the Krasny desingularization length.
+/// The self-term vanishes analytically (gamma x 0), so implementations
+/// may include or skip it freely.
+#pragma once
+
+#include "core/problem_manager.hpp"
+#include "core/types.hpp"
+
+namespace beatnik {
+
+/// One evaluation of the desingularized Biot–Savart kernel (without the
+/// dA/4*pi prefactor, applied once per sum).
+inline Vec3 br_kernel(const Vec3& target, const Vec3& source_pos, const Vec3& source_gamma,
+                      double eps2) {
+    Vec3 r = target - source_pos;
+    double d2 = norm2(r) + eps2;
+    double inv = 1.0 / (d2 * std::sqrt(d2));
+    return cross(source_gamma, r) * inv;
+}
+
+class BRSolverBase {
+public:
+    virtual ~BRSolverBase() = default;
+
+    /// Fill \p velocity at owned nodes with the BR integral of the given
+    /// gamma field (owned nodes valid) over the *entire* surface.
+    /// Collective: must be called by every rank.
+    virtual void compute_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma,
+                                  grid::NodeField<double, 3>& velocity) = 0;
+
+    /// Human-readable solver name for logs and benches.
+    [[nodiscard]] virtual const char* name() const = 0;
+};
+
+} // namespace beatnik

@@ -1,0 +1,97 @@
+/// \file exact_br_solver.hpp
+/// \brief Brute-force all-pairs Birkhoff–Rott solver with ring-pass
+/// communication (paper §3.2, ExactBRSolver).
+///
+/// Every rank's target points interact with every surface point. Source
+/// blocks circulate around a rank ring: at each of the P steps a rank
+/// computes forces between its targets and the currently held source
+/// block while (logically) forwarding the block to its right neighbor —
+/// the classic systolic all-pairs schedule. O(N^2) compute; regular,
+/// bandwidth-heavy communication; compute-bound in practice (paper §3.2).
+#pragma once
+
+#include <numbers>
+
+#include "core/br_solver.hpp"
+#include "par/par.hpp"
+
+namespace beatnik {
+
+class ExactBRSolver final : public BRSolverBase {
+public:
+    ExactBRSolver(const SurfaceMesh& mesh, const Params& params)
+        : mesh_(&mesh), eps2_(square(mesh.effective_epsilon(params.epsilon))) {}
+
+    [[nodiscard]] const char* name() const override { return "exact"; }
+
+    void compute_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma,
+                          grid::NodeField<double, 3>& velocity) override {
+        auto& comm = pm.comm();
+        const auto& local = mesh_->local();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        const auto n_own = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+
+        // Pack targets once; the same layout doubles as the first source
+        // block.
+        std::vector<SourcePoint> block(n_own);
+        std::vector<Vec3> targets(n_own);
+        std::size_t k = 0;
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j, ++k) {
+                Vec3 pos{pm.position()(i, j, 0), pm.position()(i, j, 1), pm.position()(i, j, 2)};
+                Vec3 g{gamma(i, j, 0), gamma(i, j, 1), gamma(i, j, 2)};
+                targets[k] = pos;
+                block[k] = {pos, g};
+            }
+        }
+        std::vector<Vec3> accum(n_own, Vec3{});
+
+        const int p = comm.size();
+        const int right = (comm.rank() + 1) % p;
+        const int left = (comm.rank() - 1 + p) % p;
+        constexpr int kRingTag = 100;
+        std::vector<SourcePoint> incoming;
+        for (int step = 0; step < p; ++step) {
+            // Forward the block first (buffered send) so communication
+            // overlaps the local interaction sweep, as in the paper.
+            if (step + 1 < p) {
+                comm.send(std::span<const SourcePoint>(block.data(), block.size()), right,
+                          kRingTag);
+            }
+            par::parallel_for(n_own, [&](std::size_t t) {
+                Vec3 sum{};
+                for (const auto& s : block) {
+                    sum += br_kernel(targets[t], s.pos, s.gamma, eps2_);
+                }
+                accum[t] += sum;
+            });
+            if (step + 1 < p) {
+                comm.recv<SourcePoint>(incoming, left, kRingTag);
+                block.swap(incoming);
+            }
+        }
+
+        const double prefactor = mesh_->cell_area() / (4.0 * std::numbers::pi);
+        k = 0;
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j, ++k) {
+                velocity(i, j, 0) = prefactor * accum[k].x;
+                velocity(i, j, 1) = prefactor * accum[k].y;
+                velocity(i, j, 2) = prefactor * accum[k].z;
+            }
+        }
+    }
+
+private:
+    struct SourcePoint {
+        Vec3 pos;
+        Vec3 gamma;
+    };
+    static double square(double v) { return v * v; }
+
+    const SurfaceMesh* mesh_;
+    double eps2_;
+};
+
+} // namespace beatnik

@@ -1,0 +1,74 @@
+/// \file initial_conditions.hpp
+/// \brief Rocket-rig initial interface shapes (paper §4).
+///
+/// Both test cases perturb a flat interface at z3 = 0 with zero initial
+/// vorticity; the instability then grows from the baroclinic term.
+/// Multimode: a seeded superposition of low modes — periodic, stays
+/// balanced (Fig. 1). Singlemode: one centered mode — free boundaries,
+/// rolls up and develops load imbalance (Fig. 2).
+///
+/// The random mode content depends only on (seed, mode index), never on
+/// the decomposition, so any rank count produces the same surface.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "base/rng.hpp"
+#include "core/params.hpp"
+#include "core/surface_mesh.hpp"
+#include "grid/field.hpp"
+
+namespace beatnik {
+
+/// Perturbation height eta(x, y) for the multimode case.
+inline double multimode_eta(const InitialCondition& ic, double xhat, double yhat) {
+    // xhat, yhat in [0, 1): periodic unit coordinates.
+    constexpr double tau = 2.0 * std::numbers::pi;
+    double eta = 0.0;
+    double norm = 0.0;
+    for (int p = 1; p <= ic.num_modes; ++p) {
+        for (int q = 1; q <= ic.num_modes; ++q) {
+            auto key = static_cast<std::uint64_t>(p * 131 + q);
+            double amp = 0.5 + beatnik::hash_uniform(ic.seed, key);
+            double phx = tau * beatnik::hash_uniform(ic.seed, key * 7 + 1);
+            double phy = tau * beatnik::hash_uniform(ic.seed, key * 7 + 2);
+            eta += amp * std::cos(tau * p * xhat + phx) * std::cos(tau * q * yhat + phy);
+            norm += amp;
+        }
+    }
+    return ic.magnitude * eta / norm;
+}
+
+/// Perturbation height for the singlemode case: one full wavelength per
+/// axis, peak at the domain center, zero slope at the free boundary.
+inline double singlemode_eta(const InitialCondition& ic, double xhat, double yhat) {
+    constexpr double pi = std::numbers::pi;
+    return ic.magnitude * std::cos(2.0 * pi * xhat - pi) * std::cos(2.0 * pi * yhat - pi);
+}
+
+/// Fill owned nodes of z with the flat perturbed sheet and w with zero.
+inline void apply_initial_conditions(const SurfaceMesh& mesh, const InitialCondition& ic,
+                                     grid::NodeField<double, 3>& z,
+                                     grid::NodeField<double, 2>& w) {
+    const auto& local = mesh.local();
+    const auto& global = mesh.global();
+    for (int i = 0; i < local.owned_extent(0); ++i) {
+        for (int j = 0; j < local.owned_extent(1); ++j) {
+            double x = mesh.coordinate(0, i);
+            double y = mesh.coordinate(1, j);
+            double xhat = (x - global.low(0)) / global.extent(0);
+            double yhat = (y - global.low(1)) / global.extent(1);
+            double eta = ic.kind == InitialCondition::Kind::multimode
+                             ? multimode_eta(ic, xhat, yhat)
+                             : singlemode_eta(ic, xhat, yhat);
+            z(i, j, 0) = x;
+            z(i, j, 1) = y;
+            z(i, j, 2) = eta;
+            w(i, j, 0) = 0.0;
+            w(i, j, 1) = 0.0;
+        }
+    }
+}
+
+} // namespace beatnik

@@ -1,0 +1,68 @@
+/// \file operators.hpp
+/// \brief Finite-difference stencils on the surface mesh (paper §3.1:
+/// "two-node-deep stencils for calculating surface normals, finite
+/// differences, and Laplacians").
+///
+/// All operators act at *owned* nodes and read up to two ghost layers:
+///  * D1/D2 — 4th-order central first derivatives along the two surface
+///    parameter directions;
+///  * laplacian — 2nd-order 5-point surface Laplacian;
+///  * gamma (the Biot–Savart source) and surface normals built from them.
+#pragma once
+
+#include "core/surface_mesh.hpp"
+#include "core/types.hpp"
+#include "grid/field.hpp"
+
+namespace beatnik::operators {
+
+/// 4th-order first derivative along axis 0 of component c.
+template <int C>
+double d1(const grid::NodeField<double, C>& f, int i, int j, int c, double spacing) {
+    return (f(i - 2, j, c) - 8.0 * f(i - 1, j, c) + 8.0 * f(i + 1, j, c) - f(i + 2, j, c)) /
+           (12.0 * spacing);
+}
+
+/// 4th-order first derivative along axis 1 of component c.
+template <int C>
+double d2(const grid::NodeField<double, C>& f, int i, int j, int c, double spacing) {
+    return (f(i, j - 2, c) - 8.0 * f(i, j - 1, c) + 8.0 * f(i, j + 1, c) - f(i, j + 2, c)) /
+           (12.0 * spacing);
+}
+
+/// 2nd-order 5-point Laplacian of component c.
+template <int C>
+double laplacian(const grid::NodeField<double, C>& f, int i, int j, int c, double dx, double dy) {
+    return (f(i + 1, j, c) - 2.0 * f(i, j, c) + f(i - 1, j, c)) / (dx * dx) +
+           (f(i, j + 1, c) - 2.0 * f(i, j, c) + f(i, j - 1, c)) / (dy * dy);
+}
+
+/// Tangent vector along axis 0 at an owned node.
+inline Vec3 tangent1(const grid::NodeField<double, 3>& z, int i, int j, double dx) {
+    return {d1(z, i, j, 0, dx), d1(z, i, j, 1, dx), d1(z, i, j, 2, dx)};
+}
+
+/// Tangent vector along axis 1 at an owned node.
+inline Vec3 tangent2(const grid::NodeField<double, 3>& z, int i, int j, double dy) {
+    return {d2(z, i, j, 0, dy), d2(z, i, j, 1, dy), d2(z, i, j, 2, dy)};
+}
+
+/// Non-unit surface normal t1 x t2.
+inline Vec3 surface_normal(const grid::NodeField<double, 3>& z, int i, int j, double dx,
+                           double dy) {
+    return cross(tangent1(z, i, j, dx), tangent2(z, i, j, dy));
+}
+
+/// The Biot–Savart source ("omega" in Beatnik's ZModel):
+///   gamma = w1 * dz/dalpha2 - w2 * dz/dalpha1,
+/// the 90-degree-rotated surface gradient of the dipole strength. For a
+/// flat sheet this reduces to (-w2, w1, 0) = n x (w1, w2, 0).
+inline Vec3 gamma_vector(const grid::NodeField<double, 3>& z,
+                         const grid::NodeField<double, 2>& w, int i, int j, double dx,
+                         double dy) {
+    Vec3 t1 = tangent1(z, i, j, dx);
+    Vec3 t2 = tangent2(z, i, j, dy);
+    return w(i, j, 0) * t2 - w(i, j, 1) * t1;
+}
+
+} // namespace beatnik::operators

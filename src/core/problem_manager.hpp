@@ -1,0 +1,64 @@
+/// \file problem_manager.hpp
+/// \brief Owns the distributed mesh state (position + vorticity) and its
+/// halo exchanges (paper §3.1, ProblemManager module).
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "core/boundary_condition.hpp"
+#include "core/initial_conditions.hpp"
+#include "core/surface_mesh.hpp"
+#include "grid/halo.hpp"
+
+namespace beatnik {
+
+class ProblemManager {
+public:
+    /// Distinct halo-exchange streams so interleaved exchanges of
+    /// different fields never cross-match.
+    enum Stream : int { kPositionStream = 0, kVorticityStream = 1, kScratchStream = 2 };
+
+    ProblemManager(comm::Communicator& comm, const SurfaceMesh& mesh, const Params& params)
+        : comm_(&comm), mesh_(&mesh), bc_(mesh), z_(mesh.local()), w_(mesh.local()) {
+        apply_initial_conditions(mesh, params.initial, z_, w_);
+        gather_halos();
+    }
+
+    [[nodiscard]] comm::Communicator& comm() { return *comm_; }
+    [[nodiscard]] const SurfaceMesh& mesh() const { return *mesh_; }
+    [[nodiscard]] const BoundaryCondition& boundary() const { return bc_; }
+
+    /// Interface position z(i,j) — 3 components.
+    [[nodiscard]] grid::NodeField<double, 3>& position() { return z_; }
+    [[nodiscard]] const grid::NodeField<double, 3>& position() const { return z_; }
+
+    /// Vorticity components w(i,j) = surface gradient of the dipole
+    /// strength — 2 components.
+    [[nodiscard]] grid::NodeField<double, 2>& vorticity() { return w_; }
+    [[nodiscard]] const grid::NodeField<double, 2>& vorticity() const { return w_; }
+
+    /// Refresh ghosts of both state fields and re-apply boundary fixups.
+    /// Call after any update of owned values.
+    void gather_halos() {
+        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), z_, kPositionStream);
+        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), w_, kVorticityStream);
+        bc_.apply_position(z_);
+        bc_.apply_value(w_);
+    }
+
+    /// Halo + boundary fixup for a derived (non-position) field owned by a
+    /// solver (e.g. the Bernoulli scalar or a velocity component).
+    template <int C>
+    void gather_scratch_halo(grid::NodeField<double, C>& f) {
+        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), f, kScratchStream);
+        bc_.apply_value(f);
+    }
+
+private:
+    comm::Communicator* comm_;
+    const SurfaceMesh* mesh_;
+    BoundaryCondition bc_;
+    grid::NodeField<double, 3> z_;
+    grid::NodeField<double, 2> w_;
+};
+
+} // namespace beatnik

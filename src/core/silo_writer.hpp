@@ -1,0 +1,70 @@
+/// \file silo_writer.hpp
+/// \brief Surface-mesh visualization output (paper §3.1, SiloWriter
+/// module), writing VTK through the miniio Silo substitute.
+///
+/// The global surface is gathered to rank 0 and written as one
+/// structured-grid file with the vorticity magnitude attached — the field
+/// the paper's Figs. 1–2 color by. Suitable for the mesh sizes this
+/// reproduction runs; a production writer would emit per-rank domains.
+#pragma once
+
+#include <string>
+
+#include "core/problem_manager.hpp"
+#include "io/writers.hpp"
+
+namespace beatnik {
+
+class SiloWriter {
+public:
+    explicit SiloWriter(std::string output_prefix) : prefix_(std::move(output_prefix)) {}
+
+    /// Gather and write the surface at the current step. Collective.
+    void write(ProblemManager& pm, int step) const {
+        auto& comm = pm.comm();
+        const auto& mesh = pm.mesh();
+        const auto& local = mesh.local();
+        const int nj = local.owned_extent(1);
+
+        // Pack owned nodes with their global index for deterministic
+        // reassembly regardless of rank layout.
+        struct Node {
+            int gi, gj;
+            double x, y, z, wmag;
+        };
+        std::vector<Node> mine;
+        mine.reserve(local.own_space().size());
+        for (int i = 0; i < local.owned_extent(0); ++i) {
+            for (int j = 0; j < nj; ++j) {
+                double w1 = pm.vorticity()(i, j, 0);
+                double w2 = pm.vorticity()(i, j, 1);
+                mine.push_back({local.global_offset(0) + i, local.global_offset(1) + j,
+                                pm.position()(i, j, 0), pm.position()(i, j, 1),
+                                pm.position()(i, j, 2), std::sqrt(w1 * w1 + w2 * w2)});
+            }
+        }
+        auto all = comm.gatherv(std::span<const Node>(mine), 0);
+        if (comm.rank() != 0) return;
+
+        const int n0 = mesh.global().num_nodes(0);
+        const int n1 = mesh.global().num_nodes(1);
+        const auto n = static_cast<std::size_t>(n0) * static_cast<std::size_t>(n1);
+        std::vector<double> pos(3 * n, 0.0);
+        std::vector<double> wmag(n, 0.0);
+        for (const auto& node : all) {
+            auto k = static_cast<std::size_t>(node.gi) * static_cast<std::size_t>(n1) +
+                     static_cast<std::size_t>(node.gj);
+            pos[3 * k] = node.x;
+            pos[3 * k + 1] = node.y;
+            pos[3 * k + 2] = node.z;
+            wmag[k] = node.wmag;
+        }
+        io::VtkStructuredWriter writer(prefix_ + "_" + std::to_string(step) + ".vtk", n0, n1);
+        writer.write(pos, {{"vorticity_magnitude", wmag}});
+    }
+
+private:
+    std::string prefix_;
+};
+
+} // namespace beatnik

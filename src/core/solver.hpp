@@ -1,0 +1,93 @@
+/// \file solver.hpp
+/// \brief Top-level solver facade (paper §3.1, Solver module): builds the
+/// mesh, state, Z-Model, BR solver and integrator from a parameter set
+/// and runs timesteps.
+#pragma once
+
+#include <memory>
+#include <numbers>
+
+#include "base/timer.hpp"
+#include "core/cutoff_br_solver.hpp"
+#include "core/exact_br_solver.hpp"
+#include "core/time_integrator.hpp"
+
+namespace beatnik {
+
+class Solver {
+public:
+    Solver(comm::Communicator& comm, Params params)
+        : params_(validated(std::move(params))), mesh_(comm, params_),
+          pm_(comm, mesh_, params_) {
+        if (params_.order != Order::low) {
+            if (params_.br_solver == BRSolverKind::exact) {
+                br_ = std::make_unique<ExactBRSolver>(mesh_, params_);
+            } else {
+                br_ = std::make_unique<CutoffBRSolver>(mesh_, params_);
+            }
+        }
+        model_ = std::make_unique<ZModel>(comm, mesh_, params_, br_.get());
+        integrator_ = std::make_unique<TimeIntegrator>(mesh_, *model_);
+        dt_ = params_.dt > 0.0 ? params_.dt : default_dt();
+    }
+
+    /// Automatic timestep: stay below both the fastest RT growth time at
+    /// the grid scale (sigma_max = sqrt(A g k_max), k_max = pi/dx) and the
+    /// explicit-diffusion stability limit of the artificial viscosity.
+    [[nodiscard]] double default_dt() const {
+        const double dmin = std::min(mesh_.global().spacing(0), mesh_.global().spacing(1));
+        const double sigma_max =
+            std::sqrt(params_.atwood * params_.gravity * std::numbers::pi / dmin);
+        double dt = params_.cfl / sigma_max;
+        const double mu_eff = mesh_.effective_mu(params_.mu);
+        if (mu_eff > 0.0) dt = std::min(dt, 0.2 * dmin * dmin / mu_eff);
+        return dt;
+    }
+
+    /// Advance one timestep (three ZModel evaluations). Collective.
+    void step() {
+        auto scope = timers_.time("step");
+        integrator_->step(pm_, dt_);
+        time_ += dt_;
+        ++step_count_;
+    }
+
+    /// Advance \p n timesteps.
+    void advance(int n) {
+        for (int s = 0; s < n; ++s) step();
+    }
+
+    [[nodiscard]] double time() const { return time_; }
+    [[nodiscard]] int step_count() const { return step_count_; }
+    [[nodiscard]] double dt() const { return dt_; }
+    [[nodiscard]] const Params& params() const { return params_; }
+    [[nodiscard]] const SurfaceMesh& mesh() const { return mesh_; }
+    [[nodiscard]] ProblemManager& state() { return pm_; }
+    [[nodiscard]] const ProblemManager& state() const { return pm_; }
+    [[nodiscard]] ZModel& zmodel() { return *model_; }
+    [[nodiscard]] SectionTimers& timers() { return timers_; }
+
+    /// The cutoff solver when active (for load-imbalance diagnostics).
+    [[nodiscard]] const CutoffBRSolver* cutoff_solver() const {
+        return dynamic_cast<const CutoffBRSolver*>(br_.get());
+    }
+
+private:
+    static Params validated(Params p) {
+        p.validate();
+        return p;
+    }
+
+    Params params_;
+    SurfaceMesh mesh_;
+    ProblemManager pm_;
+    std::unique_ptr<BRSolverBase> br_;
+    std::unique_ptr<ZModel> model_;
+    std::unique_ptr<TimeIntegrator> integrator_;
+    SectionTimers timers_;
+    double dt_ = 0.0;
+    double time_ = 0.0;
+    int step_count_ = 0;
+};
+
+} // namespace beatnik

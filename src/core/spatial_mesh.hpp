@@ -1,0 +1,157 @@
+/// \file spatial_mesh.hpp
+/// \brief The 3D spatial domain and its position-based rank decomposition
+/// (paper §3.2, SpatialMesh module).
+///
+/// The cutoff solver re-homes surface points by physical location. The 3D
+/// box is decomposed in x/y only ("a 2D x/y block decomposition of the 3D
+/// space to mirror the initial distribution of 2D surface points"), using
+/// the same rank grid as the surface mesh.
+///
+/// Periodic mode (the paper's §6 "periodic boundary conditions for
+/// scalable high-order solves" future-work item, implemented here): x/y
+/// positions wrap on the periodic tile, ownership is computed on wrapped
+/// coordinates, and ghost copies crossing a boundary carry the +-L image
+/// offset so the cutoff kernel sees correct 3D distances to periodic
+/// images. In non-periodic mode positions outside the box are clamped for
+/// ownership purposes (the box is expected to contain the interface,
+/// paper §5.1).
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "grid/cart_topology.hpp"
+
+namespace beatnik {
+
+class SpatialMesh {
+public:
+    /// A ghost-copy destination: the receiving rank plus the periodic
+    /// image offset to add to the copy's position (zero when the copy
+    /// does not cross a periodic boundary).
+    struct GhostTarget {
+        int rank;
+        double dx, dy;
+    };
+
+    SpatialMesh(const Params& params, const grid::CartTopology2D& topo)
+        : topo_(&topo), periodic_(params.boundary == Boundary::periodic),
+          low_{params.box_low[0], params.box_low[1]},
+          high_{params.box_high[0], params.box_high[1]} {
+        BEATNIK_REQUIRE(high_[0] > low_[0] && high_[1] > low_[1],
+                        "spatial box bounds must be increasing");
+        if (periodic_) {
+            // The periodic tile is the surface's initial x/y extent; the
+            // box must coincide with it for image offsets to be exact.
+            BEATNIK_REQUIRE(params.surface_low[0] == params.box_low[0] &&
+                                params.surface_high[0] == params.box_high[0] &&
+                                params.surface_low[1] == params.box_low[1] &&
+                                params.surface_high[1] == params.box_high[1],
+                            "periodic cutoff solves require the spatial box to equal the "
+                            "surface tile");
+        }
+    }
+
+    [[nodiscard]] bool periodic() const { return periodic_; }
+
+    /// Wrap (periodic) or clamp (free) a coordinate into the box; also
+    /// returns the applied wrap offset via \p shift.
+    [[nodiscard]] double canonical(int d, double v, double* shift = nullptr) const {
+        const double lo = low_[static_cast<std::size_t>(d)];
+        const double hi = high_[static_cast<std::size_t>(d)];
+        const double len = hi - lo;
+        if (periodic_) {
+            double t = std::floor((v - lo) / len);
+            if (shift) *shift = -t * len;
+            return v - t * len;
+        }
+        if (shift) *shift = 0.0;
+        return v;
+    }
+
+    /// Rank owning physical location (x, y).
+    [[nodiscard]] int owner_rank(double x, double y) const {
+        return topo_->rank_of(block_index(0, canonical(0, x)),
+                              block_index(1, canonical(1, y)));
+    }
+
+    /// Append every ghost-copy destination of a particle at (x, y): ranks
+    /// other than the owner whose block, expanded by \p cutoff, contains
+    /// the point or one of its periodic images. Image copies carry the
+    /// offset to apply to the copy's position.
+    void ghost_targets(double x, double y, double cutoff, std::vector<GhostTarget>& out) const {
+        const int owner = owner_rank(x, y);
+        double base_sx = 0.0, base_sy = 0.0;
+        const double cx = canonical(0, x, &base_sx);
+        const double cy = canonical(1, y, &base_sy);
+        const int n0 = topo_->dims()[0];
+        const int n1 = topo_->dims()[1];
+        const int ci_lo = raw_block_index(0, cx - cutoff);
+        const int ci_hi = raw_block_index(0, cx + cutoff);
+        const int cj_lo = raw_block_index(1, cy - cutoff);
+        const int cj_hi = raw_block_index(1, cy + cutoff);
+        const double lenx = high_[0] - low_[0];
+        const double leny = high_[1] - low_[1];
+        for (int ci = ci_lo; ci <= ci_hi; ++ci) {
+            for (int cj = cj_lo; cj <= cj_hi; ++cj) {
+                double dx = base_sx, dy = base_sy;
+                int wi = ci, wj = cj;
+                if (periodic_) {
+                    // Wrapping the block index means the copy is an image:
+                    // shift its position by the corresponding tile offset.
+                    while (wi < 0) {
+                        wi += n0;
+                        dx += lenx;
+                    }
+                    while (wi >= n0) {
+                        wi -= n0;
+                        dx -= lenx;
+                    }
+                    while (wj < 0) {
+                        wj += n1;
+                        dy += leny;
+                    }
+                    while (wj >= n1) {
+                        wj -= n1;
+                        dy -= leny;
+                    }
+                } else {
+                    if (wi < 0 || wi >= n0 || wj < 0 || wj >= n1) continue;
+                }
+                int r = topo_->rank_of(wi, wj);
+                if (r == owner && dx == base_sx && dy == base_sy) continue;
+                out.push_back({r, dx, dy});
+            }
+        }
+    }
+
+    /// Width of one block along axis d (the cutoff-to-block-size ratio
+    /// controls ghost volume; see bench/micro_kernels).
+    [[nodiscard]] double block_width(int d) const {
+        return (high_[static_cast<std::size_t>(d)] - low_[static_cast<std::size_t>(d)]) /
+               topo_->dims()[static_cast<std::size_t>(d)];
+    }
+
+private:
+    /// Block index without clamping (may be out of range; callers handle
+    /// wrap or reject).
+    [[nodiscard]] int raw_block_index(int d, double v) const {
+        const double lo = low_[static_cast<std::size_t>(d)];
+        const double hi = high_[static_cast<std::size_t>(d)];
+        const int n = topo_->dims()[static_cast<std::size_t>(d)];
+        return static_cast<int>(std::floor((v - lo) / (hi - lo) * n));
+    }
+
+    [[nodiscard]] int block_index(int d, double v) const {
+        int c = raw_block_index(d, v);
+        const int n = topo_->dims()[static_cast<std::size_t>(d)];
+        return c < 0 ? 0 : (c >= n ? n - 1 : c);
+    }
+
+    const grid::CartTopology2D* topo_;
+    bool periodic_;
+    std::array<double, 2> low_;
+    std::array<double, 2> high_;
+};
+
+} // namespace beatnik

@@ -1,0 +1,58 @@
+/// \file surface_mesh.hpp
+/// \brief The distributed 2D interface mesh (paper §2, SurfaceMesh module).
+///
+/// Bundles the global mesh description, the rank topology, and this
+/// rank's local block with the width-2 halo Beatnik's stencils need.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "core/params.hpp"
+#include "grid/global_mesh.hpp"
+#include "grid/local_grid.hpp"
+
+namespace beatnik {
+
+class SurfaceMesh {
+public:
+    /// Two-node-deep stencils (4th-order derivatives, Laplacians).
+    static constexpr int kHaloWidth = 2;
+
+    SurfaceMesh(comm::Communicator& comm, const Params& params)
+        : periodic_(params.boundary == Boundary::periodic),
+          global_({params.surface_low[0], params.surface_low[1]},
+                  {params.surface_high[0], params.surface_high[1]}, params.num_nodes,
+                  {periodic_, periodic_}),
+          topo_(comm.size(), params.topo_dims, {periodic_, periodic_}),
+          local_(global_, topo_, comm.rank(), kHaloWidth) {}
+
+    [[nodiscard]] const grid::GlobalMesh2D& global() const { return global_; }
+    [[nodiscard]] const grid::CartTopology2D& topology() const { return topo_; }
+    [[nodiscard]] const grid::LocalGrid2D& local() const { return local_; }
+    [[nodiscard]] bool periodic() const { return periodic_; }
+
+    /// Initial surface coordinate of local node (i, j) along axis d
+    /// (ghost indices extrapolate the uniform spacing).
+    [[nodiscard]] double coordinate(int d, int local_index) const {
+        return global_.coordinate(d, local_.global_offset(d) + local_index);
+    }
+
+    /// Quadrature weight of one node in the Birkhoff–Rott sums.
+    [[nodiscard]] double cell_area() const { return global_.spacing(0) * global_.spacing(1); }
+
+    /// Grid-scaled effective parameters (Beatnik convention: coefficients
+    /// scale with sqrt(dx*dy)).
+    [[nodiscard]] double effective_epsilon(double eps_coeff) const {
+        return eps_coeff * std::sqrt(cell_area());
+    }
+    [[nodiscard]] double effective_mu(double mu_coeff) const {
+        return mu_coeff * std::sqrt(cell_area());
+    }
+
+private:
+    bool periodic_;
+    grid::GlobalMesh2D global_;
+    grid::CartTopology2D topo_;
+    grid::LocalGrid2D local_;
+};
+
+} // namespace beatnik

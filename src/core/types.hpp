@@ -1,0 +1,66 @@
+/// \file types.hpp
+/// \brief Small vector math and solver enums shared across the core.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace beatnik {
+
+/// Plain 3-vector used for positions, velocities and vortex strengths.
+struct Vec3 {
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    Vec3& operator-=(const Vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    Vec3& operator*=(double s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+    friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+    friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+    friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+};
+
+inline double dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+inline double norm2(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+/// Z-Model solution order (paper §2): which pieces of the derivative come
+/// from the FFT approximation vs. a Birkhoff–Rott far-field solve.
+enum class Order {
+    low,    ///< interface velocity and vorticity both via FFT
+    medium, ///< velocity via BR solver, vorticity terms via FFT
+    high,   ///< everything via BR solver
+};
+
+/// Far-field (Birkhoff–Rott) solver selection (paper §3.2).
+enum class BRSolverKind {
+    exact,  ///< O(N^2) ring-pass all-pairs reference
+    cutoff, ///< spatial-decomposition cutoff approximation
+};
+
+/// Boundary handling for the surface mesh (paper §3.1).
+enum class Boundary {
+    periodic, ///< wrap in both surface directions, ghost coordinates offset
+    free,     ///< non-periodic: ghosts filled by extrapolation
+};
+
+} // namespace beatnik

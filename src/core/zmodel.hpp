@@ -1,0 +1,183 @@
+/// \file zmodel.hpp
+/// \brief Z-Model derivative computation (paper §2/§3.1, ZModel module).
+///
+/// Evolution equations as implemented (derivation in DESIGN.md §1):
+///   dz/dt  = W                       (interface moves with the fluid)
+///   dw_i/dt = d/dalpha_i( -2*A*g*z3 - A*|Wb|^2 ) + mu * lap(w_i)
+/// where W is the Birkhoff–Rott velocity of the sheet and Wb is the
+/// velocity used inside the Bernoulli term. The order tag selects how
+/// each velocity is obtained:
+///   * low:    W and Wb from the flat-sheet Fourier multiplier
+///             What(k) = i (k x gamma_hat) / (2|k|)    — 6 distributed FFTs
+///   * medium: W from a BR solver, Wb from the FFT     — both comm patterns
+///   * high:   W = Wb from a BR solver                 — no FFTs
+/// The ZModel performs no direct communication itself; it invokes the FFT
+/// library, the BR solver, and the ProblemManager's halo exchanges —
+/// exactly the role the paper assigns it.
+#pragma once
+
+#include <numbers>
+#include <optional>
+
+#include "core/br_solver.hpp"
+#include "core/operators.hpp"
+#include "fft/distributed_fft.hpp"
+
+namespace beatnik {
+
+class ZModel {
+public:
+    /// \p br may be null for Order::low; \p fft_config is used by
+    /// low/medium order (ignored for high).
+    ZModel(comm::Communicator& comm, const SurfaceMesh& mesh, const Params& params,
+           BRSolverBase* br)
+        : comm_(&comm), mesh_(&mesh), order_(params.order), br_(br),
+          atwood_(params.atwood), gravity_(params.gravity),
+          mu_eff_(mesh.effective_mu(params.mu)) {
+        BEATNIK_REQUIRE(order_ == Order::low || br_ != nullptr,
+                        "medium/high order require a BR solver");
+        if (order_ != Order::high) {
+            fft_.emplace(comm, std::array<int, 2>{mesh.global().num_nodes(0),
+                                                  mesh.global().num_nodes(1)},
+                         mesh.topology().dims(), params.fft);
+        }
+    }
+
+    /// Compute (zdot, wdot) at owned nodes from the state in \p pm.
+    /// Precondition: pm halos are current (the integrator guarantees it).
+    /// Collective: every rank must call with the same state generation.
+    void derivatives(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
+                     grid::NodeField<double, 2>& wdot) {
+        const auto& local = mesh_->local();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        const double dx = mesh_->global().spacing(0);
+        const double dy = mesh_->global().spacing(1);
+
+        // Biot–Savart source gamma at owned nodes (width-2 stencils).
+        grid::NodeField<double, 3> gamma(local);
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                Vec3 g = operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
+                gamma(i, j, 0) = g.x;
+                gamma(i, j, 1) = g.y;
+                gamma(i, j, 2) = g.z;
+            }
+        }
+
+        // Interface velocity W (zdot) and the Bernoulli velocity Wb.
+        grid::NodeField<double, 3> w_fft(local);
+        if (order_ != Order::high) fft_velocity(gamma, w_fft);
+        grid::NodeField<double, 3>* w_for_z = &w_fft;
+        grid::NodeField<double, 3>* w_for_bernoulli = &w_fft;
+        grid::NodeField<double, 3> w_br(local);
+        if (order_ != Order::low) {
+            br_->compute_velocity(pm, gamma, w_br);
+            w_for_z = &w_br;
+            if (order_ == Order::high) w_for_bernoulli = &w_br;
+        }
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                for (int c = 0; c < 3; ++c) zdot(i, j, c) = (*w_for_z)(i, j, c);
+            }
+        }
+
+        // Bernoulli scalar phi = -2*A*g*z3 - A*|Wb|^2, haloed so its
+        // surface gradient exists at owned nodes.
+        grid::NodeField<double, 1> phi(local);
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                const auto& wb = *w_for_bernoulli;
+                double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
+                                wb(i, j, 2) * wb(i, j, 2);
+                phi(i, j, 0) =
+                    -2.0 * atwood_ * gravity_ * pm.position()(i, j, 2) - atwood_ * speed2;
+            }
+        }
+        pm.gather_scratch_halo(phi);
+
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                wdot(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
+                                mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 0, dx, dy);
+                wdot(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
+                                mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 1, dx, dy);
+            }
+        }
+    }
+
+    [[nodiscard]] Order order() const { return order_; }
+    [[nodiscard]] BRSolverBase* br_solver() const { return br_; }
+
+private:
+    /// Low-order interface velocity: transform the three gamma components,
+    /// apply What = i (k x gamma_hat) / (2|k|), transform back. 3 forward
+    /// + 3 inverse distributed FFTs — the all-to-all load of the low-order
+    /// benchmarks (paper §4).
+    void fft_velocity(const grid::NodeField<double, 3>& gamma,
+                      grid::NodeField<double, 3>& velocity) {
+        const auto& box = fft_->local_box();
+        const int nj_box = box.j.extent();
+        const auto n = box.size();
+        std::array<std::vector<fft::cplx>, 3> spectral;
+        for (int c = 0; c < 3; ++c) {
+            spectral[static_cast<std::size_t>(c)].resize(n);
+            std::size_t k = 0;
+            for (int gi = box.i.begin; gi < box.i.end; ++gi) {
+                for (int gj = box.j.begin; gj < box.j.end; ++gj, ++k) {
+                    spectral[static_cast<std::size_t>(c)][k] = {
+                        gamma(gi - box.i.begin, gj - box.j.begin, c), 0.0};
+                }
+            }
+            fft_->forward(spectral[static_cast<std::size_t>(c)]);
+        }
+
+        const int n0 = mesh_->global().num_nodes(0);
+        const int n1 = mesh_->global().num_nodes(1);
+        const double lx = mesh_->global().extent(0);
+        const double ly = mesh_->global().extent(1);
+        constexpr double tau = 2.0 * std::numbers::pi;
+        std::size_t k = 0;
+        for (int gi = box.i.begin; gi < box.i.end; ++gi) {
+            for (int gj = box.j.begin; gj < box.j.end; ++gj, ++k) {
+                double kx = tau * fft::DistributedFFT2D::signed_mode(gi, n0) / lx;
+                double ky = tau * fft::DistributedFFT2D::signed_mode(gj, n1) / ly;
+                double kn = std::sqrt(kx * kx + ky * ky);
+                if (kn == 0.0) {
+                    for (auto& s : spectral) s[k] = {0.0, 0.0};
+                    continue;
+                }
+                fft::cplx gx = spectral[0][k], gy = spectral[1][k], gz = spectral[2][k];
+                // i * (k x gamma_hat) / (2|k|), k = (kx, ky, 0).
+                const fft::cplx iunit{0.0, 1.0};
+                const double inv = 1.0 / (2.0 * kn);
+                spectral[0][k] = iunit * (ky * gz) * inv;
+                spectral[1][k] = iunit * (-kx * gz) * inv;
+                spectral[2][k] = iunit * (kx * gy - ky * gx) * inv;
+            }
+        }
+
+        for (int c = 0; c < 3; ++c) {
+            fft_->inverse(spectral[static_cast<std::size_t>(c)]);
+            std::size_t m = 0;
+            for (int gi = box.i.begin; gi < box.i.end; ++gi) {
+                for (int gj = box.j.begin; gj < box.j.end; ++gj, ++m) {
+                    velocity(gi - box.i.begin, gj - box.j.begin, c) =
+                        spectral[static_cast<std::size_t>(c)][m].real();
+                }
+            }
+        }
+        (void)nj_box;
+    }
+
+    comm::Communicator* comm_;
+    const SurfaceMesh* mesh_;
+    Order order_;
+    BRSolverBase* br_;
+    double atwood_;
+    double gravity_;
+    double mu_eff_;
+    std::optional<fft::DistributedFFT2D> fft_;
+};
+
+} // namespace beatnik

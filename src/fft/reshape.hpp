@@ -1,0 +1,140 @@
+/// \file reshape.hpp
+/// \brief Repartitioning of a distributed array between two box lists.
+///
+/// This is the heart of the heFFTe substitute: like heFFTe, a reshape is
+/// planned by intersecting every source box with every destination box,
+/// producing per-pair transfer rectangles. Execution either goes through
+/// the alltoallv collective (the `AllToAll=true` configuration) or through
+/// an explicit point-to-point message list touching only overlapping
+/// peers (`AllToAll=false`, heFFTe's custom p2p path).
+///
+/// The plan itself is communication-free and can be built for any rank
+/// count — the scaling benchmarks build P=1024 plans and feed their
+/// message schedules straight into the netsim performance model.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "fft/layout.hpp"
+#include "fft/serial_fft.hpp"
+
+namespace beatnik::fft {
+
+/// One planned transfer rectangle between a pair of ranks.
+struct Transfer {
+    int peer = 0;   ///< The other rank.
+    Box2D box;      ///< Global index rectangle carried by this transfer.
+};
+
+/// A planned repartition from layout list A to layout list B over P ranks.
+class ReshapePlan {
+public:
+    /// Plan the reshape for one rank. Box lists must tile the same global
+    /// space (checked in debug builds via total element count).
+    ReshapePlan(int rank, const std::vector<Box2D>& src_boxes,
+                const std::vector<Box2D>& dst_boxes) {
+        const int p = static_cast<int>(src_boxes.size());
+        BEATNIK_REQUIRE(dst_boxes.size() == src_boxes.size(),
+                        "reshape: box lists must have one box per rank");
+        BEATNIK_REQUIRE(rank >= 0 && rank < p, "reshape: rank out of range");
+        const Box2D& mine_src = src_boxes[static_cast<std::size_t>(rank)];
+        const Box2D& mine_dst = dst_boxes[static_cast<std::size_t>(rank)];
+        for (int r = 0; r < p; ++r) {
+            Box2D out = mine_src.intersect(dst_boxes[static_cast<std::size_t>(r)]);
+            if (!out.empty()) sends_.push_back({r, out});
+            Box2D in = mine_dst.intersect(src_boxes[static_cast<std::size_t>(r)]);
+            if (!in.empty()) recvs_.push_back({r, in});
+        }
+    }
+
+    [[nodiscard]] const std::vector<Transfer>& sends() const { return sends_; }
+    [[nodiscard]] const std::vector<Transfer>& recvs() const { return recvs_; }
+
+    /// Execute the reshape. \p in is the local data in \p src layout;
+    /// \p out is resized and filled in \p dst layout. \p use_alltoall
+    /// selects the collective path vs the explicit p2p path.
+    void execute(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
+                 const Layout2D& dst, std::vector<cplx>& out, bool use_alltoall) const {
+        BEATNIK_REQUIRE(in.size() == src.size(), "reshape: input size mismatch");
+        out.assign(dst.size(), cplx{0.0, 0.0});
+        if (use_alltoall) {
+            execute_alltoall(comm, src, in, dst, out);
+        } else {
+            execute_p2p(comm, src, in, dst, out);
+        }
+    }
+
+private:
+    /// Pack a transfer rectangle in canonical (i-major) order.
+    static void pack(const Layout2D& src, std::span<const cplx> in, const Box2D& box,
+                     std::vector<cplx>& buf) {
+        for (int i = box.i.begin; i < box.i.end; ++i) {
+            for (int j = box.j.begin; j < box.j.end; ++j) buf.push_back(in[src.offset(i, j)]);
+        }
+    }
+
+    static void unpack(const Layout2D& dst, std::vector<cplx>& out, const Box2D& box,
+                       std::span<const cplx> buf) {
+        std::size_t k = 0;
+        for (int i = box.i.begin; i < box.i.end; ++i) {
+            for (int j = box.j.begin; j < box.j.end; ++j) out[dst.offset(i, j)] = buf[k++];
+        }
+    }
+
+    void execute_alltoall(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
+                          const Layout2D& dst, std::vector<cplx>& out) const {
+        const int p = comm.size();
+        std::vector<std::size_t> sendcounts(static_cast<std::size_t>(p), 0);
+        std::vector<cplx> packed;
+        packed.reserve(src.size());
+        // sends_ is ordered by peer, matching alltoallv's block order.
+        for (const auto& t : sends_) {
+            sendcounts[static_cast<std::size_t>(t.peer)] = t.box.size();
+            pack(src, in, t.box, packed);
+        }
+        std::vector<std::size_t> recvcounts;
+        auto received = comm.alltoallv(std::span<const cplx>(packed),
+                                       std::span<const std::size_t>(sendcounts), recvcounts);
+        std::size_t off = 0;
+        for (const auto& t : recvs_) {
+            BEATNIK_REQUIRE(recvcounts[static_cast<std::size_t>(t.peer)] == t.box.size(),
+                            "reshape: unexpected block size from peer");
+            unpack(dst, out, t.box,
+                   std::span<const cplx>(received.data() + off, t.box.size()));
+            off += t.box.size();
+        }
+        BEATNIK_REQUIRE(off == received.size(), "reshape: received data not fully consumed");
+    }
+
+    void execute_p2p(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
+                     const Layout2D& dst, std::vector<cplx>& out) const {
+        // heFFTe's custom path: only overlapping peers exchange messages.
+        constexpr int kTag = 2000;
+        std::vector<cplx> buf;
+        for (const auto& t : sends_) {
+            if (t.peer == comm.rank()) continue;
+            buf.clear();
+            pack(src, in, t.box, buf);
+            comm.send(std::span<const cplx>(buf.data(), buf.size()), t.peer, kTag);
+        }
+        std::vector<cplx> incoming;
+        for (const auto& t : recvs_) {
+            if (t.peer == comm.rank()) {
+                buf.clear();
+                pack(src, in, t.box, buf);
+                unpack(dst, out, t.box, std::span<const cplx>(buf.data(), buf.size()));
+                continue;
+            }
+            comm.recv<cplx>(incoming, t.peer, kTag);
+            BEATNIK_REQUIRE(incoming.size() == t.box.size(),
+                            "reshape: unexpected p2p block size");
+            unpack(dst, out, t.box, std::span<const cplx>(incoming.data(), incoming.size()));
+        }
+    }
+
+    std::vector<Transfer> sends_;
+    std::vector<Transfer> recvs_;
+};
+
+} // namespace beatnik::fft

@@ -1,0 +1,159 @@
+#include <memory>
+#include "fft/serial_fft.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+
+namespace beatnik::fft {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+} // namespace
+
+SerialFFT1D::Radix2Tables SerialFFT1D::make_tables(std::size_t n) {
+    BEATNIK_ASSERT(is_pow2(n));
+    Radix2Tables t;
+    t.n = n;
+    t.bitrev.resize(n);
+    std::size_t log2n = 0;
+    while ((std::size_t{1} << log2n) < n) ++log2n;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = 0;
+        for (std::size_t b = 0; b < log2n; ++b) {
+            if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+        }
+        t.bitrev[i] = r;
+    }
+    t.twiddle.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        double angle = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
+        t.twiddle[k] = {std::cos(angle), std::sin(angle)};
+    }
+    return t;
+}
+
+void SerialFFT1D::radix2_core(const Radix2Tables& t, cplx* data, bool inverse_sign) {
+    const std::size_t n = t.n;
+    if (n <= 1) return;
+    // Bit-reversal permutation (swap once per pair).
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t j = t.bitrev[i];
+        if (i < j) std::swap(data[i], data[j]);
+    }
+    // Butterflies. Twiddle index stride halves as the span doubles.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len >> 1;
+        const std::size_t tstep = n / len;
+        for (std::size_t start = 0; start < n; start += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                cplx w = t.twiddle[k * tstep];
+                if (inverse_sign) w = std::conj(w);
+                cplx u = data[start + k];
+                cplx v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+            }
+        }
+    }
+}
+
+SerialFFT1D::SerialFFT1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+    BEATNIK_REQUIRE(n >= 1, "FFT length must be positive");
+    if (pow2_) {
+        tables_ = make_tables(n);
+        return;
+    }
+    // Bluestein: x_hat[k] = b*[k] * (a (*) b)[k] with a[m] = x[m] b*[m],
+    // b[m] = exp(-i*pi*m^2/n), (*) a cyclic convolution of length >= 2n-1.
+    conv_n_ = next_pow2(2 * n - 1);
+    tables_ = make_tables(conv_n_);
+    chirp_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        // k^2 mod 2n keeps the angle argument small for huge n.
+        double kk = static_cast<double>((k * k) % (2 * n));
+        double angle = -kPi * kk / static_cast<double>(n);
+        chirp_[k] = {std::cos(angle), std::sin(angle)};
+    }
+    // FFT of padded conj(chirp) with wrap-around tail.
+    std::vector<cplx> b(conv_n_, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+        b[k] = std::conj(chirp_[k]);
+        if (k != 0) b[conv_n_ - k] = std::conj(chirp_[k]);
+    }
+    radix2_core(tables_, b.data(), /*inverse_sign=*/false);
+    chirp_fft_ = std::move(b);
+}
+
+void SerialFFT1D::radix2(cplx* data, std::size_t stride, bool inverse_sign) const {
+    if (stride == 1) {
+        radix2_core(tables_, data, inverse_sign);
+        return;
+    }
+    // Strided access: gather, transform, scatter. The gather/scatter cost
+    // is the honest price of unordered data (the reorder knob's tradeoff).
+    std::vector<cplx> tmp(n_);
+    for (std::size_t i = 0; i < n_; ++i) tmp[i] = data[i * stride];
+    radix2_core(tables_, tmp.data(), inverse_sign);
+    for (std::size_t i = 0; i < n_; ++i) data[i * stride] = tmp[i];
+}
+
+void SerialFFT1D::bluestein(cplx* data, std::size_t stride, bool inverse_sign) const {
+    std::vector<cplx> a(conv_n_, cplx{0.0, 0.0});
+    for (std::size_t m = 0; m < n_; ++m) {
+        cplx c = inverse_sign ? std::conj(chirp_[m]) : chirp_[m];
+        a[m] = data[m * stride] * c;
+    }
+    radix2_core(tables_, a.data(), /*inverse_sign=*/false);
+    if (inverse_sign) {
+        // Convolve with conj(b) instead of b: conj the spectrum of b.
+        for (std::size_t k = 0; k < conv_n_; ++k) a[k] *= std::conj(chirp_fft_[k]);
+    } else {
+        for (std::size_t k = 0; k < conv_n_; ++k) a[k] *= chirp_fft_[k];
+    }
+    radix2_core(tables_, a.data(), /*inverse_sign=*/true);
+    const double scale = 1.0 / static_cast<double>(conv_n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        cplx c = inverse_sign ? std::conj(chirp_[k]) : chirp_[k];
+        data[k * stride] = a[k] * scale * c;
+    }
+}
+
+void SerialFFT1D::forward_strided(cplx* data, std::size_t stride) const {
+    if (pow2_) {
+        radix2(data, stride, /*inverse_sign=*/false);
+    } else {
+        bluestein(data, stride, /*inverse_sign=*/false);
+    }
+}
+
+void SerialFFT1D::inverse_strided(cplx* data, std::size_t stride) const {
+    if (pow2_) {
+        radix2(data, stride, /*inverse_sign=*/true);
+    } else {
+        bluestein(data, stride, /*inverse_sign=*/true);
+    }
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i * stride] *= scale;
+}
+
+double SerialFFT1D::flops() const {
+    // ~5 n log2 n for radix-2; Bluestein pays three transforms of conv_n_.
+    auto r2 = [](std::size_t n) {
+        double dn = static_cast<double>(n);
+        return 5.0 * dn * std::log2(dn > 1 ? dn : 2.0);
+    };
+    return pow2_ ? r2(n_) : 3.0 * r2(conv_n_) + 8.0 * static_cast<double>(n_);
+}
+
+const SerialFFT1D& plan_for(std::size_t n) {
+    static std::mutex mutex;
+    static std::map<std::size_t, std::unique_ptr<SerialFFT1D>> cache;
+    std::lock_guard lock(mutex);
+    auto& slot = cache[n];
+    if (!slot) slot = std::make_unique<SerialFFT1D>(n);
+    return *slot;
+}
+
+} // namespace beatnik::fft

@@ -1,0 +1,85 @@
+/// \file serial_fft.hpp
+/// \brief On-rank 1D complex FFT kernels (the node-local compute under the
+/// distributed transforms, standing in for heFFTe's cuFFT/FFTW backends).
+///
+/// Two algorithms cover every length:
+///  * power-of-two: iterative radix-2 Cooley–Tukey with a precomputed
+///    bit-reversal table and per-stage twiddles;
+///  * arbitrary n: Bluestein's chirp-z, which reduces the transform to a
+///    cyclic convolution executed with the radix-2 kernel.
+///
+/// Strided execution is supported so the distributed transform can run
+/// directly over mesh-ordered data when the `reorder` knob is off — the
+/// same contiguous-vs-strided tradeoff heFFTe's reorder option exposes.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace beatnik::fft {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+constexpr std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Reusable plan for 1D transforms of a fixed length.
+///
+/// Normalization convention: forward() is unscaled; inverse() divides by n,
+/// so inverse(forward(x)) == x.
+class SerialFFT1D {
+public:
+    explicit SerialFFT1D(std::size_t n);
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+    /// Transform n contiguous values in place.
+    void forward(cplx* data) const { forward_strided(data, 1); }
+    void inverse(cplx* data) const { inverse_strided(data, 1); }
+
+    /// Transform n values at the given element stride in place.
+    void forward_strided(cplx* data, std::size_t stride) const;
+    void inverse_strided(cplx* data, std::size_t stride) const;
+
+    /// Flop estimate for one transform (used by the netsim compute model).
+    [[nodiscard]] double flops() const;
+
+private:
+    void radix2(cplx* data, std::size_t stride, bool inverse_sign) const;
+    void bluestein(cplx* data, std::size_t stride, bool inverse_sign) const;
+
+    std::size_t n_;
+    bool pow2_;
+
+    // radix-2 tables (for n_ itself when pow2, and for the convolution
+    // length when using Bluestein).
+    struct Radix2Tables {
+        std::size_t n = 0;
+        std::vector<std::size_t> bitrev;
+        std::vector<cplx> twiddle; ///< w[k] = exp(-2*pi*i*k/n), k < n/2
+    };
+    static Radix2Tables make_tables(std::size_t n);
+    static void radix2_core(const Radix2Tables& t, cplx* data, bool inverse_sign);
+
+    Radix2Tables tables_;          ///< for n_ (pow2) or conv length (Bluestein)
+    // Bluestein precomputation.
+    std::vector<cplx> chirp_;      ///< b[k] = exp(-i*pi*k^2/n)
+    std::vector<cplx> chirp_fft_;  ///< FFT of the padded conjugate chirp
+    std::size_t conv_n_ = 0;
+};
+
+/// Process-wide plan cache: rank-threads repeatedly transform the same
+/// lengths, and plan construction is O(n log n). Thread-safe.
+const SerialFFT1D& plan_for(std::size_t n);
+
+} // namespace beatnik::fft

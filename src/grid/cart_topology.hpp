@@ -1,0 +1,76 @@
+/// \file cart_topology.hpp
+/// \brief 2D Cartesian arrangement of ranks (the MPI_Cart_create analogue).
+///
+/// Beatnik decomposes both the 2D surface mesh and the 3D spatial mesh
+/// (x/y only, per the paper §3.2) into a 2D grid of blocks. This class
+/// owns the rank <-> (ci, cj) coordinate mapping, per-axis periodicity,
+/// and neighbor lookup including diagonal (corner) neighbors.
+#pragma once
+
+#include <array>
+
+#include "base/error.hpp"
+
+namespace beatnik::grid {
+
+/// Factor \p nranks into a near-square 2D grid (MPI_Dims_create analogue).
+/// Returns {p_i, p_j} with p_i * p_j == nranks and p_i <= p_j as balanced
+/// as possible.
+inline std::array<int, 2> dims_create_2d(int nranks) {
+    BEATNIK_REQUIRE(nranks >= 1, "dims_create_2d: need at least one rank");
+    std::array<int, 2> best{1, nranks};
+    for (int a = 1; a * a <= nranks; ++a) {
+        if (nranks % a == 0) best = {a, nranks / a};
+    }
+    return best;
+}
+
+class CartTopology2D {
+public:
+    /// Arrange \p nranks into dims (auto-factored when {0,0} is passed).
+    CartTopology2D(int nranks, std::array<int, 2> dims, std::array<bool, 2> periodic)
+        : periodic_(periodic) {
+        if (dims[0] == 0 && dims[1] == 0) dims = dims_create_2d(nranks);
+        BEATNIK_REQUIRE(dims[0] >= 1 && dims[1] >= 1 && dims[0] * dims[1] == nranks,
+                        "topology dims must multiply to the rank count");
+        dims_ = dims;
+    }
+
+    [[nodiscard]] int size() const { return dims_[0] * dims_[1]; }
+    [[nodiscard]] const std::array<int, 2>& dims() const { return dims_; }
+    [[nodiscard]] bool periodic(int axis) const { return periodic_[static_cast<std::size_t>(axis)]; }
+
+    /// Block coordinates of a rank (row-major: rank = ci * pj + cj).
+    [[nodiscard]] std::array<int, 2> coords_of(int rank) const {
+        BEATNIK_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+        return {rank / dims_[1], rank % dims_[1]};
+    }
+
+    /// Rank at block coordinates, wrapping periodic axes; -1 when the
+    /// coordinate falls outside a non-periodic boundary.
+    [[nodiscard]] int rank_of(int ci, int cj) const {
+        if (!wrap(ci, dims_[0], periodic_[0])) return -1;
+        if (!wrap(cj, dims_[1], periodic_[1])) return -1;
+        return ci * dims_[1] + cj;
+    }
+
+    /// Neighbor of \p rank at block offset (di, dj); -1 past a
+    /// non-periodic edge.
+    [[nodiscard]] int neighbor(int rank, int di, int dj) const {
+        auto c = coords_of(rank);
+        return rank_of(c[0] + di, c[1] + dj);
+    }
+
+private:
+    static bool wrap(int& c, int n, bool periodic) {
+        if (c >= 0 && c < n) return true;
+        if (!periodic) return false;
+        c = ((c % n) + n) % n;
+        return true;
+    }
+
+    std::array<int, 2> dims_{1, 1};
+    std::array<bool, 2> periodic_{false, false};
+};
+
+} // namespace beatnik::grid

@@ -1,0 +1,94 @@
+/// \file field.hpp
+/// \brief Node-centered field storage with ghost layers.
+#pragma once
+
+#include <vector>
+
+#include "base/error.hpp"
+#include "grid/local_grid.hpp"
+
+namespace beatnik::grid {
+
+/// A C-component field over the owned+ghost nodes of a LocalGrid2D.
+///
+/// Storage is a dense row-major array over the ghosted rectangle with the
+/// component index fastest (an "array of small structs" layout — fields
+/// with C=2..3 doubles stay compact and cache-friendly, per the
+/// hpc-parallel guide's "use compact data structures" rule).
+///
+/// Indexing is in the local frame: owned nodes at [0, ni) x [0, nj),
+/// ghosts at negative / >= extent indices (see LocalGrid2D).
+template <class T, int C>
+class NodeField {
+public:
+    static_assert(C >= 1);
+
+    explicit NodeField(const LocalGrid2D& grid)
+        : halo_(grid.halo_width()), ni_(grid.owned_extent(0)), nj_(grid.owned_extent(1)),
+          stride_j_(C), stride_i_((nj_ + 2 * halo_) * C),
+          data_(static_cast<std::size_t>(ni_ + 2 * halo_) *
+                    static_cast<std::size_t>(nj_ + 2 * halo_) * C,
+                T{}) {}
+
+    [[nodiscard]] int halo_width() const { return halo_; }
+    [[nodiscard]] int extent(int d) const { return d == 0 ? ni_ : nj_; }
+    static constexpr int components() { return C; }
+
+    [[nodiscard]] T& operator()(int i, int j, int c = 0) {
+        BEATNIK_ASSERT(in_bounds(i, j, c));
+        return data_[index(i, j, c)];
+    }
+    [[nodiscard]] const T& operator()(int i, int j, int c = 0) const {
+        BEATNIK_ASSERT(in_bounds(i, j, c));
+        return data_[index(i, j, c)];
+    }
+
+    /// Raw storage (ghosted rectangle, row-major, component-fastest).
+    [[nodiscard]] std::vector<T>& storage() { return data_; }
+    [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+
+    /// Set every entry (ghosts included).
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+    /// Copy all components at a node from another field of the same shape.
+    void copy_node(int i, int j, const NodeField& from) {
+        for (int c = 0; c < C; ++c) (*this)(i, j, c) = from(i, j, c);
+    }
+
+    /// Pack an index rectangle (all components) into \p out, row-major.
+    void pack(const IndexSpace2D& space, std::vector<T>& out) const {
+        out.clear();
+        out.reserve(space.size() * C);
+        for (int i = space.i.begin; i < space.i.end; ++i) {
+            for (int j = space.j.begin; j < space.j.end; ++j) {
+                for (int c = 0; c < C; ++c) out.push_back((*this)(i, j, c));
+            }
+        }
+    }
+
+    /// Unpack a buffer previously produced by pack() for \p space.
+    void unpack(const IndexSpace2D& space, const std::vector<T>& in) {
+        BEATNIK_REQUIRE(in.size() == space.size() * C, "unpack: buffer size mismatch");
+        std::size_t k = 0;
+        for (int i = space.i.begin; i < space.i.end; ++i) {
+            for (int j = space.j.begin; j < space.j.end; ++j) {
+                for (int c = 0; c < C; ++c) (*this)(i, j, c) = in[k++];
+            }
+        }
+    }
+
+private:
+    [[nodiscard]] bool in_bounds(int i, int j, int c) const {
+        return i >= -halo_ && i < ni_ + halo_ && j >= -halo_ && j < nj_ + halo_ && c >= 0 && c < C;
+    }
+    [[nodiscard]] std::size_t index(int i, int j, int c) const {
+        return static_cast<std::size_t>((i + halo_) * stride_i_ + (j + halo_) * stride_j_ + c);
+    }
+
+    int halo_;
+    int ni_, nj_;
+    int stride_j_, stride_i_;
+    std::vector<T> data_;
+};
+
+} // namespace beatnik::grid

@@ -1,0 +1,61 @@
+/// \file global_mesh.hpp
+/// \brief Global description of the logically rectangular surface mesh.
+#pragma once
+
+#include <array>
+
+#include "base/error.hpp"
+
+namespace beatnik::grid {
+
+/// The global 2D node mesh: physical bounds, node counts, periodicity.
+///
+/// Node coordinates follow the usual structured-mesh conventions:
+///  * periodic axis: nodes at lo + i*(hi-lo)/n for i in [0, n) — the
+///    "last" node is the wrap-around image of node 0 and is not stored;
+///  * non-periodic axis: nodes at lo + i*(hi-lo)/(n-1) covering [lo, hi].
+class GlobalMesh2D {
+public:
+    GlobalMesh2D(std::array<double, 2> low, std::array<double, 2> high,
+                 std::array<int, 2> num_nodes, std::array<bool, 2> periodic)
+        : low_(low), high_(high), num_nodes_(num_nodes), periodic_(periodic) {
+        for (int d = 0; d < 2; ++d) {
+            BEATNIK_REQUIRE(high[static_cast<std::size_t>(d)] > low[static_cast<std::size_t>(d)],
+                            "mesh bounds must be increasing");
+            BEATNIK_REQUIRE(num_nodes[static_cast<std::size_t>(d)] >= 2,
+                            "mesh needs at least 2 nodes per dimension");
+        }
+    }
+
+    [[nodiscard]] double low(int d) const { return low_[static_cast<std::size_t>(d)]; }
+    [[nodiscard]] double high(int d) const { return high_[static_cast<std::size_t>(d)]; }
+    [[nodiscard]] double extent(int d) const { return high(d) - low(d); }
+    [[nodiscard]] int num_nodes(int d) const { return num_nodes_[static_cast<std::size_t>(d)]; }
+    [[nodiscard]] bool periodic(int d) const { return periodic_[static_cast<std::size_t>(d)]; }
+
+    /// Spacing between adjacent nodes along axis \p d.
+    [[nodiscard]] double spacing(int d) const {
+        int cells = periodic(d) ? num_nodes(d) : num_nodes(d) - 1;
+        return extent(d) / cells;
+    }
+
+    /// Physical coordinate of (possibly out-of-range, for ghosts) node
+    /// index \p i along axis \p d. Indices beyond the edge continue the
+    /// uniform spacing, which is exactly what periodic ghost correction
+    /// and free-boundary extrapolation expect.
+    [[nodiscard]] double coordinate(int d, int i) const {
+        return low(d) + spacing(d) * i;
+    }
+
+    [[nodiscard]] std::size_t total_nodes() const {
+        return static_cast<std::size_t>(num_nodes(0)) * static_cast<std::size_t>(num_nodes(1));
+    }
+
+private:
+    std::array<double, 2> low_;
+    std::array<double, 2> high_;
+    std::array<int, 2> num_nodes_;
+    std::array<bool, 2> periodic_;
+};
+
+} // namespace beatnik::grid

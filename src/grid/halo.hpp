@@ -1,0 +1,104 @@
+/// \file halo.hpp
+/// \brief Width-w structured halo exchange with corner neighbors.
+///
+/// The Cabana::Grid halo-exchange analogue (paper §3.1: Beatnik uses
+/// "two-node-deep stencils" for normals, finite differences and
+/// Laplacians). Each rank exchanges up to 8 messages — 4 edges + 4
+/// corners — per field. Periodic axes wrap through the topology; at
+/// non-periodic boundaries no message is exchanged and ghost values are
+/// left for the BoundaryCondition module to fill by extrapolation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "grid/field.hpp"
+
+namespace beatnik::grid {
+
+/// All 8 neighbor directions of a 2D block, in a fixed order shared by
+/// sender and receiver.
+inline constexpr std::array<std::array<int, 2>, 8> kNeighborDirs2D{{
+    {-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1}}};
+
+/// Tag layout: direction index (0..7) + a caller-provided stream id so
+/// multiple fields can be in flight without cross-talk.
+inline int halo_tag(int dir_index, int stream) {
+    return 1000 + stream * 16 + dir_index;
+}
+
+/// Exchange ghost layers of \p field with all existing neighbors.
+///
+/// \p stream distinguishes concurrent exchanges on the same communicator
+/// (e.g. position vs vorticity fields).
+template <class T, int C>
+void halo_exchange(comm::Communicator& comm, const CartTopology2D& topo, const LocalGrid2D& grid,
+                   NodeField<T, C>& field, int stream = 0) {
+    BEATNIK_REQUIRE(field.halo_width() == grid.halo_width(), "field/grid halo width mismatch");
+    if (grid.halo_width() == 0) return;
+    const int rank = comm.rank();
+
+    // Post all sends (buffered), then receive. A neighbor at direction d
+    // fills our ghost region halo_space(d) with its shared_space(-d); we
+    // tag by *our* direction index so the pairing is unambiguous even
+    // when the same rank is a neighbor in several directions (small or
+    // periodic process grids).
+    std::vector<T> buf;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        field.pack(grid.shared_space(di, dj), buf);
+        // The receiver's direction toward us is (-di, -dj); find its index.
+        int recv_dir = 7 - k; // kNeighborDirs2D is symmetric: dir[7-k] == -dir[k]
+        comm.send(std::span<const T>(buf.data(), buf.size()), nbr, halo_tag(recv_dir, stream));
+    }
+    std::vector<T> incoming;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        comm.recv<T>(incoming, nbr, halo_tag(k, stream));
+        field.unpack(grid.halo_space(di, dj), incoming);
+    }
+}
+
+/// Reverse halo exchange ("scatter"): adds the ghost-region values this
+/// rank accumulated into the *owner's* corresponding owned nodes. Used by
+/// force-accumulation patterns where contributions land in ghosts.
+template <class T, int C>
+void halo_scatter_add(comm::Communicator& comm, const CartTopology2D& topo,
+                      const LocalGrid2D& grid, NodeField<T, C>& field, int stream = 0) {
+    BEATNIK_REQUIRE(field.halo_width() == grid.halo_width(), "field/grid halo width mismatch");
+    if (grid.halo_width() == 0) return;
+    const int rank = comm.rank();
+
+    std::vector<T> buf;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        field.pack(grid.halo_space(di, dj), buf);
+        int recv_dir = 7 - k;
+        comm.send(std::span<const T>(buf.data(), buf.size()), nbr, halo_tag(recv_dir, stream));
+    }
+    std::vector<T> incoming;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        comm.recv<T>(incoming, nbr, halo_tag(k, stream));
+        // Accumulate into the owned band we would have packed for (di,dj).
+        auto space = grid.shared_space(di, dj);
+        BEATNIK_REQUIRE(incoming.size() == space.size() * C, "scatter: buffer size mismatch");
+        std::size_t idx = 0;
+        for (int i = space.i.begin; i < space.i.end; ++i) {
+            for (int j = space.j.begin; j < space.j.end; ++j) {
+                for (int c = 0; c < C; ++c) field(i, j, c) += incoming[idx++];
+            }
+        }
+    }
+}
+
+} // namespace beatnik::grid

@@ -1,0 +1,65 @@
+/// \file index_space.hpp
+/// \brief Half-open index ranges and rectangles for mesh iteration.
+#pragma once
+
+#include <cstddef>
+
+#include "base/error.hpp"
+
+namespace beatnik::grid {
+
+/// Half-open 1D index range [begin, end).
+struct Range {
+    int begin = 0;
+    int end = 0;
+
+    [[nodiscard]] int extent() const { return end - begin; }
+    [[nodiscard]] bool contains(int i) const { return i >= begin && i < end; }
+    [[nodiscard]] bool empty() const { return end <= begin; }
+
+    /// Intersection of two ranges (possibly empty).
+    [[nodiscard]] Range intersect(const Range& o) const {
+        Range r{begin > o.begin ? begin : o.begin, end < o.end ? end : o.end};
+        if (r.end < r.begin) r.end = r.begin;
+        return r;
+    }
+
+    friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Half-open 2D index rectangle.
+struct IndexSpace2D {
+    Range i;
+    Range j;
+
+    [[nodiscard]] std::size_t size() const {
+        if (i.empty() || j.empty()) return 0;
+        return static_cast<std::size_t>(i.extent()) * static_cast<std::size_t>(j.extent());
+    }
+    [[nodiscard]] bool contains(int ii, int jj) const { return i.contains(ii) && j.contains(jj); }
+    [[nodiscard]] bool empty() const { return i.empty() || j.empty(); }
+    [[nodiscard]] IndexSpace2D intersect(const IndexSpace2D& o) const {
+        return {i.intersect(o.i), j.intersect(o.j)};
+    }
+
+    friend bool operator==(const IndexSpace2D&, const IndexSpace2D&) = default;
+};
+
+/// Apply f(i, j) over an index rectangle.
+template <class F>
+void for_each(const IndexSpace2D& s, F&& f) {
+    for (int i = s.i.begin; i < s.i.end; ++i) {
+        for (int j = s.j.begin; j < s.j.end; ++j) f(i, j);
+    }
+}
+
+/// Partition \p n items into \p parts blocks; block \p b spans
+/// [floor(b*n/parts), floor((b+1)*n/parts)). Sizes differ by at most one.
+inline Range block_partition(int n, int parts, int b) {
+    BEATNIK_REQUIRE(parts >= 1 && b >= 0 && b < parts, "block_partition: bad block index");
+    auto lo = static_cast<int>((static_cast<long long>(n) * b) / parts);
+    auto hi = static_cast<int>((static_cast<long long>(n) * (b + 1)) / parts);
+    return {lo, hi};
+}
+
+} // namespace beatnik::grid

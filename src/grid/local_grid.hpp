@@ -1,0 +1,93 @@
+/// \file local_grid.hpp
+/// \brief Per-rank block of the global mesh plus halo bookkeeping.
+#pragma once
+
+#include <array>
+
+#include "grid/cart_topology.hpp"
+#include "grid/global_mesh.hpp"
+#include "grid/index_space.hpp"
+
+namespace beatnik::grid {
+
+/// The block of global nodes owned by one rank, together with the halo
+/// width and the index spaces needed by stencil code and halo exchange.
+///
+/// Two index frames are used:
+///  * global frame: indices into the global mesh;
+///  * local frame: 0 at the first *owned* node; ghosts live at negative
+///    indices and at >= owned extent. Fields are stored in the local frame.
+class LocalGrid2D {
+public:
+    LocalGrid2D(const GlobalMesh2D& mesh, const CartTopology2D& topo, int rank, int halo_width)
+        : topo_coords_(topo.coords_of(rank)), halo_width_(halo_width) {
+        BEATNIK_REQUIRE(halo_width >= 0, "halo width must be non-negative");
+        for (int d = 0; d < 2; ++d) {
+            owned_global_[static_cast<std::size_t>(d)] =
+                block_partition(mesh.num_nodes(d), topo.dims()[static_cast<std::size_t>(d)],
+                                topo_coords_[static_cast<std::size_t>(d)]);
+            BEATNIK_REQUIRE(owned_global_[static_cast<std::size_t>(d)].extent() >= halo_width,
+                            "block too small for the requested halo width");
+        }
+    }
+
+    [[nodiscard]] int halo_width() const { return halo_width_; }
+    [[nodiscard]] const std::array<int, 2>& topo_coords() const { return topo_coords_; }
+
+    /// Global index range of owned nodes along axis \p d.
+    [[nodiscard]] Range owned_global(int d) const {
+        return owned_global_[static_cast<std::size_t>(d)];
+    }
+
+    /// Number of owned nodes along axis \p d.
+    [[nodiscard]] int owned_extent(int d) const {
+        return owned_global_[static_cast<std::size_t>(d)].extent();
+    }
+
+    /// Global index of local index 0 along axis \p d.
+    [[nodiscard]] int global_offset(int d) const {
+        return owned_global_[static_cast<std::size_t>(d)].begin;
+    }
+
+    /// Owned nodes in the local frame: [0, ni) x [0, nj).
+    [[nodiscard]] IndexSpace2D own_space() const {
+        return {{0, owned_extent(0)}, {0, owned_extent(1)}};
+    }
+
+    /// Owned + ghost nodes in the local frame.
+    [[nodiscard]] IndexSpace2D ghosted_space() const {
+        return {{-halo_width_, owned_extent(0) + halo_width_},
+                {-halo_width_, owned_extent(1) + halo_width_}};
+    }
+
+    /// Owned sub-rectangle a neighbor at offset (di, dj) needs from us
+    /// (the "pack" region), in the local frame.
+    [[nodiscard]] IndexSpace2D shared_space(int di, int dj) const {
+        return {edge_band(di, owned_extent(0), /*ghost=*/false),
+                edge_band(dj, owned_extent(1), /*ghost=*/false)};
+    }
+
+    /// Ghost sub-rectangle filled by the neighbor at offset (di, dj)
+    /// (the "unpack" region), in the local frame.
+    [[nodiscard]] IndexSpace2D halo_space(int di, int dj) const {
+        return {edge_band(di, owned_extent(0), /*ghost=*/true),
+                edge_band(dj, owned_extent(1), /*ghost=*/true)};
+    }
+
+private:
+    /// The 1D band along one axis for direction d in {-1, 0, +1}:
+    /// own-frame rows we send (ghost=false) or ghost rows we fill
+    /// (ghost=true).
+    [[nodiscard]] Range edge_band(int d, int extent, bool ghost) const {
+        const int w = halo_width_;
+        if (d == 0) return {0, extent};
+        if (d < 0) return ghost ? Range{-w, 0} : Range{0, w};
+        return ghost ? Range{extent, extent + w} : Range{extent - w, extent};
+    }
+
+    std::array<int, 2> topo_coords_;
+    int halo_width_;
+    std::array<Range, 2> owned_global_;
+};
+
+} // namespace beatnik::grid

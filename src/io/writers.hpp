@@ -1,0 +1,111 @@
+/// \file writers.hpp
+/// \brief Visualization / data writers — the Silo-library stand-in.
+///
+/// The paper's SiloWriter dumps surface-mesh state for visualization
+/// (Figs. 1–2). Here we provide:
+///  * VTK legacy structured-grid writer (readable by ParaView/VisIt, the
+///    same consumers Silo targets);
+///  * BOV ("brick of values") writer for raw field dumps;
+///  * CSV series writer for benchmark tables.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace beatnik::io {
+
+/// Write a 2D structured surface embedded in 3D as a VTK legacy
+/// STRUCTURED_GRID file with any number of named point scalars.
+///
+/// \p positions is (ni*nj) x 3 row-major (j fastest), and each entry of
+/// \p scalars pairs a name with a field of ni*nj values in the same order.
+class VtkStructuredWriter {
+public:
+    VtkStructuredWriter(std::string path, int ni, int nj)
+        : path_(std::move(path)), ni_(ni), nj_(nj) {
+        BEATNIK_REQUIRE(ni >= 1 && nj >= 1, "vtk: empty grid");
+    }
+
+    void write(std::span<const double> positions,
+               const std::vector<std::pair<std::string, std::span<const double>>>& scalars) const {
+        const auto n = static_cast<std::size_t>(ni_) * static_cast<std::size_t>(nj_);
+        BEATNIK_REQUIRE(positions.size() == 3 * n, "vtk: positions must be (ni*nj) x 3");
+        std::ofstream os(path_);
+        if (!os) throw IoError("cannot open " + path_ + " for writing");
+        os << "# vtk DataFile Version 3.0\n";
+        os << "beatnik surface mesh\n";
+        os << "ASCII\n";
+        os << "DATASET STRUCTURED_GRID\n";
+        // VTK dimension order is fastest-first; our j index is fastest.
+        os << "DIMENSIONS " << nj_ << ' ' << ni_ << " 1\n";
+        os << "POINTS " << n << " double\n";
+        for (std::size_t k = 0; k < n; ++k) {
+            os << positions[3 * k] << ' ' << positions[3 * k + 1] << ' ' << positions[3 * k + 2]
+               << '\n';
+        }
+        if (!scalars.empty()) {
+            os << "POINT_DATA " << n << '\n';
+            for (const auto& [name, values] : scalars) {
+                BEATNIK_REQUIRE(values.size() == n, "vtk: scalar field size mismatch");
+                os << "SCALARS " << name << " double 1\n";
+                os << "LOOKUP_TABLE default\n";
+                for (std::size_t k = 0; k < n; ++k) os << values[k] << '\n';
+            }
+        }
+        if (!os) throw IoError("failed while writing " + path_);
+    }
+
+private:
+    std::string path_;
+    int ni_, nj_;
+};
+
+/// Raw binary "brick of values" dump with a small text header file, the
+/// VisIt BOV convention.
+inline void write_bov(const std::string& stem, std::span<const double> values, int ni, int nj) {
+    const auto n = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+    BEATNIK_REQUIRE(values.size() == n, "bov: field size mismatch");
+    {
+        std::ofstream data(stem + ".bof", std::ios::binary);
+        if (!data) throw IoError("cannot open " + stem + ".bof");
+        data.write(reinterpret_cast<const char*>(values.data()),
+                   static_cast<std::streamsize>(values.size() * sizeof(double)));
+    }
+    std::ofstream hdr(stem + ".bov");
+    if (!hdr) throw IoError("cannot open " + stem + ".bov");
+    hdr << "DATA_FILE: " << stem << ".bof\n";
+    hdr << "DATA_SIZE: " << nj << ' ' << ni << " 1\n";
+    hdr << "DATA_FORMAT: DOUBLE\n";
+    hdr << "VARIABLE: field\n";
+    hdr << "DATA_ENDIAN: LITTLE\n";
+    hdr << "CENTERING: zonal\n";
+    hdr << "BRICK_ORIGIN: 0 0 0\n";
+    hdr << "BRICK_SIZE: 1 1 1\n";
+}
+
+/// Append-style CSV writer for benchmark series.
+class CsvWriter {
+public:
+    explicit CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+        : os_(path) {
+        if (!os_) throw IoError("cannot open " + path);
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            os_ << columns[c] << (c + 1 < columns.size() ? "," : "\n");
+        }
+    }
+
+    void row(std::span<const double> values) {
+        for (std::size_t c = 0; c < values.size(); ++c) {
+            os_ << values[c] << (c + 1 < values.size() ? "," : "\n");
+        }
+    }
+
+private:
+    std::ofstream os_;
+};
+
+} // namespace beatnik::io

@@ -1,0 +1,55 @@
+/// \file fft_bridge.hpp
+/// \brief Converts minifft schedule plans into netsim phases.
+///
+/// The scaling benchmarks (Figs. 3, 4, 9) build *real* reshape plans for
+/// any rank count with DistributedFFT2D::plan_schedule and replay them
+/// here — the simulator never sees synthetic traffic, only the message
+/// lists the library would actually send.
+#pragma once
+
+#include <vector>
+
+#include "fft/distributed_fft.hpp"
+#include "netsim/simulator.hpp"
+
+namespace beatnik::netsim {
+
+/// Convert one planned FFT transform (its reshape phases + per-rank FFT
+/// flops) to simulator phases. \p transforms repeats the whole transform
+/// (e.g. 6 for the low-order solver's 3 forward + 3 inverse transforms
+/// per derivative evaluation; forward and inverse schedules are mirror
+/// images with identical cost structure).
+[[nodiscard]] inline std::vector<Phase> fft_phases(const std::vector<fft::PlannedPhase>& planned,
+                                                   const MachineModel& machine, int nranks,
+                                                   int transforms = 1) {
+    // plan_schedule attaches FFT flops to the phase whose communication
+    // *precedes* the compute; the simulator runs compute *before* a
+    // phase's messages. Shift the compute one phase later accordingly.
+    std::vector<Phase> phases;
+    phases.reserve(planned.size() * static_cast<std::size_t>(transforms) + 1);
+    std::vector<double> pending_compute(static_cast<std::size_t>(nranks), 0.0);
+    for (int t = 0; t < transforms; ++t) {
+        for (const auto& pp : planned) {
+            Phase ph;
+            ph.label = pp.label;
+            ph.kind = pp.is_alltoall ? PhaseKind::builtin_alltoall : PhaseKind::p2p;
+            ph.messages.reserve(pp.messages.size());
+            for (const auto& m : pp.messages) ph.messages.push_back({m.src, m.dst, m.bytes});
+            ph.compute_seconds = pending_compute;
+            for (int r = 0; r < nranks; ++r) {
+                pending_compute[static_cast<std::size_t>(r)] =
+                    pp.flops_per_rank[static_cast<std::size_t>(r)] / machine.flops_rate;
+            }
+            phases.push_back(std::move(ph));
+        }
+    }
+    // Trailing compute (zero for a full brick->brick transform, nonzero if
+    // the last planned phase carried work).
+    Phase tail;
+    tail.label = "tail-compute";
+    tail.compute_seconds = std::move(pending_compute);
+    phases.push_back(std::move(tail));
+    return phases;
+}
+
+} // namespace beatnik::netsim

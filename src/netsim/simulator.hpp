@@ -1,0 +1,100 @@
+/// \file simulator.hpp
+/// \brief Deterministic network performance simulator.
+///
+/// Replays a phased communication schedule — per-rank compute followed by
+/// a set of point-to-point messages — against a MachineModel, tracking
+/// per-rank clocks and per-node NIC occupancy (the congestion source in
+/// all-to-all phases). Collective phases may instead be modeled as the
+/// MPI library's optimized node-aware algorithm; the contrast between the
+/// two is precisely what the paper's heFFTe `AllToAll` knob measures
+/// (Fig. 9).
+///
+/// The simulator is greedy list-scheduling: messages issue in global
+/// timestamp order, resources (sender CPU, node NIC egress/ingress) are
+/// FIFO. Deterministic by construction — no randomness, no wall clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "netsim/machine.hpp"
+
+namespace beatnik::netsim {
+
+/// One point-to-point transfer in a schedule.
+struct Msg {
+    int src = 0;
+    int dst = 0;
+    std::size_t bytes = 0;
+};
+
+/// How the messages of a phase are executed.
+enum class PhaseKind {
+    p2p,                 ///< explicit sends (heFFTe custom path, halos, migration)
+    builtin_alltoall,    ///< library collective: node-aware hierarchical algorithm
+};
+
+/// A communication phase preceded by per-rank local compute.
+struct Phase {
+    std::string label;
+    PhaseKind kind = PhaseKind::p2p;
+    std::vector<double> compute_seconds; ///< per rank, before communication (may be empty)
+    std::vector<Msg> messages;
+};
+
+struct SimResult {
+    double makespan = 0.0;                 ///< max finish time over ranks
+    std::vector<double> rank_finish;       ///< per-rank finish times
+    double total_compute = 0.0;            ///< sum of compute input
+    double total_comm_bytes = 0.0;
+    std::size_t total_messages = 0;
+};
+
+class NetworkSimulator {
+public:
+    NetworkSimulator(MachineModel machine, int nranks)
+        : machine_(machine), nranks_(nranks) {
+        BEATNIK_REQUIRE(nranks >= 1, "simulator needs at least one rank");
+    }
+
+    [[nodiscard]] const MachineModel& machine() const { return machine_; }
+    [[nodiscard]] int nranks() const { return nranks_; }
+
+    /// Run all phases in order (phase k+1 starts on a rank when that rank
+    /// finished phase k; messages of phase k+1 additionally wait for the
+    /// producing sender). Returns timing for the whole schedule.
+    [[nodiscard]] SimResult simulate(const std::vector<Phase>& phases) const;
+
+private:
+    void simulate_p2p(const Phase& phase, std::vector<double>& clock) const;
+    void simulate_builtin_alltoall(const Phase& phase, std::vector<double>& clock) const;
+
+    MachineModel machine_;
+    int nranks_;
+};
+
+/// Analytic costs of the standard collective algorithms (cross-checks for
+/// the simulator and quick estimates for solver models). All formulas are
+/// the textbook alpha-beta costs of the algorithms implemented in
+/// comm::Communicator.
+namespace analytic {
+
+/// ceil(log2 p) rounds of empty messages.
+double barrier_cost(const MachineModel& m, int p);
+
+/// Binomial tree: ceil(log2 p) * (alpha + n*beta).
+double bcast_cost(const MachineModel& m, int p, std::size_t bytes);
+
+/// Recursive doubling: ceil(log2 p) * (alpha + n*beta).
+double allreduce_cost(const MachineModel& m, int p, std::size_t bytes);
+
+/// Ring: (p-1) * (alpha + n*beta).
+double allgather_cost(const MachineModel& m, int p, std::size_t bytes_per_rank);
+
+/// Pairwise exchange: (p-1) * (alpha + n_block*beta).
+double alltoall_pairwise_cost(const MachineModel& m, int p, std::size_t block_bytes);
+
+} // namespace analytic
+
+} // namespace beatnik::netsim

@@ -1,0 +1,113 @@
+/// \file par.hpp
+/// \brief On-rank data parallelism: the Kokkos/Cabana stand-in.
+///
+/// Beatnik's kernels are flat data-parallel loops over mesh points. This
+/// module provides `parallel_for` / `parallel_reduce` over an execution
+/// backend chosen at runtime:
+///   * Backend::serial — plain loop. The default when many logical ranks
+///     share the machine (rank-threads already use the cores).
+///   * Backend::openmp — OpenMP worksharing, for single-rank tools and
+///     calibration microbenchmarks.
+///
+/// The backend is a per-thread setting so each rank-thread can choose
+/// independently without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace beatnik::par {
+
+enum class Backend { serial, openmp };
+
+/// Per-thread execution backend (each rank-thread owns its setting).
+inline Backend& backend() {
+    thread_local Backend b = Backend::serial;
+    return b;
+}
+
+/// True when this build can actually run OpenMP loops.
+constexpr bool openmp_available() {
+#if defined(_OPENMP)
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// RAII backend override for a scope.
+class ScopedBackend {
+public:
+    explicit ScopedBackend(Backend b) : saved_(backend()) { backend() = b; }
+    ~ScopedBackend() { backend() = saved_; }
+    ScopedBackend(const ScopedBackend&) = delete;
+    ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+private:
+    Backend saved_;
+};
+
+/// Apply f(i) for i in [0, n).
+template <class F>
+void parallel_for(std::size_t n, F&& f) {
+#if defined(_OPENMP)
+    if (backend() == Backend::openmp) {
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+            f(static_cast<std::size_t>(i));
+        }
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+/// Apply f(i, j) over the half-open index rectangle
+/// [i_begin, i_end) x [j_begin, j_end), outer loop parallelized.
+template <class F>
+void parallel_for_2d(std::ptrdiff_t i_begin, std::ptrdiff_t i_end, std::ptrdiff_t j_begin,
+                     std::ptrdiff_t j_end, F&& f) {
+#if defined(_OPENMP)
+    if (backend() == Backend::openmp) {
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t i = i_begin; i < i_end; ++i) {
+            for (std::ptrdiff_t j = j_begin; j < j_end; ++j) f(i, j);
+        }
+        return;
+    }
+#endif
+    for (std::ptrdiff_t i = i_begin; i < i_end; ++i) {
+        for (std::ptrdiff_t j = j_begin; j < j_end; ++j) f(i, j);
+    }
+}
+
+/// Reduce map(i) over [0, n) with a binary combiner, starting from
+/// identity. The combiner must be associative and commutative.
+template <class T, class Map, class Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+#if defined(_OPENMP)
+    if (backend() == Backend::openmp) {
+        T result = identity;
+#pragma omp parallel
+        {
+            T local = identity;
+#pragma omp for schedule(static) nowait
+            for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+                local = combine(local, map(static_cast<std::size_t>(i)));
+            }
+#pragma omp critical
+            result = combine(result, local);
+        }
+        return result;
+    }
+#endif
+    T result = identity;
+    for (std::size_t i = 0; i < n; ++i) result = combine(result, map(i));
+    return result;
+}
+
+} // namespace beatnik::par

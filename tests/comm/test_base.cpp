@@ -1,0 +1,118 @@
+// Tests for the base utilities every module leans on: error checks,
+// timers, and the decomposition-independent RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+
+namespace {
+
+TEST(ErrorChecks, RequireThrowsWithContext) {
+    try {
+        BEATNIK_REQUIRE(1 == 2, "one is not two");
+        FAIL() << "should have thrown";
+    } catch (const beatnik::Error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("one is not two"), std::string::npos);
+        EXPECT_NE(what.find("test_base.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorChecks, RequirePassesSilently) {
+    EXPECT_NO_THROW(BEATNIK_REQUIRE(2 + 2 == 4));
+}
+
+TEST(ErrorChecks, ErrorHierarchy) {
+    EXPECT_THROW(throw beatnik::CommError("x"), beatnik::Error);
+    EXPECT_THROW(throw beatnik::InvalidArgument("x"), beatnik::Error);
+    EXPECT_THROW(throw beatnik::IoError("x"), beatnik::Error);
+}
+
+TEST(Timer, StopwatchMeasuresElapsedTime) {
+    beatnik::Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    double t = watch.seconds();
+    EXPECT_GE(t, 0.015);
+    EXPECT_LT(t, 1.0);
+    watch.reset();
+    EXPECT_LT(watch.seconds(), 0.01);
+}
+
+TEST(Timer, SectionTimersAccumulate) {
+    beatnik::SectionTimers timers;
+    {
+        auto scope = timers.time("phase-a");
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    {
+        auto scope = timers.time("phase-a");
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    timers.add("phase-b", 1.5);
+    EXPECT_GE(timers.total("phase-a"), 0.008);
+    EXPECT_DOUBLE_EQ(timers.total("phase-b"), 1.5);
+    EXPECT_DOUBLE_EQ(timers.total("never-seen"), 0.0);
+    EXPECT_EQ(timers.totals().size(), 2u);
+    timers.clear();
+    EXPECT_DOUBLE_EQ(timers.total("phase-a"), 0.0);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+    beatnik::SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    beatnik::SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+    beatnik::SplitMix64 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformLooksUniform) {
+    beatnik::SplitMix64 rng(11);
+    constexpr int kSamples = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, HashMixIsStatelessAndStable) {
+    // The decomposition-independence guarantee: (seed, key) fully
+    // determines the value.
+    EXPECT_EQ(beatnik::hash_mix(5, 123), beatnik::hash_mix(5, 123));
+    EXPECT_NE(beatnik::hash_mix(5, 123), beatnik::hash_mix(5, 124));
+    EXPECT_NE(beatnik::hash_mix(5, 123), beatnik::hash_mix(6, 123));
+    EXPECT_EQ(beatnik::hash_uniform(9, 77), beatnik::hash_uniform(9, 77));
+}
+
+TEST(Rng, HashMixSpreadsBits) {
+    // Consecutive keys should produce well-spread values (no obvious
+    // clustering in the top bits).
+    std::set<std::uint64_t> top_bytes;
+    for (std::uint64_t k = 0; k < 256; ++k) {
+        top_bytes.insert(beatnik::hash_mix(1, k) >> 56);
+    }
+    EXPECT_GT(top_bytes.size(), 150u);
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+// Collective-operation tests, parameterized over communicator size so every
+// algorithm is exercised on power-of-two, odd, and prime rank counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "comm/communicator.hpp"
+
+namespace bc = beatnik::comm;
+
+namespace {
+
+void run(int nranks, const std::function<void(bc::Communicator&)>& fn,
+         bc::AlltoallAlgo algo = bc::AlltoallAlgo::pairwise) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 30.0;
+    cfg.alltoall_algo = algo;
+    bc::Context::run(nranks, fn, cfg);
+}
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16),
+                         ::testing::PrintToStringParamName());
+
+TEST_P(CollectivesP, BarrierCompletes) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        for (int i = 0; i < 3; ++i) comm.barrier();
+    });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        for (int root = 0; root < comm.size(); ++root) {
+            std::vector<int> data(5, comm.rank() == root ? root * 11 : -1);
+            comm.bcast(std::span<int>(data), root);
+            for (int v : data) EXPECT_EQ(v, root * 11);
+        }
+    });
+}
+
+TEST_P(CollectivesP, BcastValueScalar) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        double v = comm.rank() == 0 ? 2.5 : 0.0;
+        comm.bcast_value(v, 0);
+        EXPECT_DOUBLE_EQ(v, 2.5);
+    });
+}
+
+TEST_P(CollectivesP, AllreduceSumOfRanks) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        const int p = comm.size();
+        int total = comm.allreduce_value(comm.rank(), bc::op::Sum{});
+        EXPECT_EQ(total, p * (p - 1) / 2);
+    });
+}
+
+TEST_P(CollectivesP, AllreduceMaxAndMin) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        EXPECT_EQ(comm.allreduce_value(comm.rank(), bc::op::Max{}), comm.size() - 1);
+        EXPECT_EQ(comm.allreduce_value(comm.rank(), bc::op::Min{}), 0);
+    });
+}
+
+TEST_P(CollectivesP, AllreduceVectorElementwise) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<double> xs{1.0 * comm.rank(), 2.0 * comm.rank(), -1.0 * comm.rank()};
+        comm.allreduce(std::span<double>(xs), bc::op::Sum{});
+        double s = comm.size() * (comm.size() - 1) / 2.0;
+        EXPECT_DOUBLE_EQ(xs[0], s);
+        EXPECT_DOUBLE_EQ(xs[1], 2 * s);
+        EXPECT_DOUBLE_EQ(xs[2], -s);
+    });
+}
+
+TEST_P(CollectivesP, ReduceToEveryRoot) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        for (int root = 0; root < comm.size(); ++root) {
+            std::vector<std::int64_t> xs{comm.rank() + 1};
+            comm.reduce_inplace(std::span<std::int64_t>(xs), root, bc::op::Prod{});
+            if (comm.rank() == root) {
+                std::int64_t factorial = 1;
+                for (int r = 1; r <= comm.size(); ++r) factorial *= r;
+                EXPECT_EQ(xs[0], factorial);
+            }
+        }
+    });
+}
+
+TEST_P(CollectivesP, GatherOrdersByRank) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<int> mine{comm.rank(), comm.rank() * 2};
+        auto all = comm.gather(std::span<const int>(mine), 0);
+        if (comm.rank() == 0) {
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * comm.size()));
+            for (int r = 0; r < comm.size(); ++r) {
+                EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+                EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], 2 * r);
+            }
+        } else {
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+TEST_P(CollectivesP, GathervVariableSizes) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        // Rank r contributes r+1 copies of r.
+        std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1, comm.rank());
+        std::vector<std::size_t> counts;
+        auto all = comm.gatherv(std::span<const int>(mine), 0, &counts);
+        if (comm.rank() == 0) {
+            std::size_t expected_total = 0;
+            for (int r = 0; r < comm.size(); ++r) expected_total += static_cast<std::size_t>(r) + 1;
+            ASSERT_EQ(all.size(), expected_total);
+            ASSERT_EQ(counts.size(), static_cast<std::size_t>(comm.size()));
+            std::size_t off = 0;
+            for (int r = 0; r < comm.size(); ++r) {
+                EXPECT_EQ(counts[static_cast<std::size_t>(r)], static_cast<std::size_t>(r) + 1);
+                for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+                    EXPECT_EQ(all[off + i], r);
+                }
+                off += counts[static_cast<std::size_t>(r)];
+            }
+        }
+    });
+}
+
+TEST_P(CollectivesP, ScatterDistributesChunks) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<int> all;
+        if (comm.rank() == 0) {
+            all.resize(static_cast<std::size_t>(3 * comm.size()));
+            std::iota(all.begin(), all.end(), 0);
+        }
+        auto mine = comm.scatter(std::span<const int>(all), 0, 3);
+        ASSERT_EQ(mine.size(), 3u);
+        for (int i = 0; i < 3; ++i) EXPECT_EQ(mine[static_cast<std::size_t>(i)], 3 * comm.rank() + i);
+    });
+}
+
+TEST_P(CollectivesP, AllgatherEveryRankSeesAll) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<int> mine{comm.rank() * 7};
+        auto all = comm.allgather(std::span<const int>(mine));
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+        for (int r = 0; r < comm.size(); ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], 7 * r);
+    });
+}
+
+TEST_P(CollectivesP, AllgathervVariableSizes) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<double> mine(static_cast<std::size_t>(comm.rank() % 3), comm.rank() + 0.5);
+        std::vector<std::size_t> counts;
+        auto all = comm.allgatherv(std::span<const double>(mine), &counts);
+        ASSERT_EQ(counts.size(), static_cast<std::size_t>(comm.size()));
+        std::size_t off = 0;
+        for (int r = 0; r < comm.size(); ++r) {
+            EXPECT_EQ(counts[static_cast<std::size_t>(r)], static_cast<std::size_t>(r % 3));
+            for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+                EXPECT_DOUBLE_EQ(all[off + i], r + 0.5);
+            }
+            off += counts[static_cast<std::size_t>(r)];
+        }
+        EXPECT_EQ(all.size(), off);
+    });
+}
+
+// ---------------------------------------------------------------- alltoall
+
+class AlltoallAlgoP : public ::testing::TestWithParam<std::tuple<int, bc::AlltoallAlgo>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlltoallAlgoP,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 13),
+                       ::testing::Values(bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::linear,
+                                         bc::AlltoallAlgo::bruck)));
+
+TEST_P(AlltoallAlgoP, AlltoallTransposesBlocks) {
+    auto [nranks, algo] = GetParam();
+    run(
+        nranks,
+        [](bc::Communicator& comm) {
+            const int p = comm.size();
+            constexpr int kBlock = 3;
+            std::vector<int> sendbuf(static_cast<std::size_t>(p * kBlock));
+            for (int dst = 0; dst < p; ++dst) {
+                for (int i = 0; i < kBlock; ++i) {
+                    // Encodes (source, destination, slot).
+                    sendbuf[static_cast<std::size_t>(dst * kBlock + i)] =
+                        comm.rank() * 10000 + dst * 100 + i;
+                }
+            }
+            auto recvbuf = comm.alltoall(std::span<const int>(sendbuf));
+            ASSERT_EQ(recvbuf.size(), sendbuf.size());
+            for (int src = 0; src < p; ++src) {
+                for (int i = 0; i < kBlock; ++i) {
+                    EXPECT_EQ(recvbuf[static_cast<std::size_t>(src * kBlock + i)],
+                              src * 10000 + comm.rank() * 100 + i);
+                }
+            }
+        },
+        algo);
+}
+
+TEST_P(AlltoallAlgoP, AlltoallvRandomSizes) {
+    auto [nranks, algo] = GetParam();
+    if (algo == bc::AlltoallAlgo::bruck) GTEST_SKIP() << "v-variant uses pairwise/linear only";
+    run(
+        nranks,
+        [](bc::Communicator& comm) {
+            const int p = comm.size();
+            // Deterministic pseudo-random counts known to both sides:
+            // count(src, dst) depends only on (src, dst).
+            auto count = [](int src, int dst) {
+                return static_cast<std::size_t>(beatnik::hash_mix(42, static_cast<std::uint64_t>(src * 131 + dst)) % 7);
+            };
+            std::vector<std::size_t> sendcounts(static_cast<std::size_t>(p));
+            std::vector<std::int64_t> sendbuf;
+            for (int dst = 0; dst < p; ++dst) {
+                sendcounts[static_cast<std::size_t>(dst)] = count(comm.rank(), dst);
+                for (std::size_t i = 0; i < sendcounts[static_cast<std::size_t>(dst)]; ++i) {
+                    sendbuf.push_back(comm.rank() * 1000 + dst * 10 + static_cast<int>(i));
+                }
+            }
+            std::vector<std::size_t> recvcounts;
+            auto recvbuf = comm.alltoallv(std::span<const std::int64_t>(sendbuf),
+                                          std::span<const std::size_t>(sendcounts), recvcounts);
+            ASSERT_EQ(recvcounts.size(), static_cast<std::size_t>(p));
+            std::size_t off = 0;
+            for (int src = 0; src < p; ++src) {
+                EXPECT_EQ(recvcounts[static_cast<std::size_t>(src)], count(src, comm.rank()));
+                for (std::size_t i = 0; i < recvcounts[static_cast<std::size_t>(src)]; ++i) {
+                    EXPECT_EQ(recvbuf[off + i],
+                              src * 1000 + comm.rank() * 10 + static_cast<int>(i));
+                }
+                off += recvcounts[static_cast<std::size_t>(src)];
+            }
+            EXPECT_EQ(recvbuf.size(), off);
+        },
+        algo);
+}
+
+// Property: the three alltoall algorithms agree bit-for-bit.
+TEST(AlltoallProperty, AlgorithmsProduceIdenticalResults) {
+    for (int p : {2, 4, 6, 8}) {
+        std::vector<std::vector<std::uint64_t>> results;
+        for (auto algo : {bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::linear,
+                          bc::AlltoallAlgo::bruck}) {
+            std::vector<std::uint64_t> combined(static_cast<std::size_t>(p * p * 2));
+            std::mutex m;
+            run(
+                p,
+                [&](bc::Communicator& comm) {
+                    std::vector<std::uint64_t> sendbuf(static_cast<std::size_t>(p) * 2);
+                    for (std::size_t i = 0; i < sendbuf.size(); ++i) {
+                        sendbuf[i] = beatnik::hash_mix(
+                            7, static_cast<std::uint64_t>(comm.rank()) * 1000 + i);
+                    }
+                    auto r = comm.alltoall(std::span<const std::uint64_t>(sendbuf));
+                    std::lock_guard lock(m);
+                    std::copy(r.begin(), r.end(),
+                              combined.begin() + comm.rank() * static_cast<std::ptrdiff_t>(r.size()));
+                },
+                algo);
+            results.push_back(std::move(combined));
+        }
+        EXPECT_EQ(results[0], results[1]) << "pairwise vs linear, p=" << p;
+        EXPECT_EQ(results[0], results[2]) << "pairwise vs bruck, p=" << p;
+    }
+}
+
+// Back-to-back collectives must not confuse each other's messages.
+TEST(CollectiveSequencing, ManyMixedCollectivesStaySeparated) {
+    run(6, [](bc::Communicator& comm) {
+        for (int iter = 0; iter < 20; ++iter) {
+            int s = comm.allreduce_value(1, bc::op::Sum{});
+            EXPECT_EQ(s, comm.size());
+            std::vector<int> v{comm.rank() == 3 ? iter : -1};
+            comm.bcast(std::span<int>(v), 3);
+            EXPECT_EQ(v[0], iter);
+            auto all = comm.allgather_value(iter * comm.size() + comm.rank());
+            for (int r = 0; r < comm.size(); ++r) {
+                EXPECT_EQ(all[static_cast<std::size_t>(r)], iter * comm.size() + r);
+            }
+        }
+    });
+}
+
+} // namespace

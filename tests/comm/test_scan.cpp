@@ -1,0 +1,65 @@
+// Prefix-reduction (scan/exscan) tests.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+
+namespace bc = beatnik::comm;
+
+namespace {
+
+void run(int nranks, const std::function<void(bc::Communicator&)>& fn) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 30.0;
+    bc::Context::run(nranks, fn, cfg);
+}
+
+class ScanP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, ScanP, ::testing::Values(1, 2, 3, 5, 8, 13),
+                         ::testing::PrintToStringParamName());
+
+TEST_P(ScanP, InclusiveSumOfRanks) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        int got = comm.scan_value(comm.rank() + 1, bc::op::Sum{});
+        int expected = (comm.rank() + 1) * (comm.rank() + 2) / 2;
+        EXPECT_EQ(got, expected);
+    });
+}
+
+TEST_P(ScanP, ExclusiveSumGivesOffsets) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        // Each rank contributes (rank+1) items; exscan yields its offset.
+        int offset = comm.exscan_value(comm.rank() + 1, bc::op::Sum{}, 0);
+        int expected = comm.rank() * (comm.rank() + 1) / 2;
+        EXPECT_EQ(offset, expected);
+    });
+}
+
+TEST_P(ScanP, ScanMaxIsRunningMaximum) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        // Values dip in the middle; the running max must be monotone.
+        int v = comm.rank() == 0 ? 100 : comm.rank();
+        int got = comm.scan_value(v, bc::op::Max{});
+        EXPECT_EQ(got, 100);
+    });
+}
+
+TEST(Scan, RepeatedScansDoNotInterfere) {
+    run(6, [](bc::Communicator& comm) {
+        for (int iter = 0; iter < 10; ++iter) {
+            int s = comm.scan_value(1, bc::op::Sum{});
+            EXPECT_EQ(s, comm.rank() + 1);
+            int e = comm.exscan_value(2, bc::op::Sum{}, 0);
+            EXPECT_EQ(e, 2 * comm.rank());
+        }
+    });
+}
+
+TEST(Scan, WorksOnSubCommunicators) {
+    run(8, [](bc::Communicator& comm) {
+        auto sub = comm.split(comm.rank() % 2, comm.rank());
+        int s = sub.scan_value(1, bc::op::Sum{});
+        EXPECT_EQ(s, sub.rank() + 1);
+    });
+}
+
+} // namespace

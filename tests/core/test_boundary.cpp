@@ -1,0 +1,164 @@
+// Boundary-condition tests: periodic ghost coordinate correction and
+// free-boundary extrapolation (paper §3.1, BoundaryCondition module).
+#include <gtest/gtest.h>
+
+#include "core/problem_manager.hpp"
+
+namespace b = beatnik;
+namespace bc = beatnik::comm;
+namespace bg = beatnik::grid;
+
+namespace {
+
+void run(int nranks, const std::function<void(bc::Communicator&)>& fn) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 30.0;
+    bc::Context::run(nranks, fn, cfg);
+}
+
+b::Params base_params(b::Boundary boundary, int n = 16) {
+    b::Params p;
+    p.num_nodes = {n, n};
+    p.boundary = boundary;
+    p.order = boundary == b::Boundary::periodic ? b::Order::low : b::Order::high;
+    p.surface_low = {-1.0, -1.0};
+    p.surface_high = {1.0, 1.0};
+    return p;
+}
+
+TEST(PeriodicBoundary, GhostPositionsAreOffsetByDomainExtent) {
+    run(4, [](bc::Communicator& comm) {
+        auto p = base_params(b::Boundary::periodic);
+        b::SurfaceMesh mesh(comm, p);
+        b::ProblemManager pm(comm, mesh, p);
+        const auto& local = mesh.local();
+
+        // A rank at the global i-low edge: its i-ghosts wrap to the far
+        // side and must be shifted by -Lx so x is continuous.
+        if (local.global_offset(0) == 0) {
+            double ghost_x = pm.position()(-1, 0, 0);
+            double own_x = pm.position()(0, 0, 0);
+            double spacing = mesh.global().spacing(0);
+            EXPECT_NEAR(ghost_x, own_x - spacing, 1e-12);
+            EXPECT_LT(ghost_x, mesh.global().low(0)); // beyond the box edge
+        }
+        // Same for the j axis.
+        if (local.global_offset(1) == 0) {
+            double ghost_y = pm.position()(0, -2, 1);
+            double own_y = pm.position()(0, 0, 1);
+            double spacing = mesh.global().spacing(1);
+            EXPECT_NEAR(ghost_y, own_y - 2.0 * spacing, 1e-12);
+        }
+    });
+}
+
+TEST(PeriodicBoundary, GhostHeightMatchesWrappedOwner) {
+    run(4, [](bc::Communicator& comm) {
+        auto p = base_params(b::Boundary::periodic);
+        p.initial.kind = b::InitialCondition::Kind::multimode;
+        b::SurfaceMesh mesh(comm, p);
+        b::ProblemManager pm(comm, mesh, p);
+        const auto& local = mesh.local();
+        const int n = mesh.global().num_nodes(0);
+        // z3 (and vorticity) in ghosts must equal the wrapped node's value
+        // exactly — only x/y get offsets.
+        if (local.global_offset(0) == 0 && comm.size() > 1) {
+            int gwrap = ((local.global_offset(0) - 1) % n + n) % n;
+            double x = mesh.global().coordinate(0, gwrap);
+            double xhat = (x - mesh.global().low(0)) / mesh.global().extent(0);
+            int gj = local.global_offset(1);
+            double y = mesh.global().coordinate(1, 0 + gj - local.global_offset(1));
+            (void)y;
+            double yhat = (mesh.coordinate(1, 0) - mesh.global().low(1)) /
+                          mesh.global().extent(1);
+            double expected = b::multimode_eta(p.initial, xhat, yhat);
+            EXPECT_NEAR(pm.position()(-1, 0, 2), expected, 1e-12);
+        }
+    });
+}
+
+TEST(FreeBoundary, GhostsAreLinearlyExtrapolated) {
+    run(4, [](bc::Communicator& comm) {
+        auto p = base_params(b::Boundary::free);
+        b::SurfaceMesh mesh(comm, p);
+        b::ProblemManager pm(comm, mesh, p);
+        const auto& local = mesh.local();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+
+        if (local.global_offset(0) == 0) {
+            for (int c = 0; c < 3; ++c) {
+                double f0 = pm.position()(0, 0, c);
+                double f1 = pm.position()(1, 0, c);
+                EXPECT_NEAR(pm.position()(-1, 0, c), 2.0 * f0 - f1, 1e-12);
+                EXPECT_NEAR(pm.position()(-2, 0, c), 3.0 * f0 - 2.0 * f1, 1e-12);
+            }
+        }
+        if (local.global_offset(0) + ni == mesh.global().num_nodes(0)) {
+            double f0 = pm.position()(ni - 1, 1, 2);
+            double f1 = pm.position()(ni - 2, 1, 2);
+            EXPECT_NEAR(pm.position()(ni, 1, 2), 2.0 * f0 - f1, 1e-12);
+        }
+        // Corner ghosts get filled too (axis-1 pass reuses axis-0 ghosts).
+        if (local.global_offset(0) == 0 && local.global_offset(1) == 0) {
+            double corner = pm.position()(-1, -1, 0);
+            EXPECT_TRUE(std::isfinite(corner));
+            double edge0 = pm.position()(-1, 0, 0);
+            double edge1 = pm.position()(-1, 1, 0);
+            EXPECT_NEAR(corner, 2.0 * edge0 - edge1, 1e-12);
+        }
+        (void)nj;
+    });
+}
+
+TEST(FreeBoundary, VorticityExtrapolatedToo) {
+    run(1, [](bc::Communicator& comm) {
+        auto p = base_params(b::Boundary::free);
+        b::SurfaceMesh mesh(comm, p);
+        b::ProblemManager pm(comm, mesh, p);
+        // Write a linear vorticity profile and re-gather halos; ghosts
+        // must continue the line exactly.
+        const auto& local = mesh.local();
+        for (int i = 0; i < local.owned_extent(0); ++i) {
+            for (int j = 0; j < local.owned_extent(1); ++j) {
+                pm.vorticity()(i, j, 0) = 2.0 * i + 0.5;
+                pm.vorticity()(i, j, 1) = -1.0 * j;
+            }
+        }
+        pm.gather_halos();
+        EXPECT_NEAR(pm.vorticity()(-1, 3, 0), -1.5, 1e-12);
+        EXPECT_NEAR(pm.vorticity()(3, -2, 1), 2.0, 1e-12);
+    });
+}
+
+TEST(FreeBoundary, InteriorBlockEdgesComeFromNeighborsNotExtrapolation) {
+    run(4, [](bc::Communicator& comm) {
+        auto p = base_params(b::Boundary::free);
+        b::SurfaceMesh mesh(comm, p);
+        b::ProblemManager pm(comm, mesh, p);
+        const auto& local = mesh.local();
+        // A rank NOT at the global i-low edge has real neighbor data in
+        // its i-low ghosts: the x coordinate continues the uniform grid.
+        if (local.global_offset(0) != 0) {
+            double expected_x = mesh.coordinate(0, -1);
+            EXPECT_NEAR(pm.position()(-1, 0, 0), expected_x, 1e-12);
+        }
+    });
+}
+
+TEST(Params, ValidationCatchesBadDecks) {
+    b::Params p;
+    p.order = b::Order::low;
+    p.boundary = b::Boundary::free; // FFT orders need periodic
+    EXPECT_THROW(p.validate(), beatnik::Error);
+
+    b::Params q;
+    q.atwood = 0.0;
+    EXPECT_THROW(q.validate(), beatnik::Error);
+
+    b::Params r;
+    r.num_nodes = {4, 128};
+    EXPECT_THROW(r.validate(), beatnik::Error);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+// Birkhoff–Rott solver tests: exact vs cutoff agreement, cutoff accuracy
+// monotonicity, multi-rank consistency, and spatial bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/beatnik.hpp"
+
+namespace b = beatnik;
+namespace bc = beatnik::comm;
+namespace bg = beatnik::grid;
+
+namespace {
+
+void run(int nranks, const std::function<void(bc::Communicator&)>& fn) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 120.0;
+    bc::Context::run(nranks, fn, cfg);
+}
+
+b::Params br_params(int n, b::BRSolverKind kind, double cutoff) {
+    b::Params p;
+    p.num_nodes = {n, n};
+    p.boundary = b::Boundary::free;
+    p.order = b::Order::high;
+    p.br_solver = kind;
+    p.cutoff_distance = cutoff;
+    p.surface_low = {-1.0, -1.0};
+    p.surface_high = {1.0, 1.0};
+    p.box_low = {-2.0, -2.0, -2.0};
+    p.box_high = {2.0, 2.0, 2.0};
+    p.initial.kind = b::InitialCondition::Kind::singlemode;
+    p.initial.magnitude = 0.2;
+    return p;
+}
+
+/// Compute the BR velocity field with a given solver on the current state
+/// and return the L2 norm plus a checksum vector for comparisons.
+struct VelocityProbe {
+    double l2 = 0.0;
+    double max = 0.0;
+    std::vector<double> samples; // a few fixed global nodes
+};
+
+VelocityProbe probe_velocity(bc::Communicator& comm, const b::Params& params) {
+    b::SurfaceMesh mesh(comm, params);
+    b::ProblemManager pm(comm, mesh, params);
+    std::unique_ptr<b::BRSolverBase> solver;
+    if (params.br_solver == b::BRSolverKind::exact) {
+        solver = std::make_unique<b::ExactBRSolver>(mesh, params);
+    } else {
+        solver = std::make_unique<b::CutoffBRSolver>(mesh, params);
+    }
+
+    // Seed a nontrivial vorticity so gamma != 0.
+    const auto& local = mesh.local();
+    for (int i = 0; i < local.owned_extent(0); ++i) {
+        for (int j = 0; j < local.owned_extent(1); ++j) {
+            double x = mesh.coordinate(0, i), y = mesh.coordinate(1, j);
+            pm.vorticity()(i, j, 0) = std::sin(2.0 * x) * std::cos(y);
+            pm.vorticity()(i, j, 1) = std::cos(x) * std::sin(2.0 * y);
+        }
+    }
+    pm.gather_halos();
+
+    const double dx = mesh.global().spacing(0), dy = mesh.global().spacing(1);
+    bg::NodeField<double, 3> gamma(local);
+    for (int i = 0; i < local.owned_extent(0); ++i) {
+        for (int j = 0; j < local.owned_extent(1); ++j) {
+            auto g = b::operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
+            gamma(i, j, 0) = g.x;
+            gamma(i, j, 1) = g.y;
+            gamma(i, j, 2) = g.z;
+        }
+    }
+    bg::NodeField<double, 3> vel(local);
+    solver->compute_velocity(pm, gamma, vel);
+
+    VelocityProbe out;
+    double sum = 0.0, mx = 0.0;
+    for (int i = 0; i < local.owned_extent(0); ++i) {
+        for (int j = 0; j < local.owned_extent(1); ++j) {
+            double v2 = vel(i, j, 0) * vel(i, j, 0) + vel(i, j, 1) * vel(i, j, 1) +
+                        vel(i, j, 2) * vel(i, j, 2);
+            sum += v2;
+            mx = std::max(mx, std::sqrt(v2));
+        }
+    }
+    out.l2 = std::sqrt(comm.allreduce_value(sum, bc::op::Sum{}));
+    out.max = comm.allreduce_value(mx, bc::op::Max{});
+    // Sample fixed global nodes for cross-decomposition comparisons.
+    for (int g : {0, 5, 9}) {
+        double v = 0.0;
+        if (local.owned_global(0).contains(g) && local.owned_global(1).contains(g)) {
+            v = vel(g - local.global_offset(0), g - local.global_offset(1), 2);
+        }
+        out.samples.push_back(comm.allreduce_value(v, bc::op::Sum{}));
+    }
+    return out;
+}
+
+TEST(BRSolvers, CutoffWithHugeRadiusMatchesExact) {
+    run(4, [](bc::Communicator& comm) {
+        auto exact = probe_velocity(comm, br_params(16, b::BRSolverKind::exact, 0.5));
+        // Cutoff >= domain diameter: every pair is within range.
+        auto cutoff = probe_velocity(comm, br_params(16, b::BRSolverKind::cutoff, 10.0));
+        EXPECT_NEAR(cutoff.l2, exact.l2, 1e-10 * std::max(1.0, exact.l2));
+        for (std::size_t s = 0; s < exact.samples.size(); ++s) {
+            EXPECT_NEAR(cutoff.samples[s], exact.samples[s],
+                        1e-10 * std::max(1.0, std::abs(exact.samples[s])));
+        }
+    });
+}
+
+TEST(BRSolvers, SmallerCutoffMeansLargerError) {
+    run(4, [](bc::Communicator& comm) {
+        auto exact = probe_velocity(comm, br_params(16, b::BRSolverKind::exact, 0.5));
+        auto big = probe_velocity(comm, br_params(16, b::BRSolverKind::cutoff, 1.5));
+        auto small = probe_velocity(comm, br_params(16, b::BRSolverKind::cutoff, 0.4));
+        double err_big = std::abs(big.l2 - exact.l2);
+        double err_small = std::abs(small.l2 - exact.l2);
+        EXPECT_LT(err_big, err_small)
+            << "the accuracy/performance tradeoff of paper §3.2 must be monotone";
+    });
+}
+
+TEST(BRSolvers, ExactSolverDecompositionInvariant) {
+    auto l2_for = [](int nranks) {
+        double result = 0.0;
+        run(nranks, [&](bc::Communicator& comm) {
+            auto p = probe_velocity(comm, br_params(16, b::BRSolverKind::exact, 0.5));
+            if (comm.rank() == 0) result = p.l2;
+        });
+        return result;
+    };
+    double l2_1 = l2_for(1);
+    double l2_4 = l2_for(4);
+    double l2_9 = l2_for(9);
+    EXPECT_NEAR(l2_1, l2_4, 1e-10 * std::max(1.0, l2_1));
+    EXPECT_NEAR(l2_1, l2_9, 1e-10 * std::max(1.0, l2_1));
+}
+
+TEST(BRSolvers, CutoffSolverDecompositionInvariant) {
+    auto l2_for = [](int nranks) {
+        double result = 0.0;
+        run(nranks, [&](bc::Communicator& comm) {
+            auto p = probe_velocity(comm, br_params(16, b::BRSolverKind::cutoff, 0.8));
+            if (comm.rank() == 0) result = p.l2;
+        });
+        return result;
+    };
+    double l2_1 = l2_for(1);
+    double l2_4 = l2_for(4);
+    double l2_6 = l2_for(6);
+    EXPECT_NEAR(l2_1, l2_4, 1e-10 * std::max(1.0, l2_1));
+    EXPECT_NEAR(l2_1, l2_6, 1e-10 * std::max(1.0, l2_1));
+}
+
+TEST(BRSolvers, KernelSelfTermVanishes) {
+    b::Vec3 x{0.5, -0.25, 1.0};
+    b::Vec3 g{1.0, 2.0, 3.0};
+    auto v = b::br_kernel(x, x, g, 0.01);
+    EXPECT_DOUBLE_EQ(v.x, 0.0);
+    EXPECT_DOUBLE_EQ(v.y, 0.0);
+    EXPECT_DOUBLE_EQ(v.z, 0.0);
+}
+
+TEST(BRSolvers, KernelDecaysWithDistance) {
+    b::Vec3 g{0.0, 0.0, 1.0};
+    auto near = b::br_kernel({0.1, 0.0, 0.0}, {0.0, 0.0, 0.0}, g, 1e-6);
+    auto far = b::br_kernel({2.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, g, 1e-6);
+    EXPECT_GT(b::norm(near), b::norm(far));
+    // 1/r^2 decay: 20x distance => ~400x weaker.
+    EXPECT_NEAR(b::norm(near) / b::norm(far), 400.0, 40.0);
+}
+
+TEST(BRSolvers, DesingularizationBoundsTheKernel) {
+    b::Vec3 g{0.0, 0.0, 1.0};
+    double eps2 = 0.01;
+    // Even at tiny separations the kernel stays below the eps-limit.
+    auto close = b::br_kernel({1e-8, 0.0, 0.0}, {0.0, 0.0, 0.0}, g, eps2);
+    EXPECT_LT(b::norm(close), 1.0 / eps2);
+    EXPECT_TRUE(std::isfinite(close.y));
+}
+
+TEST(CutoffBookkeeping, SpatialCensusSumsToAllPoints) {
+    run(4, [](bc::Communicator& comm) {
+        auto p = br_params(16, b::BRSolverKind::cutoff, 0.5);
+        b::Solver solver(comm, p);
+        solver.step();
+        auto census = b::ownership_census(comm, solver);
+        ASSERT_EQ(census.size(), 4u);
+        double total = 0.0;
+        for (double share : census) total += share;
+        EXPECT_NEAR(total, 1.0, 1e-12);
+        auto stats = b::imbalance_stats(census);
+        EXPECT_GE(stats.imbalance, 1.0);
+    });
+}
+
+TEST(CutoffBookkeeping, PairCountMatchesCutoffVolume) {
+    run(1, [](bc::Communicator& comm) {
+        auto small = br_params(24, b::BRSolverKind::cutoff, 0.3);
+        auto large = br_params(24, b::BRSolverKind::cutoff, 0.9);
+        b::Solver s1(comm, small);
+        s1.step();
+        b::Solver s2(comm, large);
+        s2.step();
+        // 3x radius on a 2D sheet => ~9x the neighbors.
+        EXPECT_GT(s2.cutoff_solver()->last_pair_count(),
+                  4 * s1.cutoff_solver()->last_pair_count());
+    });
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+// Finite-difference operator tests: convergence order on smooth functions
+// and exactness on polynomials.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/operators.hpp"
+
+namespace b = beatnik;
+namespace bg = beatnik::grid;
+
+namespace {
+
+struct Fixture {
+    Fixture(int n, double lo, double hi)
+        : mesh({lo, lo}, {hi, hi}, {n, n}, {false, false}),
+          topo(1, {1, 1}, {false, false}), local(mesh, topo, 0, 2) {}
+    bg::GlobalMesh2D mesh;
+    bg::CartTopology2D topo;
+    bg::LocalGrid2D local;
+};
+
+/// Fill field (with ghosts) from an analytic function of (x, y).
+template <int C, class F>
+void fill(bg::NodeField<double, C>& f, const Fixture& fx, F&& fn) {
+    auto ghosted = fx.local.ghosted_space();
+    bg::for_each(ghosted, [&](int i, int j) {
+        double x = fx.mesh.coordinate(0, i);
+        double y = fx.mesh.coordinate(1, j);
+        for (int c = 0; c < C; ++c) f(i, j, c) = fn(x, y, c);
+    });
+}
+
+TEST(Operators, FirstDerivativeExactOnCubics) {
+    Fixture fx(16, 0.0, 1.0);
+    bg::NodeField<double, 1> f(fx.local);
+    fill(f, fx, [](double x, double y, int) { return x * x * x + 2.0 * y * y * y - x * y; });
+    double h = fx.mesh.spacing(0);
+    for (int i = 4; i < 12; ++i) {
+        for (int j = 4; j < 12; ++j) {
+            double x = fx.mesh.coordinate(0, i);
+            double y = fx.mesh.coordinate(1, j);
+            EXPECT_NEAR(b::operators::d1(f, i, j, 0, h), 3.0 * x * x - y, 1e-10);
+            EXPECT_NEAR(b::operators::d2(f, i, j, 0, h), 6.0 * y * y - x, 1e-10);
+        }
+    }
+}
+
+TEST(Operators, FirstDerivativeFourthOrderConvergence) {
+    auto err_at = [](int n) {
+        Fixture fx(n, 0.0, 1.0);
+        bg::NodeField<double, 1> f(fx.local);
+        fill(f, fx, [](double x, double y, int) { return std::sin(3.0 * x) * std::cos(2.0 * y); });
+        double h = fx.mesh.spacing(0);
+        int i = n / 2, j = n / 2;
+        double x = fx.mesh.coordinate(0, i), y = fx.mesh.coordinate(1, j);
+        return std::abs(b::operators::d1(f, i, j, 0, h) -
+                        3.0 * std::cos(3.0 * x) * std::cos(2.0 * y));
+    };
+    double e1 = err_at(16);
+    double e2 = err_at(32);
+    // 4th order: halving h cuts error by ~16.
+    EXPECT_GT(e1 / e2, 10.0);
+    EXPECT_LT(e1 / e2, 24.0);
+}
+
+TEST(Operators, LaplacianExactOnQuadratics) {
+    Fixture fx(16, -1.0, 1.0);
+    bg::NodeField<double, 1> f(fx.local);
+    fill(f, fx, [](double x, double y, int) { return 3.0 * x * x - 2.0 * y * y + x * y + 5.0; });
+    double dx = fx.mesh.spacing(0), dy = fx.mesh.spacing(1);
+    for (int i = 4; i < 12; ++i) {
+        for (int j = 4; j < 12; ++j) {
+            EXPECT_NEAR(b::operators::laplacian(f, i, j, 0, dx, dy), 6.0 - 4.0, 1e-9);
+        }
+    }
+}
+
+TEST(Operators, LaplacianSecondOrderConvergence) {
+    auto err_at = [](int n) {
+        Fixture fx(n, 0.0, 1.0);
+        bg::NodeField<double, 1> f(fx.local);
+        fill(f, fx, [](double x, double y, int) { return std::sin(2.0 * x + y); });
+        double dx = fx.mesh.spacing(0), dy = fx.mesh.spacing(1);
+        int i = n / 2, j = n / 2;
+        double x = fx.mesh.coordinate(0, i), y = fx.mesh.coordinate(1, j);
+        return std::abs(b::operators::laplacian(f, i, j, 0, dx, dy) +
+                        5.0 * std::sin(2.0 * x + y));
+    };
+    double ratio = err_at(16) / err_at(32);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.5);
+}
+
+TEST(Operators, FlatSheetTangentsAndNormal) {
+    Fixture fx(16, 0.0, 1.0);
+    bg::NodeField<double, 3> z(fx.local);
+    fill(z, fx, [](double x, double y, int c) { return c == 0 ? x : (c == 1 ? y : 0.0); });
+    double dx = fx.mesh.spacing(0), dy = fx.mesh.spacing(1);
+    auto t1 = b::operators::tangent1(z, 8, 8, dx);
+    auto t2 = b::operators::tangent2(z, 8, 8, dy);
+    auto n = b::operators::surface_normal(z, 8, 8, dx, dy);
+    EXPECT_NEAR(t1.x, 1.0, 1e-12);
+    EXPECT_NEAR(t1.y, 0.0, 1e-12);
+    EXPECT_NEAR(t2.y, 1.0, 1e-12);
+    EXPECT_NEAR(n.z, 1.0, 1e-12);
+    EXPECT_NEAR(n.x, 0.0, 1e-12);
+}
+
+TEST(Operators, GammaReducesToRotatedVorticityOnFlatSheet) {
+    Fixture fx(16, 0.0, 1.0);
+    bg::NodeField<double, 3> z(fx.local);
+    fill(z, fx, [](double x, double y, int c) { return c == 0 ? x : (c == 1 ? y : 0.0); });
+    bg::NodeField<double, 2> w(fx.local);
+    fill(w, fx, [](double, double, int c) { return c == 0 ? 3.0 : 4.0; });
+    auto g = b::operators::gamma_vector(z, w, 8, 8, fx.mesh.spacing(0), fx.mesh.spacing(1));
+    // gamma = w1 t2 - w2 t1 = (-w2, w1, 0) on the flat sheet.
+    EXPECT_NEAR(g.x, -4.0, 1e-10);
+    EXPECT_NEAR(g.y, 3.0, 1e-10);
+    EXPECT_NEAR(g.z, 0.0, 1e-10);
+}
+
+TEST(Operators, NormalPointsUpForGentleBump) {
+    Fixture fx(32, -1.0, 1.0);
+    bg::NodeField<double, 3> z(fx.local);
+    fill(z, fx, [](double x, double y, int c) {
+        return c == 0 ? x : (c == 1 ? y : 0.1 * std::exp(-(x * x + y * y)));
+    });
+    auto n = b::operators::surface_normal(z, 16, 16, fx.mesh.spacing(0), fx.mesh.spacing(1));
+    EXPECT_GT(n.z, 0.9);
+}
+
+TEST(VecMath, CrossAndDotIdentities) {
+    b::Vec3 a{1.0, 2.0, 3.0}, c{-2.0, 0.5, 4.0};
+    auto x = b::cross(a, c);
+    EXPECT_NEAR(b::dot(x, a), 0.0, 1e-12);
+    EXPECT_NEAR(b::dot(x, c), 0.0, 1e-12);
+    EXPECT_NEAR(b::norm2(a), 14.0, 1e-12);
+    auto s = a + 2.0 * c;
+    EXPECT_NEAR(s.x, -3.0, 1e-12);
+    EXPECT_NEAR(s.y, 3.0, 1e-12);
+    EXPECT_NEAR(s.z, 11.0, 1e-12);
+}
+
+} // namespace

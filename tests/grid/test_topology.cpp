@@ -1,0 +1,148 @@
+// Cartesian topology, block partition, and index-space tests.
+#include <gtest/gtest.h>
+
+#include "grid/cart_topology.hpp"
+#include "grid/global_mesh.hpp"
+#include "grid/index_space.hpp"
+#include "grid/local_grid.hpp"
+
+namespace bg = beatnik::grid;
+
+namespace {
+
+TEST(DimsCreate, FactorsAreBalancedAndExact) {
+    EXPECT_EQ(bg::dims_create_2d(1), (std::array<int, 2>{1, 1}));
+    EXPECT_EQ(bg::dims_create_2d(4), (std::array<int, 2>{2, 2}));
+    EXPECT_EQ(bg::dims_create_2d(6), (std::array<int, 2>{2, 3}));
+    EXPECT_EQ(bg::dims_create_2d(7), (std::array<int, 2>{1, 7}));
+    EXPECT_EQ(bg::dims_create_2d(12), (std::array<int, 2>{3, 4}));
+    EXPECT_EQ(bg::dims_create_2d(1024), (std::array<int, 2>{32, 32}));
+}
+
+TEST(DimsCreate, ProductAlwaysMatches) {
+    for (int p = 1; p <= 300; ++p) {
+        auto d = bg::dims_create_2d(p);
+        EXPECT_EQ(d[0] * d[1], p);
+        EXPECT_LE(d[0], d[1]);
+    }
+}
+
+TEST(CartTopology, CoordsRoundTrip) {
+    bg::CartTopology2D topo(12, {3, 4}, {true, true});
+    for (int r = 0; r < 12; ++r) {
+        auto c = topo.coords_of(r);
+        EXPECT_EQ(topo.rank_of(c[0], c[1]), r);
+    }
+}
+
+TEST(CartTopology, PeriodicNeighborsWrap) {
+    bg::CartTopology2D topo(6, {2, 3}, {true, true});
+    // rank 0 is at (0,0); up neighbor wraps to row 1.
+    EXPECT_EQ(topo.neighbor(0, -1, 0), topo.rank_of(1, 0));
+    EXPECT_EQ(topo.neighbor(0, 0, -1), topo.rank_of(0, 2));
+    EXPECT_EQ(topo.neighbor(0, -1, -1), topo.rank_of(1, 2));
+}
+
+TEST(CartTopology, NonPeriodicEdgesReturnMinusOne) {
+    bg::CartTopology2D topo(6, {2, 3}, {false, false});
+    EXPECT_EQ(topo.neighbor(0, -1, 0), -1);
+    EXPECT_EQ(topo.neighbor(0, 0, -1), -1);
+    EXPECT_EQ(topo.neighbor(0, 1, 1), topo.rank_of(1, 1));
+    EXPECT_EQ(topo.neighbor(5, 1, 0), -1);
+}
+
+TEST(CartTopology, MixedPeriodicity) {
+    bg::CartTopology2D topo(4, {2, 2}, {true, false});
+    EXPECT_EQ(topo.neighbor(0, -1, 0), topo.rank_of(1, 0)); // wraps on i
+    EXPECT_EQ(topo.neighbor(0, 0, -1), -1);                 // blocked on j
+}
+
+TEST(CartTopology, AutoDims) {
+    bg::CartTopology2D topo(8, {0, 0}, {true, true});
+    EXPECT_EQ(topo.dims()[0] * topo.dims()[1], 8);
+}
+
+TEST(CartTopology, RejectsBadDims) {
+    EXPECT_THROW(bg::CartTopology2D(6, {4, 2}, {true, true}), beatnik::Error);
+}
+
+TEST(BlockPartition, CoversWithoutOverlap) {
+    for (int n : {10, 17, 64, 101}) {
+        for (int parts : {1, 2, 3, 7, 10}) {
+            int covered = 0;
+            int prev_end = 0;
+            for (int b = 0; b < parts; ++b) {
+                auto r = bg::block_partition(n, parts, b);
+                EXPECT_EQ(r.begin, prev_end);
+                covered += r.extent();
+                prev_end = r.end;
+                // Balanced: sizes differ by at most one.
+                EXPECT_LE(std::abs(r.extent() - n / parts), 1);
+            }
+            EXPECT_EQ(covered, n);
+            EXPECT_EQ(prev_end, n);
+        }
+    }
+}
+
+TEST(IndexSpace, IntersectAndSize) {
+    bg::IndexSpace2D a{{0, 10}, {0, 5}};
+    bg::IndexSpace2D b{{5, 20}, {3, 9}};
+    auto c = a.intersect(b);
+    EXPECT_EQ(c, (bg::IndexSpace2D{{5, 10}, {3, 5}}));
+    EXPECT_EQ(c.size(), 10u);
+    bg::IndexSpace2D d{{12, 20}, {0, 5}};
+    EXPECT_TRUE(a.intersect(d).empty());
+    EXPECT_EQ(a.intersect(d).size(), 0u);
+}
+
+TEST(GlobalMesh, PeriodicSpacingExcludesDuplicateNode) {
+    bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 2.0}, {10, 20}, {true, false});
+    EXPECT_DOUBLE_EQ(mesh.spacing(0), 0.1);            // periodic: 10 cells
+    EXPECT_DOUBLE_EQ(mesh.spacing(1), 2.0 / 19.0);     // free: 19 cells
+    EXPECT_DOUBLE_EQ(mesh.coordinate(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(mesh.coordinate(0, 9), 0.9);      // last stored node
+    EXPECT_DOUBLE_EQ(mesh.coordinate(1, 19), 2.0);     // free axis reaches hi
+}
+
+TEST(GlobalMesh, GhostCoordinatesExtendUniformly) {
+    bg::GlobalMesh2D mesh({-1.0, -1.0}, {1.0, 1.0}, {8, 8}, {true, true});
+    EXPECT_DOUBLE_EQ(mesh.coordinate(0, -1), -1.0 - mesh.spacing(0));
+    EXPECT_DOUBLE_EQ(mesh.coordinate(0, 8), 1.0);
+}
+
+TEST(LocalGrid, OwnedBlocksTileTheMesh) {
+    bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {37, 23}, {true, true});
+    bg::CartTopology2D topo(6, {2, 3}, {true, true});
+    long total = 0;
+    for (int r = 0; r < 6; ++r) {
+        bg::LocalGrid2D lg(mesh, topo, r, 2);
+        total += static_cast<long>(lg.owned_extent(0)) * lg.owned_extent(1);
+    }
+    EXPECT_EQ(total, 37L * 23L);
+}
+
+TEST(LocalGrid, SharedAndHaloSpacesHaveHaloThickness) {
+    bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {16, 16}, {true, true});
+    bg::CartTopology2D topo(4, {2, 2}, {true, true});
+    bg::LocalGrid2D lg(mesh, topo, 0, 2);
+    // Edge bands.
+    EXPECT_EQ(lg.shared_space(-1, 0), (bg::IndexSpace2D{{0, 2}, {0, 8}}));
+    EXPECT_EQ(lg.halo_space(-1, 0), (bg::IndexSpace2D{{-2, 0}, {0, 8}}));
+    EXPECT_EQ(lg.shared_space(1, 0), (bg::IndexSpace2D{{6, 8}, {0, 8}}));
+    EXPECT_EQ(lg.halo_space(1, 0), (bg::IndexSpace2D{{8, 10}, {0, 8}}));
+    // Corners are w x w.
+    EXPECT_EQ(lg.shared_space(1, 1).size(), 4u);
+    EXPECT_EQ(lg.halo_space(-1, 1).size(), 4u);
+    // Own space matches block size.
+    EXPECT_EQ(lg.own_space().size(), 64u);
+    EXPECT_EQ(lg.ghosted_space().size(), 144u);
+}
+
+TEST(LocalGrid, RejectsHaloLargerThanBlock) {
+    bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {4, 4}, {true, true});
+    bg::CartTopology2D topo(4, {2, 2}, {true, true});
+    EXPECT_THROW(bg::LocalGrid2D(mesh, topo, 0, 3), beatnik::Error);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+// Writer tests: files must exist, parse back, and round-trip key values.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/writers.hpp"
+
+namespace bio = beatnik::io;
+namespace fs = std::filesystem;
+
+namespace {
+
+class WriterTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "beatnik_io_test";
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+    fs::path dir_;
+};
+
+TEST_F(WriterTest, VtkFileContainsGridAndScalars) {
+    const int ni = 3, nj = 4;
+    std::vector<double> pos(static_cast<std::size_t>(ni * nj) * 3);
+    std::vector<double> vort(static_cast<std::size_t>(ni * nj));
+    for (int i = 0; i < ni; ++i) {
+        for (int j = 0; j < nj; ++j) {
+            auto k = static_cast<std::size_t>(i * nj + j);
+            pos[3 * k] = i;
+            pos[3 * k + 1] = j;
+            pos[3 * k + 2] = 0.25 * i * j;
+            vort[k] = 100.0 + static_cast<double>(k);
+        }
+    }
+    auto path = (dir_ / "mesh.vtk").string();
+    bio::VtkStructuredWriter writer(path, ni, nj);
+    writer.write(pos, {{"vorticity", vort}});
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    EXPECT_NE(text.find("DATASET STRUCTURED_GRID"), std::string::npos);
+    EXPECT_NE(text.find("DIMENSIONS 4 3 1"), std::string::npos);
+    EXPECT_NE(text.find("POINTS 12 double"), std::string::npos);
+    EXPECT_NE(text.find("SCALARS vorticity double 1"), std::string::npos);
+    EXPECT_NE(text.find("111"), std::string::npos); // last vorticity value
+}
+
+TEST_F(WriterTest, VtkRejectsWrongSizes) {
+    bio::VtkStructuredWriter writer((dir_ / "bad.vtk").string(), 2, 2);
+    std::vector<double> pos(12, 0.0);
+    std::vector<double> wrong(3, 0.0);
+    EXPECT_THROW(writer.write(pos, {{"x", wrong}}), beatnik::Error);
+    std::vector<double> bad_pos(5, 0.0);
+    EXPECT_THROW(writer.write(bad_pos, {}), beatnik::Error);
+}
+
+TEST_F(WriterTest, BovRoundTripsBinaryData) {
+    std::vector<double> field{1.5, -2.5, 3.25, 0.0, 7.0, -8.0};
+    auto stem = (dir_ / "dump").string();
+    bio::write_bov(stem, field, 2, 3);
+
+    std::ifstream data(stem + ".bof", std::ios::binary);
+    ASSERT_TRUE(data.good());
+    std::vector<double> back(6);
+    data.read(reinterpret_cast<char*>(back.data()), 6 * sizeof(double));
+    EXPECT_EQ(back, field);
+
+    std::ifstream hdr(stem + ".bov");
+    std::stringstream ss;
+    ss << hdr.rdbuf();
+    EXPECT_NE(ss.str().find("DATA_SIZE: 3 2 1"), std::string::npos);
+    EXPECT_NE(ss.str().find("DATA_FORMAT: DOUBLE"), std::string::npos);
+}
+
+TEST_F(WriterTest, CsvWritesHeaderAndRows) {
+    auto path = (dir_ / "series.csv").string();
+    {
+        bio::CsvWriter csv(path, {"procs", "runtime"});
+        std::vector<double> r1{4, 1.25};
+        std::vector<double> r2{16, 2.5};
+        csv.row(r1);
+        csv.row(r2);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "procs,runtime");
+    std::getline(in, line);
+    EXPECT_EQ(line, "4,1.25");
+    std::getline(in, line);
+    EXPECT_EQ(line, "16,2.5");
+}
+
+TEST_F(WriterTest, OpenFailureThrowsIoError) {
+    EXPECT_THROW(bio::CsvWriter("/nonexistent-dir/x.csv", {"a"}), beatnik::IoError);
+    bio::VtkStructuredWriter w("/nonexistent-dir/x.vtk", 2, 2);
+    std::vector<double> pos(12, 0.0);
+    EXPECT_THROW(w.write(pos, {}), beatnik::IoError);
+}
+
+} // namespace

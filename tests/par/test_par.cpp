@@ -1,0 +1,87 @@
+// Tests for the on-rank parallel loop layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "par/par.hpp"
+
+namespace bp = beatnik::par;
+
+namespace {
+
+TEST(Par, SerialParallelForVisitsEachIndexOnce) {
+    std::vector<int> hits(1000, 0);
+    bp::parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(Par, OpenMPParallelForVisitsEachIndexOnce) {
+    if (!bp::openmp_available()) GTEST_SKIP() << "built without OpenMP";
+    bp::ScopedBackend scoped(bp::Backend::openmp);
+    std::vector<std::atomic<int>> hits(10000);
+    bp::parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Par, ParallelFor2DCoversRectangle) {
+    constexpr int ni = 13, nj = 7;
+    std::vector<int> hits(static_cast<std::size_t>(ni * nj), 0);
+    bp::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        hits[static_cast<std::size_t>(i * nj + j)]++;
+    });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(Par, ParallelFor2DHonorsOffsets) {
+    int count = 0;
+    bp::parallel_for_2d(2, 5, 3, 6, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        EXPECT_GE(i, 2);
+        EXPECT_LT(i, 5);
+        EXPECT_GE(j, 3);
+        EXPECT_LT(j, 6);
+        ++count;
+    });
+    EXPECT_EQ(count, 9);
+}
+
+TEST(Par, ReduceSumMatchesSerial) {
+    constexpr std::size_t n = 4321;
+    auto serial = static_cast<double>(n * (n - 1) / 2);
+    double got = bp::parallel_reduce(
+        n, 0.0, [](std::size_t i) { return static_cast<double>(i); },
+        [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(got, serial);
+}
+
+TEST(Par, ReduceMaxUnderOpenMP) {
+    if (!bp::openmp_available()) GTEST_SKIP() << "built without OpenMP";
+    bp::ScopedBackend scoped(bp::Backend::openmp);
+    constexpr std::size_t n = 100000;
+    double got = bp::parallel_reduce(
+        n, -1.0, [](std::size_t i) { return i == 77777 ? 999.0 : 1.0; },
+        [](double a, double b) { return std::max(a, b); });
+    EXPECT_DOUBLE_EQ(got, 999.0);
+}
+
+TEST(Par, EmptyRangesAreNoOps) {
+    bool touched = false;
+    bp::parallel_for(0, [&](std::size_t) { touched = true; });
+    bp::parallel_for_2d(3, 3, 0, 5, [&](std::ptrdiff_t, std::ptrdiff_t) { touched = true; });
+    double r = bp::parallel_reduce(
+        0, 7.0, [](std::size_t) { return 0.0; }, [](double a, double b) { return a + b; });
+    EXPECT_FALSE(touched);
+    EXPECT_DOUBLE_EQ(r, 7.0);
+}
+
+TEST(Par, ScopedBackendRestores) {
+    auto before = bp::backend();
+    {
+        bp::ScopedBackend scoped(bp::Backend::openmp);
+        EXPECT_EQ(bp::backend(), bp::Backend::openmp);
+    }
+    EXPECT_EQ(bp::backend(), before);
+}
+
+} // namespace

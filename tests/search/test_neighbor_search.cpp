@@ -1,0 +1,114 @@
+// Neighbor-search tests: bin-grid results must match brute force on random
+// clouds, plus structural properties (symmetry, radius scaling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "base/rng.hpp"
+#include "search/neighbor_search.hpp"
+
+namespace bs = beatnik::search;
+
+namespace {
+
+std::vector<double> random_cloud(std::size_t n, std::uint64_t seed, double extent = 2.0) {
+    std::vector<double> pts(3 * n);
+    beatnik::SplitMix64 rng(seed);
+    for (auto& v : pts) v = rng.uniform(-extent, extent);
+    return pts;
+}
+
+std::multiset<std::pair<std::uint32_t, std::uint32_t>> as_pairs(const bs::NeighborList& list) {
+    std::multiset<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::size_t q = 0; q < list.num_queries(); ++q) {
+        for (auto s : list.neighbors(q)) pairs.insert({static_cast<std::uint32_t>(q), s});
+    }
+    return pairs;
+}
+
+class BinGridP : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinGridP,
+                         ::testing::Combine(::testing::Values<std::size_t>(0, 1, 10, 100, 500),
+                                            ::testing::Values(0.1, 0.5, 1.5)));
+
+TEST_P(BinGridP, MatchesBruteForceSelfQuery) {
+    auto [n, radius] = GetParam();
+    auto pts = random_cloud(n, 1000 + n);
+    bs::BinGrid3D grid(pts, radius);
+    auto fast = grid.query(pts, /*exclude_identical=*/true);
+    auto slow = bs::brute_force_neighbors(pts, pts, radius, /*exclude_identical=*/true);
+    EXPECT_EQ(as_pairs(fast), as_pairs(slow));
+}
+
+TEST_P(BinGridP, MatchesBruteForceCrossQuery) {
+    auto [n, radius] = GetParam();
+    auto pts = random_cloud(n, 2000 + n);
+    auto queries = random_cloud(n / 2 + 1, 3000 + n);
+    bs::BinGrid3D grid(pts, radius);
+    auto fast = grid.query(queries, /*exclude_identical=*/false);
+    auto slow = bs::brute_force_neighbors(pts, queries, radius, /*exclude_identical=*/false);
+    EXPECT_EQ(as_pairs(fast), as_pairs(slow));
+}
+
+TEST(BinGrid, SelfQueryNeighborhoodIsSymmetric) {
+    auto pts = random_cloud(200, 42);
+    bs::BinGrid3D grid(pts, 0.8);
+    auto list = grid.query(pts, true);
+    auto pairs = as_pairs(list);
+    for (const auto& [q, s] : pairs) {
+        EXPECT_TRUE(pairs.count({s, q}) == 1) << "pair (" << q << "," << s << ") not symmetric";
+    }
+}
+
+TEST(BinGrid, LargerRadiusFindsSuperset) {
+    auto pts = random_cloud(150, 77);
+    bs::BinGrid3D small(pts, 0.4);
+    bs::BinGrid3D large(pts, 0.9);
+    auto small_pairs = as_pairs(small.query(pts, true));
+    auto large_pairs = as_pairs(large.query(pts, true));
+    EXPECT_TRUE(std::includes(large_pairs.begin(), large_pairs.end(), small_pairs.begin(),
+                              small_pairs.end()));
+    EXPECT_GT(large_pairs.size(), small_pairs.size());
+}
+
+TEST(BinGrid, ExactBoundaryIsExcluded) {
+    // Distance exactly == radius must not count (strict inequality).
+    std::vector<double> pts{0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+    bs::BinGrid3D grid(pts, 1.0);
+    auto list = grid.query(pts, true);
+    EXPECT_EQ(list.count(0), 0u);
+    EXPECT_EQ(list.count(1), 0u);
+    bs::BinGrid3D grid2(pts, 1.0001);
+    auto list2 = grid2.query(pts, true);
+    EXPECT_EQ(list2.count(0), 1u);
+}
+
+TEST(BinGrid, DenseClusterAllPairs) {
+    // All points inside one radius: every query sees all others.
+    constexpr std::size_t n = 40;
+    auto pts = random_cloud(n, 5, /*extent=*/0.01);
+    bs::BinGrid3D grid(pts, 1.0);
+    auto list = grid.query(pts, true);
+    for (std::size_t q = 0; q < n; ++q) EXPECT_EQ(list.count(q), n - 1);
+}
+
+TEST(BinGrid, NegativeCoordinatesBinnedCorrectly) {
+    // Regression guard: floor (not truncation) for negative coordinates.
+    std::vector<double> pts{-0.05, 0.0, 0.0, 0.05, 0.0, 0.0};
+    bs::BinGrid3D grid(pts, 0.2);
+    auto list = grid.query(pts, true);
+    EXPECT_EQ(list.count(0), 1u);
+    EXPECT_EQ(list.count(1), 1u);
+}
+
+TEST(BinGrid, RejectsBadInput) {
+    std::vector<double> pts{1.0, 2.0}; // not multiple of 3
+    EXPECT_THROW(bs::BinGrid3D(pts, 1.0), beatnik::Error);
+    std::vector<double> ok{1.0, 2.0, 3.0};
+    EXPECT_THROW(bs::BinGrid3D(ok, 0.0), beatnik::Error);
+    EXPECT_THROW(bs::BinGrid3D(ok, -1.0), beatnik::Error);
+}
+
+} // namespace
