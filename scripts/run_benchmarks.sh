@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Build and smoke-run every bench/ binary (plus the examples) at tiny sizes.
+#
+# This is a wiring check, not a measurement: it proves each binary still
+# configures, links, starts, and exits 0 after a change. Full paper-scale
+# runs use the binaries' default or --scale=paper flags directly.
+#
+# Usage: scripts/run_benchmarks.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+run() {
+    local name=$1
+    shift
+    echo
+    echo "### smoke: $name $*"
+    "$BUILD_DIR/bench/$name" "$@" >/dev/null
+    echo "### ok: $name"
+}
+
+run_example() {
+    local name=$1
+    shift
+    echo
+    echo "### smoke: examples/$name $*"
+    "$BUILD_DIR/examples/$name" "$@" >/dev/null
+    echo "### ok: examples/$name"
+}
+
+# Paper-figure benches: smallest supported scale for each.
+run bench_ablation_medium_cutoff
+run bench_fig03_loworder_weak --scale=small
+run bench_fig04_loworder_strong
+run bench_fig05_cutoff_weak
+run bench_fig06_07_load_imbalance
+run bench_fig08_cutoff_strong
+run bench_fig09_table1_fft_configs --scale=small
+run bench_model_validation
+
+# Google-Benchmark micro benches (built only when libbenchmark is present):
+# a minimal timed pass over every registered benchmark.
+for micro in micro_collectives micro_fft micro_kernels; do
+    if [[ -x "$BUILD_DIR/bench/bench_$micro" ]]; then
+        # Plain-double seconds: the "0.01s" spelling needs benchmark >= 1.8.
+        run "bench_$micro" --benchmark_min_time=0.01
+    else
+        echo "### skip: bench_$micro (Google Benchmark not available)"
+    fi
+done
+
+# Examples at laptop sizes.
+run_example quickstart --ranks 2 --mesh 32 --steps 2
+run_example fft_tuning --ranks 2 --mesh 32 --steps 1
+run_example rocketrig --help
+run_example rocketrig --ranks 2 --mesh 32 --steps 2
+run_example singlemode_rollup --ranks 2 --mesh 32 --steps 2
+
+echo
+echo "All bench and example binaries ran successfully."

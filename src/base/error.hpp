@@ -47,12 +47,24 @@ std::string strcat_msg(Args&&... args) {
 }
 
 namespace detail {
+
+/// __FILE__ is whatever path the build system compiled with — absolute for
+/// out-of-source CMake builds. Trim to the basename so failure messages are
+/// identical no matter where the tree was checked out or built.
+constexpr std::string_view trim_to_basename(std::string_view file) {
+    if (auto pos = file.find_last_of("/\\"); pos != std::string_view::npos) {
+        return file.substr(pos + 1);
+    }
+    return file;
+}
+
 [[noreturn]] inline void throw_check_failure(std::string_view kind, std::string_view expr,
                                              std::string_view file, int line,
                                              const std::string& msg) {
-    throw Error(strcat_msg(kind, " failed: `", expr, "` at ", file, ":", line,
+    throw Error(strcat_msg(kind, " failed: `", expr, "` at ", trim_to_basename(file), ":", line,
                            msg.empty() ? "" : " — ", msg));
 }
+
 } // namespace detail
 
 } // namespace beatnik

@@ -8,6 +8,7 @@
 
 #include "base/rng.hpp"
 #include "comm/communicator.hpp"
+#include "test_env.hpp"
 
 namespace bc = beatnik::comm;
 
@@ -23,7 +24,14 @@ void run(int nranks, const std::function<void(bc::Communicator&)>& fn,
 
 class CollectivesP : public ::testing::TestWithParam<int> {};
 
-INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16),
+// 4 is deliberately absent: it is BEATNIK_TEST_THREADS' default, so the
+// EnvRankCount instantiation below covers it without running it twice.
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP, ::testing::Values(1, 2, 3, 5, 7, 8, 13, 16),
+                         ::testing::PrintToStringParamName());
+// The BEATNIK_TEST_THREADS rank count always runs too, so the environment
+// the harness selects is exercised even when it is not in the fixed sweep.
+INSTANTIATE_TEST_SUITE_P(EnvRankCount, CollectivesP,
+                         ::testing::Values(beatnik::test::thread_count()),
                          ::testing::PrintToStringParamName());
 
 TEST_P(CollectivesP, BarrierCompletes) {

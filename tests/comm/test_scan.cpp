@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/communicator.hpp"
+#include "test_env.hpp"
 
 namespace bc = beatnik::comm;
 
@@ -15,6 +16,10 @@ void run(int nranks, const std::function<void(bc::Communicator&)>& fn) {
 
 class ScanP : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(RankCounts, ScanP, ::testing::Values(1, 2, 3, 5, 8, 13),
+                         ::testing::PrintToStringParamName());
+// Also run at the environment-selected rank count (see tests/test_env.hpp).
+INSTANTIATE_TEST_SUITE_P(EnvRankCount, ScanP,
+                         ::testing::Values(beatnik::test::thread_count()),
                          ::testing::PrintToStringParamName());
 
 TEST_P(ScanP, InclusiveSumOfRanks) {

@@ -4,6 +4,7 @@
 
 #include "base/rng.hpp"
 #include "fft/distributed_fft3d.hpp"
+#include "test_env.hpp"
 
 namespace bf = beatnik::fft;
 namespace bc = beatnik::comm;
@@ -43,8 +44,10 @@ std::vector<cplx> serial_fft3d(std::vector<cplx> x, int n0, int n1, int n2) {
 
 std::vector<cplx> global_signal(int n0, int n1, int n2, std::uint64_t seed) {
     std::vector<cplx> x(static_cast<std::size_t>(n0) * n1 * n2);
+    // `seed` is a per-test stream offset from the env-selected base seed.
+    const std::uint64_t s = beatnik::test::seed() + seed;
     for (std::size_t k = 0; k < x.size(); ++k) {
-        x[k] = {beatnik::hash_uniform(seed, k) - 0.5, beatnik::hash_uniform(seed + 1, k) - 0.5};
+        x[k] = {beatnik::hash_uniform(s, k) - 0.5, beatnik::hash_uniform(s + 1, k) - 0.5};
     }
     return x;
 }

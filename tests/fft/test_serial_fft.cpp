@@ -8,6 +8,7 @@
 
 #include "base/rng.hpp"
 #include "fft/serial_fft.hpp"
+#include "test_env.hpp"
 
 namespace bf = beatnik::fft;
 using bf::cplx;
@@ -16,7 +17,8 @@ namespace {
 
 std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
     std::vector<cplx> x(n);
-    beatnik::SplitMix64 rng(seed);
+    // `seed` is a per-test stream offset from the env-selected base seed.
+    beatnik::SplitMix64 rng(beatnik::test::seed() + seed);
     for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
     return x;
 }

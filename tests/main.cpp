@@ -1,0 +1,19 @@
+/// \file main.cpp
+/// \brief Shared gtest entry point for every Beatnik test binary.
+///
+/// Replaces gtest_main so all suites report the deterministic environment
+/// they ran under (seed + rank-thread count, see test_env.hpp) — essential
+/// for reproducing a multi-rank netsim failure from a CI log.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_env.hpp"
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    std::printf("[beatnik] BEATNIK_TEST_SEED=%llu BEATNIK_TEST_THREADS=%d\n",
+                static_cast<unsigned long long>(beatnik::test::seed()),
+                beatnik::test::thread_count());
+    return RUN_ALL_TESTS();
+}

@@ -7,6 +7,7 @@
 
 #include "base/rng.hpp"
 #include "search/neighbor_search.hpp"
+#include "test_env.hpp"
 
 namespace bs = beatnik::search;
 
@@ -14,7 +15,8 @@ namespace {
 
 std::vector<double> random_cloud(std::size_t n, std::uint64_t seed, double extent = 2.0) {
     std::vector<double> pts(3 * n);
-    beatnik::SplitMix64 rng(seed);
+    // `seed` is a per-test stream offset from the env-selected base seed.
+    beatnik::SplitMix64 rng(beatnik::test::seed() + seed);
     for (auto& v : pts) v = rng.uniform(-extent, extent);
     return pts;
 }

@@ -1,0 +1,45 @@
+/// \file test_env.hpp
+/// \brief Deterministic test-environment knobs shared by every test binary.
+///
+/// Multi-rank tests (tests/comm, tests/netsim, tests/par) must behave the
+/// same on every machine and under every ctest -j level, so randomness and
+/// rank counts are controlled here instead of being scattered per test:
+///
+///   BEATNIK_TEST_SEED     base RNG seed (default 20240517, the paper year
+///                         + conference date — any fixed value works)
+///   BEATNIK_TEST_THREADS  default rank-thread count for multi-rank tests
+///                         (default 4)
+///
+/// Both are read once at process start by tests/main.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace beatnik::test {
+
+namespace detail {
+inline std::uint64_t read_env_u64(const char* name, std::uint64_t fallback) {
+    const char* v = std::getenv(name);
+    if (!v || !*v) return fallback;
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    return (end && *end == '\0') ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+} // namespace detail
+
+/// Base seed every test should derive its RNG streams from.
+inline std::uint64_t seed() {
+    static const std::uint64_t s = detail::read_env_u64("BEATNIK_TEST_SEED", 20240517ull);
+    return s;
+}
+
+/// Default rank-thread count for multi-rank (netsim / comm) tests.
+inline int thread_count() {
+    static const int n =
+        static_cast<int>(detail::read_env_u64("BEATNIK_TEST_THREADS", 4ull));
+    return n > 0 ? n : 4;
+}
+
+} // namespace beatnik::test
