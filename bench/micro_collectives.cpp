@@ -1,9 +1,27 @@
 /// \file micro_collectives.cpp
-/// \brief Real-execution collective benchmarks on thread-ranks
-/// (google-benchmark): the three alltoall algorithms, allreduce, and
-/// barrier across rank counts — the ablation data for the collective-
-/// algorithm design choices in DESIGN.md §5.
-#include <benchmark/benchmark.h>
+/// \brief Real-execution collective microbenchmarks on thread-ranks.
+///
+/// Standalone CLI (no Google Benchmark dependency) so results can be
+/// emitted in the repo's own regression-tracking schema: one JSON record
+/// per configuration with `op`, `algo`, `ranks`, `bytes` (payload bytes of
+/// a single point-to-point message in the pattern) and `ns_per_op`.
+/// `scripts/compare_benchmarks.py` diffs two such files and fails on
+/// regression; CI uploads the JSON as an artifact on every run.
+///
+/// Usage:
+///   bench_micro_collectives [--out <file.json>] [--quick]
+///
+/// --quick shrinks iteration counts to a wiring-check level (used by
+/// scripts/run_benchmarks.sh); timing noise makes quick numbers unsuitable
+/// for regression comparison.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "comm/communicator.hpp"
 
@@ -11,79 +29,145 @@ namespace bc = beatnik::comm;
 
 namespace {
 
-void BM_Barrier(benchmark::State& state) {
-    const int p = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        bc::Context::run(p, [](bc::Communicator& comm) {
-            for (int i = 0; i < 10; ++i) comm.barrier();
-        });
-    }
-    state.SetItemsProcessed(state.iterations() * 10);
-}
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(16);
+struct Result {
+    std::string op;
+    std::string algo;     // "-" when the op has no algorithm knob
+    int ranks = 0;
+    std::size_t bytes = 0; // payload bytes of one p2p message in the pattern
+    int iters = 0;
+    double ns_per_op = 0.0;
+};
 
-void BM_AllreduceVector(benchmark::State& state) {
-    const int p = static_cast<int>(state.range(0));
-    const auto n = static_cast<std::size_t>(state.range(1));
-    for (auto _ : state) {
-        bc::Context::run(p, [n](bc::Communicator& comm) {
-            std::vector<double> xs(n, comm.rank());
-            for (int i = 0; i < 5; ++i) comm.allreduce(std::span<double>(xs), bc::op::Sum{});
-            benchmark::DoNotOptimize(xs.data());
-        });
-    }
-    state.SetBytesProcessed(state.iterations() * 5 *
-                            static_cast<std::int64_t>(n * sizeof(double) * static_cast<std::size_t>(p)));
+/// Run a collective `iters` times on every rank (after a warmup) inside a
+/// single Context::run so neither thread spawn nor per-rank buffer setup
+/// lands in the measurement. \p setup(comm) runs once per rank and returns
+/// the per-iteration closure. Returns rank 0's wall time per iteration in
+/// nanoseconds.
+template <class Setup>
+double time_collective(int ranks, int iters, bc::ContextConfig cfg, Setup&& setup) {
+    double ns_per_op = 0.0;
+    bc::Context::run(ranks, [&](bc::Communicator& comm) {
+        auto op = setup(comm);
+        const int warmup = iters >= 10 ? iters / 10 : 1;
+        for (int i = 0; i < warmup; ++i) op();
+        comm.barrier();
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i) op();
+        comm.barrier();
+        auto t1 = std::chrono::steady_clock::now();
+        if (comm.rank() == 0) {
+            ns_per_op = std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+        }
+    }, cfg);
+    return ns_per_op;
 }
-BENCHMARK(BM_AllreduceVector)->Args({4, 1})->Args({4, 4096})->Args({16, 4096});
 
-void BM_AlltoallAlgo(benchmark::State& state) {
-    const int p = static_cast<int>(state.range(0));
-    const auto block = static_cast<std::size_t>(state.range(1));
-    const auto algo = static_cast<bc::AlltoallAlgo>(state.range(2));
-    for (auto _ : state) {
-        bc::ContextConfig cfg;
-        cfg.alltoall_algo = algo;
-        bc::Context::run(
-            p,
-            [&](bc::Communicator& comm) {
-                std::vector<double> sendbuf(block * static_cast<std::size_t>(p),
-                                            comm.rank() * 1.0);
-                for (int i = 0; i < 3; ++i) {
-                    auto r = comm.alltoall(std::span<const double>(sendbuf));
-                    benchmark::DoNotOptimize(r.data());
-                }
-            },
-            cfg);
+const char* algo_name(bc::AlltoallAlgo algo) {
+    switch (algo) {
+    case bc::AlltoallAlgo::pairwise: return "pairwise";
+    case bc::AlltoallAlgo::linear: return "linear";
+    case bc::AlltoallAlgo::bruck: return "bruck";
     }
-    const char* names[] = {"pairwise", "linear", "bruck"};
-    state.SetLabel(names[state.range(2)]);
-    state.SetBytesProcessed(state.iterations() * 3 *
-                            static_cast<std::int64_t>(block * sizeof(double) *
-                                                      static_cast<std::size_t>(p) *
-                                                      static_cast<std::size_t>(p)));
+    return "?";
 }
-// Sweep: small blocks favor bruck (fewer messages), large favor pairwise.
-BENCHMARK(BM_AlltoallAlgo)
-    ->Args({8, 8, 0})
-    ->Args({8, 8, 1})
-    ->Args({8, 8, 2})
-    ->Args({8, 8192, 0})
-    ->Args({8, 8192, 1})
-    ->Args({8, 8192, 2})
-    ->Args({16, 64, 0})
-    ->Args({16, 64, 2});
 
-void BM_ContextSpawn(benchmark::State& state) {
-    // Fixed cost of standing up N rank-threads (relevant when reading the
-    // other numbers: each iteration above includes one spawn).
-    const int p = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        bc::Context::run(p, [](bc::Communicator&) {});
-    }
+Result bench_barrier(int ranks, int iters) {
+    double ns = time_collective(ranks, iters, {}, [](bc::Communicator& comm) {
+        return [&comm] { comm.barrier(); };
+    });
+    return {"barrier", "-", ranks, 0, iters, ns};
 }
-BENCHMARK(BM_ContextSpawn)->Arg(4)->Arg(16)->Arg(64);
+
+Result bench_bcast(int ranks, std::size_t doubles, int iters) {
+    double ns = time_collective(ranks, iters, {}, [doubles](bc::Communicator& comm) {
+        auto buf = std::make_shared<std::vector<double>>(doubles, 1.5);
+        return [&comm, buf] { comm.bcast(std::span<double>(*buf), 0); };
+    });
+    return {"bcast", "-", ranks, doubles * sizeof(double), iters, ns};
+}
+
+Result bench_allreduce(int ranks, std::size_t doubles, int iters) {
+    double ns = time_collective(ranks, iters, {}, [doubles](bc::Communicator& comm) {
+        auto xs = std::make_shared<std::vector<double>>(doubles, comm.rank() * 1.0);
+        return [&comm, xs] { comm.allreduce(std::span<double>(*xs), bc::op::Sum{}); };
+    });
+    return {"allreduce", "-", ranks, doubles * sizeof(double), iters, ns};
+}
+
+Result bench_alltoall(int ranks, bc::AlltoallAlgo algo, std::size_t block_doubles, int iters) {
+    bc::ContextConfig cfg;
+    cfg.alltoall_algo = algo;
+    double ns = time_collective(ranks, iters, cfg, [block_doubles](bc::Communicator& comm) {
+        auto sendbuf = std::make_shared<std::vector<double>>(
+            block_doubles * static_cast<std::size_t>(comm.size()), comm.rank() * 1.0);
+        return [&comm, sendbuf] {
+            auto r = comm.alltoall(std::span<const double>(*sendbuf));
+            // Keep the result alive so the exchange cannot be elided.
+            if (!r.empty() && r.front() < -1.0) std::abort();
+        };
+    });
+    return {"alltoall", algo_name(algo), ranks, block_doubles * sizeof(double), iters, ns};
+}
+
+void write_json(const std::vector<Result>& results, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+        std::exit(1);
+    }
+    out << "{\n  \"bench\": \"micro_collectives\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        out << "    {\"op\": \"" << r.op << "\", \"algo\": \"" << r.algo
+            << "\", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
+            << ", \"iters\": " << r.iters << ", \"ns_per_op\": " << r.ns_per_op << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string out_path;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--out <file.json>] [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+    // Iteration counts tuned so the full suite runs in tens of seconds on a
+    // laptop core; --quick is a smoke pass only.
+    auto n = [quick](int full) { return quick ? std::max(2, full / 50) : full; };
+
+    std::vector<Result> results;
+    results.push_back(bench_barrier(2, n(2000)));
+    results.push_back(bench_barrier(8, n(500)));
+    results.push_back(bench_bcast(8, 1024, n(500)));
+    results.push_back(bench_bcast(8, 131072, n(100)));
+    results.push_back(bench_allreduce(4, 1, n(1000)));
+    results.push_back(bench_allreduce(8, 4096, n(200)));
+    for (auto algo : {bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::linear,
+                      bc::AlltoallAlgo::bruck}) {
+        results.push_back(bench_alltoall(8, algo, 8, n(500)));       // 64 B messages
+        results.push_back(bench_alltoall(8, algo, 1024, n(200)));    // 8 KiB messages
+        results.push_back(bench_alltoall(8, algo, 131072, n(20)));   // 1 MiB messages
+    }
+
+    std::printf("%-10s %-9s %6s %10s %8s %14s\n", "op", "algo", "ranks", "bytes", "iters",
+                "ns/op");
+    for (const Result& r : results) {
+        std::printf("%-10s %-9s %6d %10zu %8d %14.0f\n", r.op.c_str(), r.algo.c_str(), r.ranks,
+                    r.bytes, r.iters, r.ns_per_op);
+    }
+    if (!out_path.empty()) {
+        write_json(results, out_path);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare two micro-benchmark JSON files and fail on regression.
+
+Usage:
+    compare_benchmarks.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Both files use the schema bench_micro_collectives emits:
+
+    {"bench": "...", "results": [
+        {"op": "alltoall", "algo": "pairwise", "ranks": 8,
+         "bytes": 1048576, "iters": 20, "ns_per_op": 6361901.0}, ...]}
+
+Records are matched on (op, algo, ranks, bytes). The script prints a
+side-by-side table with the current/baseline ratio per record and exits
+nonzero if any matched record regressed by more than the threshold
+(default 20%). Records present in only one file are reported but never
+fail the run, so adding or retiring configurations doesn't break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for r in data["results"]:
+        key = (r["op"], r.get("algo", "-"), r["ranks"], r["bytes"])
+        if key in out:
+            sys.exit(f"error: duplicate record {key} in {path}")
+        out[key] = r
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max allowed slowdown as a fraction (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    header = f"{'op':<10} {'algo':<9} {'ranks':>5} {'bytes':>10} {'base ns/op':>14} {'cur ns/op':>14} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in sorted(baseline.keys() | current.keys()):
+        op, algo, ranks, nbytes = key
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"{op:<10} {algo:<9} {ranks:>5} {nbytes:>10} {'(new)':>14} {cur['ns_per_op']:>14.0f} {'-':>7}")
+            continue
+        if cur is None:
+            print(f"{op:<10} {algo:<9} {ranks:>5} {nbytes:>10} {base['ns_per_op']:>14.0f} {'(gone)':>14} {'-':>7}")
+            continue
+        ratio = cur["ns_per_op"] / base["ns_per_op"]
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, ratio))
+        print(
+            f"{op:<10} {algo:<9} {ranks:>5} {nbytes:>10} "
+            f"{base['ns_per_op']:>14.0f} {cur['ns_per_op']:>14.0f} {ratio:>7.2f}{flag}"
+        )
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} record(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}:"
+        )
+        for (op, algo, ranks, nbytes), ratio in regressions:
+            print(f"  {op}/{algo} ranks={ranks} bytes={nbytes}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nOK: no record regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,14 @@
 /// code uses, so a message trace of a collective shows the real pattern an
 /// MPI library would issue.
 ///
+/// Message-path cost model: a send publishes its payload once into a
+/// shared immutable buffer (comm::Payload) and delivers only a handle to
+/// the destination mailbox. Receivers read the buffer in place through
+/// Message::view<T>() — the zero-copy path every collective below uses —
+/// or copy it out once via recv()/recv_bytes(). Tree and ring collectives
+/// (bcast, allgather) forward the *same* buffer hop to hop, so a broadcast
+/// to P ranks allocates one buffer total, not P.
+///
 /// Thread model: each rank-thread owns its own Communicator instance;
 /// instances referring to the same comm_id cooperate through the shared
 /// Context. All methods are safe to call concurrently from different
@@ -19,6 +27,7 @@
 
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <numeric>
 #include <optional>
 #include <span>
@@ -33,6 +42,19 @@ namespace beatnik::comm {
 /// Types that can cross rank boundaries byte-wise.
 template <class T>
 concept Transferable = std::is_trivially_copyable_v<T>;
+
+/// A received message: matching metadata plus the shared immutable payload.
+/// The payload aliases the buffer the sender published — reading it through
+/// view() costs nothing beyond the pointer chase.
+struct Message {
+    Status status;
+    Payload payload;
+
+    template <Transferable T>
+    [[nodiscard]] std::span<const T> view() const {
+        return payload.view<T>();
+    }
+};
 
 /// Handle for a pending nonblocking operation. isend() completes
 /// immediately (sends are buffered); irecv() defers the matching receive
@@ -95,21 +117,32 @@ public:
 
     // ------------------------------------------------------------------ p2p
 
-    /// Buffered send: copies \p data into the destination mailbox and
-    /// returns immediately. Safe to call in any order w.r.t. receives.
+    /// Buffered send: publishes \p data once into a shared buffer, delivers
+    /// a handle to the destination mailbox, and returns immediately. Safe
+    /// to call in any order w.r.t. receives.
     void send_bytes(std::span<const std::byte> data, int dest, int tag) {
         check_peer(dest);
         check_user_tag(tag);
         post_bytes(data, dest, tag);
     }
 
-    /// Blocking receive into \p out (resized to the payload).
-    Status recv_bytes(std::vector<std::byte>& out, int src = any_source, int tag = any_tag) {
+    /// Blocking zero-copy receive: returns the matched message with its
+    /// payload aliased, never copied. Prefer this over recv()/recv_bytes()
+    /// when the data is only read (reductions, unpacking into a larger
+    /// buffer, forwarding).
+    [[nodiscard]] Message recv_msg(int src = any_source, int tag = any_tag) {
         if (src != any_source) check_peer(src);
         Envelope env = ctx_->mailbox(world_rank()).receive(comm_id_, src, tag);
-        Status st{env.src, env.tag, env.payload.size()};
-        out = std::move(env.payload);
-        return st;
+        return Message{Status{env.src, env.tag, env.payload.size()}, std::move(env.payload)};
+    }
+
+    /// Blocking receive into \p out (resized to the payload). One copy,
+    /// shared buffer -> caller's vector.
+    Status recv_bytes(std::vector<std::byte>& out, int src = any_source, int tag = any_tag) {
+        Message m = recv_msg(src, tag);
+        auto bytes = m.payload.bytes();
+        out.assign(bytes.begin(), bytes.end());
+        return m.status;
     }
 
     template <Transferable T>
@@ -118,15 +151,13 @@ public:
     }
 
     /// Receive a typed message; \p out is resized to the element count.
+    /// One copy, shared buffer -> caller's vector.
     template <Transferable T>
     Status recv(std::vector<T>& out, int src = any_source, int tag = any_tag) {
-        std::vector<std::byte> raw;
-        Status st = recv_bytes(raw, src, tag);
-        BEATNIK_REQUIRE(raw.size() % sizeof(T) == 0,
-                        "received payload size is not a multiple of element size");
-        out.resize(raw.size() / sizeof(T));
-        std::memcpy(out.data(), raw.data(), raw.size());
-        return st;
+        Message m = recv_msg(src, tag);
+        auto in = m.view<T>();
+        out.assign(in.begin(), in.end());
+        return m.status;
     }
 
     template <Transferable T>
@@ -136,10 +167,9 @@ public:
 
     template <Transferable T>
     T recv_value(int src = any_source, int tag = any_tag) {
-        std::vector<T> buf;
-        Status st = recv<T>(buf, src, tag);
-        BEATNIK_REQUIRE(st.bytes == sizeof(T), "recv_value: message is not a single element");
-        return buf.front();
+        Message m = recv_msg(src, tag);
+        BEATNIK_REQUIRE(m.status.bytes == sizeof(T), "recv_value: message is not a single element");
+        return m.view<T>().front();
     }
 
     template <Transferable T>
@@ -176,7 +206,9 @@ public:
         }
     }
 
-    /// Binomial-tree broadcast of a fixed-size buffer.
+    /// Binomial-tree broadcast of a fixed-size buffer. The root publishes
+    /// one shared buffer; every forwarding hop aliases it, so the whole
+    /// tree moves a single allocation.
     template <Transferable T>
     void bcast(std::span<T> data, int root) {
         check_peer(root);
@@ -187,17 +219,21 @@ public:
         // Receive from the binomial-tree parent (clear lowest set bit),
         // then forward to children vrank + b for powers of two b below the
         // lowest set bit of vrank (all of them, for the root).
-        if (vrank != 0) {
+        Payload shared;
+        if (vrank == 0) {
+            shared = Payload::copy_of(std::as_bytes(std::span<const T>(data.data(), data.size())));
+        } else {
             int parent = ((vrank & (vrank - 1)) + root) % p;
-            std::vector<T> incoming;
-            recv<T>(incoming, parent, tag);
+            Message m = recv_msg(parent, tag);
+            auto incoming = m.view<T>();
             BEATNIK_REQUIRE(incoming.size() == data.size(), "bcast: buffer size mismatch");
             std::copy(incoming.begin(), incoming.end(), data.begin());
+            shared = std::move(m.payload);
         }
         const int lowbit = vrank == 0 ? p : (vrank & -vrank);
         for (int b = 1; b < lowbit && vrank + b < p; b <<= 1) {
             int child = (vrank + b + root) % p;
-            post_typed(std::span<const T>(data.data(), data.size()), child, tag);
+            post_payload(shared, child, tag);
         }
     }
 
@@ -214,7 +250,6 @@ public:
         const int tag = next_collective_tag(kTagReduce);
         const int p = size();
         const int vrank = (rank_ - root + p) % p;
-        std::vector<T> incoming;
         for (int mask = 1; mask < p; mask <<= 1) {
             if ((vrank & mask) != 0) {
                 int parent = ((vrank & ~mask) + root) % p;
@@ -224,7 +259,8 @@ public:
             int child_v = vrank | mask;
             if (child_v < p) {
                 int child = (child_v + root) % p;
-                recv<T>(incoming, child, tag);
+                Message m = recv_msg(child, tag);
+                auto incoming = m.view<T>();
                 BEATNIK_REQUIRE(incoming.size() == data.size(), "reduce: buffer size mismatch");
                 for (std::size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], incoming[i]);
             }
@@ -241,7 +277,6 @@ public:
         int pof2 = 1;
         while (pof2 * 2 <= p) pof2 *= 2;
         const int rem = p - pof2;
-        std::vector<T> incoming;
 
         // Fold the ranks beyond the power-of-two boundary into the front.
         int my = rank_;
@@ -250,7 +285,9 @@ public:
             post_typed(std::span<const T>(data.data(), data.size()), rank_ - pof2, tag);
             parked = true;
         } else if (rank_ < rem) {
-            recv<T>(incoming, rank_ + pof2, tag);
+            Message m = recv_msg(rank_ + pof2, tag);
+            auto incoming = m.view<T>();
+            BEATNIK_REQUIRE(incoming.size() == data.size(), "allreduce: buffer size mismatch");
             for (std::size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], incoming[i]);
         }
 
@@ -258,7 +295,9 @@ public:
             for (int mask = 1; mask < pof2; mask <<= 1) {
                 int partner = my ^ mask;
                 post_typed(std::span<const T>(data.data(), data.size()), partner, tag);
-                recv<T>(incoming, partner, tag);
+                Message m = recv_msg(partner, tag);
+                auto incoming = m.view<T>();
+                BEATNIK_REQUIRE(incoming.size() == data.size(), "allreduce: buffer size mismatch");
                 for (std::size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], incoming[i]);
             }
         }
@@ -267,7 +306,9 @@ public:
         if (rank_ < rem) {
             post_typed(std::span<const T>(data.data(), data.size()), rank_ + pof2, tag);
         } else if (parked) {
-            recv<T>(incoming, rank_ - pof2, tag);
+            Message m = recv_msg(rank_ - pof2, tag);
+            auto incoming = m.view<T>();
+            BEATNIK_REQUIRE(incoming.size() == data.size(), "allreduce: buffer size mismatch");
             std::copy(incoming.begin(), incoming.end(), data.begin());
         }
     }
@@ -292,19 +333,21 @@ public:
         std::vector<T> all(local.size() * static_cast<std::size_t>(p));
         std::copy(local.begin(), local.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(local.size()) * root);
-        std::vector<T> incoming;
         for (int r = 0; r < p; ++r) {
             if (r == root) continue;
-            Status st = recv<T>(incoming, r, tag);
-            BEATNIK_REQUIRE(st.bytes == local.size_bytes(), "gather: contribution size mismatch");
+            Message m = recv_msg(r, tag);
+            BEATNIK_REQUIRE(m.status.bytes == local.size_bytes(),
+                            "gather: contribution size mismatch");
+            auto incoming = m.view<T>();
             std::copy(incoming.begin(), incoming.end(),
                       all.begin() + static_cast<std::ptrdiff_t>(local.size()) * r);
         }
         return all;
     }
 
-    /// Gather with per-rank sizes. On the root, \p counts_out (if non-null)
-    /// receives each rank's element count.
+    /// Gather with per-rank sizes. \p counts_out is a root-only output: on
+    /// the root it receives each rank's element count (ordered by rank); on
+    /// every other rank it is cleared, never left holding stale data.
     template <Transferable T>
     [[nodiscard]] std::vector<T> gatherv(std::span<const T> local, int root,
                                          std::vector<std::size_t>* counts_out = nullptr) {
@@ -312,18 +355,31 @@ public:
         const int tag = next_collective_tag(kTagGatherv);
         const int p = size();
         if (rank_ != root) {
+            if (counts_out) counts_out->clear();
             post_typed(local, root, tag);
             return {};
         }
-        std::vector<std::vector<T>> parts(static_cast<std::size_t>(p));
-        parts[static_cast<std::size_t>(root)].assign(local.begin(), local.end());
-        for (int r = 0; r < p; ++r) {
-            if (r == root) continue;
-            recv<T>(parts[static_cast<std::size_t>(r)], r, tag);
+        // Take contributions in arrival order (matching routes by source),
+        // then concatenate in rank order from the aliased payloads.
+        std::vector<Payload> parts(static_cast<std::size_t>(p));
+        for (int i = 0; i < p - 1; ++i) {
+            Message m = recv_msg(any_source, tag);
+            parts[static_cast<std::size_t>(m.status.source)] = std::move(m.payload);
         }
         std::vector<T> all;
-        if (counts_out) counts_out->clear();
-        for (auto& part : parts) {
+        std::size_t total = local.size();
+        for (int r = 0; r < p; ++r) {
+            if (r != root) total += parts[static_cast<std::size_t>(r)].size() / sizeof(T);
+        }
+        all.reserve(total);
+        if (counts_out) {
+            counts_out->clear();
+            counts_out->reserve(static_cast<std::size_t>(p));
+        }
+        for (int r = 0; r < p; ++r) {
+            std::span<const T> part = r == root
+                ? local
+                : parts[static_cast<std::size_t>(r)].view<T>();
             if (counts_out) counts_out->push_back(part.size());
             all.insert(all.end(), part.begin(), part.end());
         }
@@ -347,14 +403,15 @@ public:
             return {all.begin() + static_cast<std::ptrdiff_t>(count * static_cast<std::size_t>(root)),
                     all.begin() + static_cast<std::ptrdiff_t>(count * (static_cast<std::size_t>(root) + 1))};
         }
-        std::vector<T> mine;
-        recv<T>(mine, root, tag);
+        Message m = recv_msg(root, tag);
+        auto mine = m.view<T>();
         BEATNIK_REQUIRE(mine.size() == count, "scatter: received chunk size mismatch");
-        return mine;
+        return {mine.begin(), mine.end()};
     }
 
     /// Ring allgather of equal-size contributions; every rank returns the
-    /// concatenation ordered by rank.
+    /// concatenation ordered by rank. Each rank's block is published once
+    /// and the same buffer is aliased all the way around the ring.
     template <Transferable T>
     [[nodiscard]] std::vector<T> allgather(std::span<const T> local) {
         const int tag = next_collective_tag(kTagAllgather);
@@ -363,19 +420,19 @@ public:
         std::vector<T> all(n * static_cast<std::size_t>(p));
         std::copy(local.begin(), local.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(n) * rank_);
+        if (p == 1) return all;
         const int right = (rank_ + 1) % p;
         const int left = (rank_ - 1 + p) % p;
-        std::vector<T> block(local.begin(), local.end());
-        std::vector<T> incoming;
+        Payload block = Payload::copy_of(std::as_bytes(local));
         for (int step = 0; step < p - 1; ++step) {
-            post_typed(std::span<const T>(block.data(), block.size()), right, tag);
-            Status st = recv<T>(incoming, left, tag);
-            BEATNIK_REQUIRE(st.bytes == n * sizeof(T) && incoming.size() == n,
-                            "allgather: block size mismatch");
+            post_payload(block, right, tag);
+            Message m = recv_msg(left, tag);
+            BEATNIK_REQUIRE(m.status.bytes == n * sizeof(T), "allgather: block size mismatch");
+            auto incoming = m.view<T>();
             int origin = (rank_ - step - 1 + p) % p;
             std::copy_n(incoming.begin(), n,
                         all.begin() + static_cast<std::ptrdiff_t>(n) * origin);
-            block.swap(incoming);
+            block = std::move(m.payload);
         }
         return all;
     }
@@ -386,7 +443,8 @@ public:
     }
 
     /// Ring allgather with per-rank sizes. \p counts_out (if non-null)
-    /// receives every rank's element count.
+    /// receives every rank's element count. Blocks are forwarded around the
+    /// ring by aliasing, like allgather.
     template <Transferable T>
     [[nodiscard]] std::vector<T> allgatherv(std::span<const T> local,
                                             std::vector<std::size_t>* counts_out = nullptr) {
@@ -398,20 +456,21 @@ public:
         std::vector<T> all(offsets.back());
         std::copy(local.begin(), local.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(rank_)]));
+        if (p == 1) return all;
         const int tag = next_collective_tag(kTagAllgatherv);
         const int right = (rank_ + 1) % p;
         const int left = (rank_ - 1 + p) % p;
-        std::vector<T> block(local.begin(), local.end());
-        std::vector<T> incoming;
+        Payload block = Payload::copy_of(std::as_bytes(local));
         for (int step = 0; step < p - 1; ++step) {
-            post_typed(std::span<const T>(block.data(), block.size()), right, tag);
-            recv<T>(incoming, left, tag);
+            post_payload(block, right, tag);
+            Message m = recv_msg(left, tag);
+            auto incoming = m.view<T>();
             int origin = (rank_ - step - 1 + p) % p;
             BEATNIK_REQUIRE(incoming.size() == counts[static_cast<std::size_t>(origin)],
                             "allgatherv: block size mismatch");
             std::copy(incoming.begin(), incoming.end(),
                       all.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(origin)]));
-            block.swap(incoming);
+            block = std::move(m.payload);
         }
         return all;
     }
@@ -438,6 +497,11 @@ public:
     /// common MPI_Alltoall-then-MPI_Alltoallv idiom. Returns the received
     /// elements grouped by source rank; \p recvcounts_out gets each
     /// source's element count.
+    ///
+    /// Supported algorithms: pairwise and linear. The Bruck v-variant
+    /// (which would need displacement bookkeeping through every log-step
+    /// round) is not implemented; selecting AlltoallAlgo::bruck throws
+    /// InvalidArgument instead of silently running a different algorithm.
     template <Transferable T>
     [[nodiscard]] std::vector<T> alltoallv(std::span<const T> sendbuf,
                                            std::span<const std::size_t> sendcounts,
@@ -447,6 +511,13 @@ public:
                         "alltoallv: sendcounts size != communicator size");
         std::size_t total = std::accumulate(sendcounts.begin(), sendcounts.end(), std::size_t{0});
         BEATNIK_REQUIRE(sendbuf.size() == total, "alltoallv: send buffer size != sum of counts");
+        // Reject unsupported algorithms before any message leaves, so no
+        // peer is left mid-collective.
+        if (alltoall_algo_ == AlltoallAlgo::bruck) {
+            throw InvalidArgument(
+                "alltoallv: the Bruck v-variant is not implemented; "
+                "use AlltoallAlgo::pairwise or AlltoallAlgo::linear");
+        }
 
         recvcounts_out = alltoall(std::span<const std::size_t>(sendcounts));
 
@@ -463,12 +534,13 @@ public:
             post_typed(sendbuf.subspan(sdispl[static_cast<std::size_t>(dst)], sendcounts[static_cast<std::size_t>(dst)]), dst, tag);
         };
         auto recv_block = [&](int src) {
-            std::vector<T> incoming;
-            recv<T>(incoming, src, tag);
-            BEATNIK_REQUIRE(incoming.size() == recvcounts_out[static_cast<std::size_t>(src)],
+            Message m = recv_msg(src, tag);
+            auto incoming = m.view<T>();
+            int from = m.status.source;
+            BEATNIK_REQUIRE(incoming.size() == recvcounts_out[static_cast<std::size_t>(from)],
                             "alltoallv: received block size mismatch");
             std::copy(incoming.begin(), incoming.end(),
-                      recvbuf.begin() + static_cast<std::ptrdiff_t>(rdispl[static_cast<std::size_t>(src)]));
+                      recvbuf.begin() + static_cast<std::ptrdiff_t>(rdispl[static_cast<std::size_t>(from)]));
         };
 
         // Self block never leaves the rank.
@@ -476,13 +548,16 @@ public:
                   sendbuf.begin() + static_cast<std::ptrdiff_t>(sdispl[static_cast<std::size_t>(rank_)] + sendcounts[static_cast<std::size_t>(rank_)]),
                   recvbuf.begin() + static_cast<std::ptrdiff_t>(rdispl[static_cast<std::size_t>(rank_)]));
 
-        if (alltoall_algo_ == AlltoallAlgo::linear) {
-            // Post everything, then drain: the "custom p2p" flavor.
+        switch (alltoall_algo_) {
+        case AlltoallAlgo::linear:
+            // Post everything, then drain in arrival order: the "custom
+            // p2p" flavor.
             for (int r = 0; r < p; ++r)
                 if (r != rank_) send_block(r);
             for (int r = 0; r < p; ++r)
-                if (r != rank_) recv_block(r);
-        } else {
+                if (r != rank_) recv_block(any_source);
+            break;
+        case AlltoallAlgo::pairwise:
             // Pairwise exchange: structured rounds, one partner at a time.
             for (int step = 1; step < p; ++step) {
                 int dst = (rank_ + step) % p;
@@ -490,6 +565,10 @@ public:
                 send_block(dst);
                 recv_block(src);
             }
+            break;
+        case AlltoallAlgo::bruck:
+            BEATNIK_ASSERT(false, "unreachable: rejected above");
+            break;
         }
         return recvbuf;
     }
@@ -501,9 +580,9 @@ public:
     [[nodiscard]] T scan_value(T value, Op op) {
         const int tag = next_collective_tag(kTagScan);
         if (rank_ > 0) {
-            std::vector<T> incoming;
-            recv<T>(incoming, rank_ - 1, tag);
-            value = op(incoming.front(), value);
+            Message m = recv_msg(rank_ - 1, tag);
+            BEATNIK_REQUIRE(m.status.bytes == sizeof(T), "scan: message is not a single element");
+            value = op(m.view<T>().front(), value);
         }
         if (rank_ + 1 < size()) {
             post_typed(std::span<const T>(&value, 1), rank_ + 1, tag);
@@ -519,9 +598,9 @@ public:
         const int tag = next_collective_tag(kTagScan);
         T prefix = identity;
         if (rank_ > 0) {
-            std::vector<T> incoming;
-            recv<T>(incoming, rank_ - 1, tag);
-            prefix = incoming.front();
+            Message m = recv_msg(rank_ - 1, tag);
+            BEATNIK_REQUIRE(m.status.bytes == sizeof(T), "exscan: message is not a single element");
+            prefix = m.view<T>().front();
         }
         if (rank_ + 1 < size()) {
             T total = op(prefix, value);
@@ -556,6 +635,11 @@ private:
     static constexpr int kTagSplit = 11;
     static constexpr int kTagScan = 12;
     static constexpr int kNumCollectiveKinds = 16;
+    /// Collective sequence numbers live in the tag space above
+    /// kUserTagLimit; this is how many fit before an int tag overflows
+    /// (about 134 million collectives per communicator instance).
+    static constexpr int kMaxCollectiveSeq =
+        (std::numeric_limits<int>::max() - kUserTagLimit) / kNumCollectiveKinds;
 
     void check_peer(int r) const {
         BEATNIK_REQUIRE(r >= 0 && r < size(), "peer rank out of range");
@@ -567,10 +651,18 @@ private:
     /// Collectives consume a per-communicator sequence number so that
     /// back-to-back collectives never confuse each other's messages.
     /// All ranks call collectives in the same order (MPI contract), so the
-    /// per-instance counter stays in lockstep across ranks.
+    /// per-instance counter stays in lockstep across ranks. The sequence
+    /// throws on exhaustion instead of silently wrapping into tag values
+    /// that could still be pending (the old 16-bit counter wrapped after
+    /// 65536 collectives).
     int next_collective_tag(int kind) {
-        int seq = collective_seq_++ & 0xFFFF;
-        return kUserTagLimit + seq * kNumCollectiveKinds + kind;
+        if (collective_seq_ >= kMaxCollectiveSeq) {
+            throw CommError(
+                "collective tag space exhausted: this communicator instance has issued " +
+                std::to_string(collective_seq_) +
+                " collectives; dup() it to get a fresh tag space");
+        }
+        return kUserTagLimit + collective_seq_++ * kNumCollectiveKinds + kind;
     }
 
     /// Internal typed send used by collectives: same delivery path as
@@ -581,17 +673,23 @@ private:
         post_bytes(std::as_bytes(data), dest, tag);
     }
 
-    /// The one place messages actually leave a rank: delivers to the
-    /// destination mailbox and records the transfer in the context trace.
     void post_bytes(std::span<const std::byte> data, int dest, int tag) {
+        post_payload(Payload::copy_of(data), dest, tag);
+    }
+
+    /// The one place messages actually leave a rank: delivers a handle to
+    /// an already-published buffer into the destination mailbox (a refcount
+    /// bump, no byte copy) and records the transfer in the context trace.
+    void post_payload(Payload payload, int dest, int tag) {
         if (Trace* t = ctx_->trace()) {
-            t->record(world_rank(), world_ranks_[static_cast<std::size_t>(dest)], data.size(), tag);
+            t->record(world_rank(), world_ranks_[static_cast<std::size_t>(dest)], payload.size(),
+                      tag);
         }
         Envelope env;
         env.comm_id = comm_id_;
         env.src = rank_;
         env.tag = tag;
-        env.payload.assign(data.begin(), data.end());
+        env.payload = std::move(payload);
         ctx_->mailbox(world_ranks_[static_cast<std::size_t>(dest)]).deliver(std::move(env));
     }
 
@@ -602,27 +700,69 @@ private:
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wstringop-overflow"
 #pragma GCC diagnostic ignored "-Wrestrict"
+    /// Whether an alltoall with \p block_bytes-sized messages should use
+    /// the zero-copy rendezvous path: blocks are published as aliases of
+    /// the caller's send buffer (no send copy) and a closing barrier holds
+    /// every rank in the collective until all reads have finished. The
+    /// decision is uniform across ranks (same block size, same config), so
+    /// the closing barrier is collective-safe.
+    [[nodiscard]] bool use_rendezvous(std::size_t block_bytes) const {
+        return size() > 1 && block_bytes >= ctx_->config().rendezvous_threshold_bytes;
+    }
+
+    /// Publish one alltoall block: aliased when the rendezvous path is on,
+    /// copied (eager) otherwise.
+    template <Transferable T>
+    void post_block(std::span<const T> block, int dest, int tag, bool rendezvous) {
+        if (rendezvous) {
+            check_peer(dest);
+            post_payload(Payload::alias_of(std::as_bytes(block)), dest, tag);
+        } else {
+            post_typed(block, dest, tag);
+        }
+    }
+
+    /// Concatenate the P alltoall blocks (self block from \p sendbuf, the
+    /// rest from the received payloads) into the result, writing each byte
+    /// exactly once into reserve()d storage — no value-init memset pass
+    /// over the output.
+    template <Transferable T>
+    std::vector<T> assemble_blocks(std::span<const T> sendbuf, std::size_t n,
+                                   std::span<const Payload> parts) {
+        const int p = size();
+        std::vector<T> recvbuf;
+        recvbuf.reserve(n * static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            if (r == rank_) {
+                auto self = sendbuf.subspan(n * static_cast<std::size_t>(r), n);
+                recvbuf.insert(recvbuf.end(), self.begin(), self.end());
+            } else {
+                auto incoming = parts[static_cast<std::size_t>(r)].view<T>();
+                BEATNIK_REQUIRE(incoming.size() == n, "alltoall: block size mismatch");
+                recvbuf.insert(recvbuf.end(), incoming.begin(), incoming.end());
+            }
+        }
+        return recvbuf;
+    }
+
     template <Transferable T>
     std::vector<T> alltoall_pairwise(std::span<const T> sendbuf, std::size_t n) {
         const int p = size();
         const int tag = next_collective_tag(kTagAlltoall);
-        std::vector<T> recvbuf(n * static_cast<std::size_t>(p));
-        if (n > 0) {
-            std::memcpy(recvbuf.data() + n * static_cast<std::size_t>(rank_),
-                        sendbuf.data() + n * static_cast<std::size_t>(rank_), n * sizeof(T));
-        }
-        std::vector<T> incoming;
+        const bool rendezvous = use_rendezvous(n * sizeof(T));
+        std::vector<Payload> parts(static_cast<std::size_t>(p));
         for (int step = 1; step < p; ++step) {
             int dst = (rank_ + step) % p;
             int src = (rank_ - step + p) % p;
-            post_typed(sendbuf.subspan(n * static_cast<std::size_t>(dst), n), dst, tag);
-            recv<T>(incoming, src, tag);
-            BEATNIK_REQUIRE(incoming.size() == n, "alltoall: block size mismatch");
-            if (n > 0) {
-                std::memcpy(recvbuf.data() + n * static_cast<std::size_t>(src),
-                            incoming.data(), n * sizeof(T));
-            }
+            post_block(sendbuf.subspan(n * static_cast<std::size_t>(dst), n), dst, tag,
+                       rendezvous);
+            Message m = recv_msg(src, tag);
+            parts[static_cast<std::size_t>(src)] = std::move(m.payload);
         }
+        std::vector<T> recvbuf = assemble_blocks(sendbuf, n, parts);
+        // Rendezvous blocks alias the caller's sendbuf; hold every rank
+        // here until all of them have finished reading.
+        if (rendezvous) barrier();
         return recvbuf;
     }
 
@@ -630,25 +770,19 @@ private:
     std::vector<T> alltoall_linear(std::span<const T> sendbuf, std::size_t n) {
         const int p = size();
         const int tag = next_collective_tag(kTagAlltoall);
-        std::vector<T> recvbuf(n * static_cast<std::size_t>(p));
-        if (n > 0) {
-            std::memcpy(recvbuf.data() + n * static_cast<std::size_t>(rank_),
-                        sendbuf.data() + n * static_cast<std::size_t>(rank_), n * sizeof(T));
+        const bool rendezvous = use_rendezvous(n * sizeof(T));
+        std::vector<Payload> parts(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            if (r == rank_) continue;
+            post_block(sendbuf.subspan(n * static_cast<std::size_t>(r), n), r, tag, rendezvous);
         }
         for (int r = 0; r < p; ++r) {
             if (r == rank_) continue;
-            post_typed(sendbuf.subspan(n * static_cast<std::size_t>(r), n), r, tag);
+            Message m = recv_msg(any_source, tag);
+            parts[static_cast<std::size_t>(m.status.source)] = std::move(m.payload);
         }
-        std::vector<T> incoming;
-        for (int r = 0; r < p; ++r) {
-            if (r == rank_) continue;
-            Status st = recv<T>(incoming, any_source, tag);
-            BEATNIK_REQUIRE(incoming.size() == n, "alltoall: block size mismatch");
-            if (n > 0) {
-                std::memcpy(recvbuf.data() + n * static_cast<std::size_t>(st.source),
-                            incoming.data(), n * sizeof(T));
-            }
-        }
+        std::vector<T> recvbuf = assemble_blocks(sendbuf, n, parts);
+        if (rendezvous) barrier();
         return recvbuf;
     }
 
@@ -660,16 +794,18 @@ private:
         const int p = size();
         const int tag = next_collective_tag(kTagAlltoall);
         // Phase 1: local rotation so block i is the one destined to
-        // rank (rank + i) % p.
-        std::vector<T> work(n * static_cast<std::size_t>(p));
+        // rank (rank + i) % p. Built by appending into reserve()d storage
+        // so the buffer is written exactly once.
+        std::vector<T> work;
+        work.reserve(n * static_cast<std::size_t>(p));
         for (int i = 0; i < p; ++i) {
             int src_block = (rank_ + i) % p;
-            std::copy(sendbuf.begin() + static_cast<std::ptrdiff_t>(n) * src_block,
-                      sendbuf.begin() + static_cast<std::ptrdiff_t>(n) * (src_block + 1),
-                      work.begin() + static_cast<std::ptrdiff_t>(n) * i);
+            work.insert(work.end(),
+                        sendbuf.begin() + static_cast<std::ptrdiff_t>(n) * src_block,
+                        sendbuf.begin() + static_cast<std::ptrdiff_t>(n) * (src_block + 1));
         }
         // Phase 2: log-step exchanges.
-        std::vector<T> packed, incoming;
+        std::vector<T> packed;
         for (int dist = 1; dist < p; dist <<= 1) {
             int dst = (rank_ + dist) % p;
             int src = (rank_ - dist + p) % p;
@@ -684,7 +820,8 @@ private:
                 }
             }
             post_typed(std::span<const T>(packed.data(), packed.size()), dst, tag);
-            recv<T>(incoming, src, tag);
+            Message m = recv_msg(src, tag);
+            auto incoming = m.view<T>();
             BEATNIK_REQUIRE(incoming.size() == packed.size(), "bruck: block set size mismatch");
             std::size_t off = 0;
             for (int i : moved) {
@@ -695,13 +832,15 @@ private:
             }
         }
         // Phase 3: inverse rotation — after phase 2, slot i holds the block
-        // sent *to us* by rank (rank - i + p) % p.
-        std::vector<T> recvbuf(n * static_cast<std::size_t>(p));
-        for (int i = 0; i < p; ++i) {
-            int origin = (rank_ - i + p) % p;
-            std::copy(work.begin() + static_cast<std::ptrdiff_t>(n) * i,
-                      work.begin() + static_cast<std::ptrdiff_t>(n) * (i + 1),
-                      recvbuf.begin() + static_cast<std::ptrdiff_t>(n) * origin);
+        // sent *to us* by rank (rank - i + p) % p. Walk origins in output
+        // order so the result is appended sequentially, never memset first.
+        std::vector<T> recvbuf;
+        recvbuf.reserve(n * static_cast<std::size_t>(p));
+        for (int origin = 0; origin < p; ++origin) {
+            int i = (rank_ - origin + p) % p;
+            recvbuf.insert(recvbuf.end(),
+                           work.begin() + static_cast<std::ptrdiff_t>(n) * i,
+                           work.begin() + static_cast<std::ptrdiff_t>(n) * (i + 1));
         }
         return recvbuf;
     }

@@ -31,6 +31,11 @@ struct ContextConfig {
     bool enable_trace = false;
     /// Default algorithm for alltoall/alltoallv exchanges.
     AlltoallAlgo alltoall_algo = AlltoallAlgo::pairwise;
+    /// Message size (bytes) at or above which alltoall switches from eager
+    /// buffered sends (payload copied once at post time) to the zero-copy
+    /// rendezvous path: receivers read the sender's buffer in place and a
+    /// closing barrier holds every rank until all reads have finished.
+    std::size_t rendezvous_threshold_bytes = 32 * 1024;
 };
 
 /// Shared state for one group of rank-threads.

@@ -1,35 +1,49 @@
 /// \file mailbox.hpp
-/// \brief Per-rank message queue with (communicator, source, tag) matching.
+/// \brief Per-rank message queues with indexed (communicator, source, tag)
+/// matching.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
-#include <vector>
+#include <unordered_map>
 
 #include "base/error.hpp"
 #include "comm/types.hpp"
 
 namespace beatnik::comm {
 
-/// A message in flight: payload plus matching metadata.
+/// A message in flight: shared immutable payload plus matching metadata.
 struct Envelope {
     int comm_id = 0;              ///< Communicator the message belongs to.
     int src = 0;                  ///< Sender rank *within that communicator*.
     int tag = 0;
-    std::vector<std::byte> payload;
+    Payload payload;
+    std::uint64_t seq = 0;        ///< Arrival stamp, assigned by the mailbox.
 };
 
-/// Unexpected-message queue for one rank. Senders deliver() envelopes;
-/// the owning rank-thread blocks in receive() until a matching envelope
-/// arrives. Matching is FIFO per (comm, src, tag) triple, which gives the
-/// same non-overtaking guarantee MPI provides.
+/// Unexpected-message store for one rank. Senders deliver() envelopes; the
+/// owning rank-thread blocks in receive() until a matching envelope
+/// arrives.
 ///
-/// The mailbox also observes a context-wide abort flag so that when any
-/// rank-thread fails, blocked receivers wake up and unwind instead of
-/// deadlocking the whole process.
+/// Matching is indexed, not scanned: each communicator gets a bucket with
+/// its own lock, and inside a bucket messages sit in dedicated FIFO queues
+/// keyed by (src, tag). An exact-match receive is a hash lookup + pop.
+/// Wildcard receives (any_source / any_tag) compare the arrival stamps of
+/// the matching queue heads and take the earliest-delivered message, which
+/// preserves both the MPI non-overtaking guarantee per (src, tag) pair and
+/// the arrival-order semantics wildcards had under the old linear scan —
+/// at O(live (src,tag) pairs) instead of O(pending messages).
+///
+/// Each mailbox has exactly one receiver (the owning rank-thread), so
+/// deliver() uses notify_one. The mailbox also observes a context-wide
+/// abort flag so that when any rank-thread fails, blocked receivers wake
+/// up and unwind instead of deadlocking the whole process.
 class Mailbox {
 public:
     Mailbox(const std::atomic<bool>& abort_flag, double timeout_seconds)
@@ -40,18 +54,22 @@ public:
 
     /// Deposit a message (called from the *sender's* thread).
     void deliver(Envelope&& env) {
+        Bucket& b = bucket(env.comm_id);
         {
-            std::lock_guard lock(mutex_);
-            queue_.push_back(std::move(env));
+            std::lock_guard lock(b.mutex);
+            env.seq = b.next_seq++;
+            b.queues[MatchKey{env.src, env.tag}].push_back(std::move(env));
+            ++b.count;
         }
-        cv_.notify_all();
+        b.cv.notify_one();
     }
 
     /// Block until a message matching (comm_id, src, tag) is available and
     /// return it. \p src may be any_source and \p tag may be any_tag.
     /// Throws CommError on context abort or receive timeout.
     Envelope receive(int comm_id, int src, int tag) {
-        std::unique_lock lock(mutex_);
+        Bucket& b = bucket(comm_id);
+        std::unique_lock lock(b.mutex);
         auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_seconds_));
@@ -59,14 +77,11 @@ public:
             if (abort_.load(std::memory_order_acquire)) {
                 throw CommError("receive aborted: another rank failed");
             }
-            if (auto it = find_match(comm_id, src, tag); it != queue_.end()) {
-                Envelope env = std::move(*it);
-                queue_.erase(it);
-                return env;
-            }
+            Envelope env;
+            if (take_match(b, src, tag, env)) return env;
             if (timeout_seconds_ <= 0.0) {
-                cv_.wait(lock);
-            } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+                b.cv.wait(lock);
+            } else if (b.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
                 throw CommError(
                     "receive timed out (probable deadlock): waiting for comm=" +
                     std::to_string(comm_id) + " src=" + std::to_string(src) +
@@ -78,38 +93,99 @@ public:
     /// Non-blocking probe-and-take. Returns false if no matching message
     /// is currently queued.
     bool try_receive(int comm_id, int src, int tag, Envelope& out) {
-        std::lock_guard lock(mutex_);
-        if (auto it = find_match(comm_id, src, tag); it != queue_.end()) {
-            out = std::move(*it);
-            queue_.erase(it);
-            return true;
-        }
-        return false;
+        Bucket& b = bucket(comm_id);
+        std::lock_guard lock(b.mutex);
+        return take_match(b, src, tag, out);
     }
 
     /// Wake all waiters (used on context abort).
-    void interrupt() { cv_.notify_all(); }
+    void interrupt() {
+        std::lock_guard registry_lock(registry_mutex_);
+        for (auto& [id, b] : buckets_) {
+            // Take the bucket lock so a receiver between its abort check and
+            // its wait cannot miss the wakeup.
+            { std::lock_guard lock(b->mutex); }
+            b->cv.notify_all();
+        }
+    }
 
     /// Number of queued (unreceived) messages. For tests and leak checks.
     std::size_t pending() const {
-        std::lock_guard lock(mutex_);
-        return queue_.size();
+        std::lock_guard registry_lock(registry_mutex_);
+        std::size_t total = 0;
+        for (const auto& [id, b] : buckets_) {
+            std::lock_guard lock(b->mutex);
+            total += b->count;
+        }
+        return total;
     }
 
 private:
-    std::deque<Envelope>::iterator find_match(int comm_id, int src, int tag) {
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            if (it->comm_id != comm_id) continue;
-            if (src != any_source && it->src != src) continue;
-            if (tag != any_tag && it->tag != tag) continue;
-            return it;
+    struct MatchKey {
+        int src;
+        int tag;
+        bool operator==(const MatchKey&) const = default;
+    };
+    struct MatchKeyHash {
+        std::size_t operator()(const MatchKey& k) const {
+            auto v = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) << 32) |
+                     static_cast<std::uint32_t>(k.tag);
+            v ^= v >> 33;
+            v *= 0xff51afd7ed558ccdULL;
+            v ^= v >> 33;
+            return static_cast<std::size_t>(v);
         }
-        return queue_.end();
+    };
+
+    /// Per-communicator message store. Each bucket has its own lock and
+    /// condition variable so traffic on one communicator never contends
+    /// with another's.
+    struct Bucket {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        std::unordered_map<MatchKey, std::deque<Envelope>, MatchKeyHash> queues;
+        std::uint64_t next_seq = 0;   ///< Arrival stamps for wildcard ordering.
+        std::size_t count = 0;        ///< Total queued envelopes.
+    };
+
+    /// Get or lazily create the bucket for \p comm_id. Buckets are held by
+    /// unique_ptr so references stay valid as the registry rehashes.
+    Bucket& bucket(int comm_id) {
+        std::lock_guard lock(registry_mutex_);
+        auto& slot = buckets_[comm_id];
+        if (!slot) slot = std::make_unique<Bucket>();
+        return *slot;
     }
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<Envelope> queue_;
+    /// Pop the matching envelope with the lowest arrival stamp, if any.
+    /// Caller holds b.mutex. Emptied queues are erased so the wildcard scan
+    /// only ever visits live (src, tag) pairs.
+    static bool take_match(Bucket& b, int src, int tag, Envelope& out) {
+        auto pop_front = [&](auto it) {
+            out = std::move(it->second.front());
+            it->second.pop_front();
+            if (it->second.empty()) b.queues.erase(it);
+            --b.count;
+            return true;
+        };
+        if (src != any_source && tag != any_tag) {
+            auto it = b.queues.find(MatchKey{src, tag});
+            return it != b.queues.end() && pop_front(it);
+        }
+        auto best = b.queues.end();
+        for (auto it = b.queues.begin(); it != b.queues.end(); ++it) {
+            if (src != any_source && it->first.src != src) continue;
+            if (tag != any_tag && it->first.tag != tag) continue;
+            if (best == b.queues.end() ||
+                it->second.front().seq < best->second.front().seq) {
+                best = it;
+            }
+        }
+        return best != b.queues.end() && pop_front(best);
+    }
+
+    mutable std::mutex registry_mutex_;
+    std::unordered_map<int, std::unique_ptr<Bucket>> buckets_;
     const std::atomic<bool>& abort_;
     double timeout_seconds_;
 };

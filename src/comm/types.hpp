@@ -1,9 +1,16 @@
 /// \file types.hpp
-/// \brief Shared message-passing vocabulary: wildcards, status, reduction ops.
+/// \brief Shared message-passing vocabulary: wildcards, payload buffers,
+/// status, reduction ops.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+#include "base/error.hpp"
 
 namespace beatnik::comm {
 
@@ -17,6 +24,66 @@ struct Status {
     int source = any_source;      ///< Rank (within the communicator) that sent the message.
     int tag = any_tag;            ///< Tag the message was sent with.
     std::size_t bytes = 0;        ///< Payload size in bytes.
+};
+
+/// Immutable, shareable message buffer.
+///
+/// A buffered send allocates exactly one of these (the single unavoidable
+/// copy out of the sender's buffer); everything downstream — the mailbox,
+/// forwarding ranks in tree/ring collectives, and receivers reading through
+/// view() — aliases the same bytes via the shared_ptr instead of copying.
+/// Copying a Payload is a refcount bump, never a byte copy.
+class Payload {
+public:
+    Payload() = default;
+
+    /// Publish a copy of \p src as an immutable shared buffer. An empty
+    /// span produces an empty payload with no allocation.
+    static Payload copy_of(std::span<const std::byte> src) {
+        Payload p;
+        p.size_ = src.size();
+        if (!src.empty()) {
+            std::shared_ptr<std::byte[]> buf(new std::byte[src.size()]);
+            std::memcpy(buf.get(), src.data(), src.size());
+            p.data_ = std::move(buf);
+        }
+        return p;
+    }
+
+    /// Publish caller-owned bytes *without copying* (rendezvous protocol).
+    /// The caller must keep the bytes alive and unmodified until every
+    /// receiver has consumed the message; collectives that use this path
+    /// guarantee it with a closing barrier.
+    static Payload alias_of(std::span<const std::byte> src) {
+        Payload p;
+        p.size_ = src.size();
+        if (!src.empty()) {
+            p.data_ = std::shared_ptr<const std::byte[]>(src.data(), [](const std::byte*) {});
+        }
+        return p;
+    }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+
+    [[nodiscard]] std::span<const std::byte> bytes() const { return {data_.get(), size_}; }
+
+    /// Zero-copy typed read of the buffer. The payload must hold a whole
+    /// number of T elements (the sender transferred typed data byte-wise).
+    template <class T>
+    [[nodiscard]] std::span<const T> view() const {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "payloads hold trivially copyable elements only");
+        static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                      "payload storage only guarantees default new alignment");
+        BEATNIK_REQUIRE(size_ % sizeof(T) == 0,
+                        "received payload size is not a multiple of element size");
+        return {reinterpret_cast<const T*>(data_.get()), size_ / sizeof(T)};
+    }
+
+private:
+    std::shared_ptr<const std::byte[]> data_;
+    std::size_t size_ = 0;
 };
 
 /// Element-wise reduction operators for reduce/allreduce/scan.

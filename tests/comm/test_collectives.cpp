@@ -216,7 +216,9 @@ TEST_P(AlltoallAlgoP, AlltoallTransposesBlocks) {
 
 TEST_P(AlltoallAlgoP, AlltoallvRandomSizes) {
     auto [nranks, algo] = GetParam();
-    if (algo == bc::AlltoallAlgo::bruck) GTEST_SKIP() << "v-variant uses pairwise/linear only";
+    if (algo == bc::AlltoallAlgo::bruck) {
+        GTEST_SKIP() << "v-variant rejects bruck explicitly; see AlltoallvBruckThrows";
+    }
     run(
         nranks,
         [](bc::Communicator& comm) {
@@ -279,6 +281,155 @@ TEST(AlltoallProperty, AlgorithmsProduceIdenticalResults) {
         EXPECT_EQ(results[0], results[1]) << "pairwise vs linear, p=" << p;
         EXPECT_EQ(results[0], results[2]) << "pairwise vs bruck, p=" << p;
     }
+}
+
+// The v-variant supports pairwise and linear only; selecting bruck must be
+// an explicit error on every rank, not a silent algorithm downgrade.
+TEST(AlltoallProperty, AlltoallvBruckThrows) {
+    run(
+        2,
+        [](bc::Communicator& comm) {
+            std::vector<int> sendbuf{comm.rank(), comm.rank()};
+            std::vector<std::size_t> sendcounts{1, 1};
+            std::vector<std::size_t> recvcounts;
+            EXPECT_THROW((void)comm.alltoallv(std::span<const int>(sendbuf),
+                                              std::span<const std::size_t>(sendcounts),
+                                              recvcounts),
+                         beatnik::InvalidArgument);
+        },
+        bc::AlltoallAlgo::bruck);
+}
+
+// ------------------------------------------------------ edge cases
+
+// Zero-length payloads must flow through the collectives unharmed: empty
+// messages are matched and ordered exactly like non-empty ones.
+TEST_P(CollectivesP, ZeroLengthBcastAllreduce) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<double> empty;
+        comm.bcast(std::span<double>(empty), 0);
+        EXPECT_TRUE(empty.empty());
+        comm.allreduce(std::span<double>(empty), bc::op::Sum{});
+        EXPECT_TRUE(empty.empty());
+    });
+}
+
+TEST_P(CollectivesP, ZeroLengthAlltoallAllAlgorithms) {
+    for (auto algo : {bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::linear,
+                      bc::AlltoallAlgo::bruck}) {
+        run(
+            GetParam(),
+            [](bc::Communicator& comm) {
+                std::vector<int> empty;
+                auto recv = comm.alltoall(std::span<const int>(empty));
+                EXPECT_TRUE(recv.empty());
+            },
+            algo);
+    }
+}
+
+// The recursive-doubling allreduce folds the ranks beyond the largest
+// power of two into the front before doubling and unfolds afterwards;
+// exercise every fold shape around 4 (rem = 1, 1, 2, 3).
+TEST(AllreduceEdgeCases, NonPowerOfTwoFoldPath) {
+    for (int p : {3, 5, 6, 7}) {
+        run(p, [](bc::Communicator& comm) {
+            const int r = comm.rank();
+            const int n = comm.size();
+            std::vector<std::int64_t> xs{r + 1, 10 * (r + 1)};
+            comm.allreduce(std::span<std::int64_t>(xs), bc::op::Sum{});
+            const std::int64_t tri = static_cast<std::int64_t>(n) * (n + 1) / 2;
+            EXPECT_EQ(xs[0], tri) << "p=" << n << " rank=" << r;
+            EXPECT_EQ(xs[1], 10 * tri) << "p=" << n << " rank=" << r;
+            // Max must also survive the fold (non-commutative order bugs
+            // show with idempotent ops too).
+            EXPECT_EQ(comm.allreduce_value(r, bc::op::Max{}), n - 1);
+        });
+    }
+}
+
+// counts_out is a root-only output; every other rank must get it cleared,
+// never left holding stale entries from a previous call.
+TEST_P(CollectivesP, GathervClearsCountsOnNonRoot) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        std::vector<int> mine{comm.rank()};
+        std::vector<std::size_t> counts{999, 999, 999}; // pre-polluted
+        auto all = comm.gatherv(std::span<const int>(mine), 0, &counts);
+        if (comm.rank() == 0) {
+            ASSERT_EQ(counts.size(), static_cast<std::size_t>(comm.size()));
+            for (std::size_t c : counts) EXPECT_EQ(c, 1u);
+        } else {
+            EXPECT_TRUE(counts.empty());
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+// Force the zero-copy rendezvous path (threshold 1 byte makes every block
+// "large") and check the three algorithms still transpose correctly. The
+// closing barrier must keep every aliased send buffer alive long enough.
+TEST(AlltoallRendezvous, ForcedRendezvousMatchesEager) {
+    for (auto algo : {bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::linear}) {
+        for (int p : {2, 3, 5, 8}) {
+            bc::ContextConfig cfg;
+            cfg.recv_timeout_seconds = 30.0;
+            cfg.alltoall_algo = algo;
+            cfg.rendezvous_threshold_bytes = 1;
+            bc::Context::run(p, [](bc::Communicator& comm) {
+                const int n = comm.size();
+                constexpr int kBlock = 17;
+                std::vector<int> sendbuf(static_cast<std::size_t>(n * kBlock));
+                for (int dst = 0; dst < n; ++dst)
+                    for (int i = 0; i < kBlock; ++i)
+                        sendbuf[static_cast<std::size_t>(dst * kBlock + i)] =
+                            comm.rank() * 10000 + dst * 100 + i;
+                auto recvbuf = comm.alltoall(std::span<const int>(sendbuf));
+                ASSERT_EQ(recvbuf.size(), sendbuf.size());
+                for (int src = 0; src < n; ++src)
+                    for (int i = 0; i < kBlock; ++i)
+                        EXPECT_EQ(recvbuf[static_cast<std::size_t>(src * kBlock + i)],
+                                  src * 10000 + comm.rank() * 100 + i);
+            }, cfg);
+        }
+    }
+}
+
+// Large blocks cross the default rendezvous threshold organically.
+TEST(AlltoallRendezvous, LargeBlocksAboveDefaultThreshold) {
+    run(4, [](bc::Communicator& comm) {
+        const int p = comm.size();
+        constexpr std::size_t kBlock = 8192; // 64 KiB of int64 per block
+        std::vector<std::int64_t> sendbuf(kBlock * static_cast<std::size_t>(p));
+        for (std::size_t i = 0; i < sendbuf.size(); ++i) {
+            sendbuf[i] = comm.rank() * 1000000 + static_cast<std::int64_t>(i);
+        }
+        auto recvbuf = comm.alltoall(std::span<const std::int64_t>(sendbuf));
+        ASSERT_EQ(recvbuf.size(), sendbuf.size());
+        for (int src = 0; src < p; ++src) {
+            std::size_t base = kBlock * static_cast<std::size_t>(src);
+            std::size_t sent_base = kBlock * static_cast<std::size_t>(comm.rank());
+            for (std::size_t i : {std::size_t{0}, kBlock / 2, kBlock - 1}) {
+                EXPECT_EQ(recvbuf[base + i],
+                          src * 1000000 + static_cast<std::int64_t>(sent_base + i));
+            }
+        }
+    });
+}
+
+// Regression for the old 16-bit collective sequence counter, which wrapped
+// after 65536 collectives and could re-issue tags still pending elsewhere.
+// The widened space must survive >65536 back-to-back collectives and stay
+// correct afterwards.
+TEST(CollectiveSequencing, TagSpaceSurvivesOver65536Collectives) {
+    run(2, [](bc::Communicator& comm) {
+        for (int i = 0; i < (1 << 16) + 50; ++i) comm.barrier();
+        // The tag space is still coherent: a real data collective works.
+        EXPECT_EQ(comm.allreduce_value(comm.rank() + 1, bc::op::Sum{}), 3);
+        auto all = comm.allgather_value(comm.rank() * 5);
+        ASSERT_EQ(all.size(), 2u);
+        EXPECT_EQ(all[0], 0);
+        EXPECT_EQ(all[1], 5);
+    });
 }
 
 // Back-to-back collectives must not confuse each other's messages.
