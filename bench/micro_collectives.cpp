@@ -109,6 +109,33 @@ Result bench_alltoall(int ranks, bc::AlltoallAlgo algo, std::size_t block_double
     return {"alltoall", algo_name(algo), ranks, block_doubles * sizeof(double), iters, ns};
 }
 
+/// Variable-count all-to-all: per-destination counts follow a skewed
+/// deterministic pattern (some pairs exchange nothing), the regime the
+/// Bruck v-variant aggregates well and the FFT reshapes actually produce.
+Result bench_alltoallv(int ranks, bc::AlltoallAlgo algo, std::size_t base_doubles, int iters) {
+    bc::ContextConfig cfg;
+    cfg.alltoall_algo = algo;
+    double ns = time_collective(ranks, iters, cfg, [base_doubles](bc::Communicator& comm) {
+        const int p = comm.size();
+        auto sendcounts = std::make_shared<std::vector<std::size_t>>(static_cast<std::size_t>(p));
+        std::size_t total = 0;
+        for (int dst = 0; dst < p; ++dst) {
+            // Skew: (src + dst) % 3 scales each block by 0, 1, or 2.
+            std::size_t c = base_doubles * static_cast<std::size_t>((comm.rank() + dst) % 3);
+            (*sendcounts)[static_cast<std::size_t>(dst)] = c;
+            total += c;
+        }
+        auto sendbuf = std::make_shared<std::vector<double>>(total, comm.rank() * 1.0);
+        return [&comm, sendbuf, sendcounts] {
+            std::vector<std::size_t> recvcounts;
+            auto r = comm.alltoallv(std::span<const double>(*sendbuf),
+                                    std::span<const std::size_t>(*sendcounts), recvcounts);
+            if (!r.empty() && r.front() < -1.0) std::abort();
+        };
+    });
+    return {"alltoallv", algo_name(algo), ranks, base_doubles * sizeof(double), iters, ns};
+}
+
 void write_json(const std::vector<Result>& results, const std::string& path) {
     std::ofstream out(path);
     if (!out) {
@@ -157,6 +184,9 @@ int main(int argc, char** argv) {
         results.push_back(bench_alltoall(8, algo, 8, n(500)));       // 64 B messages
         results.push_back(bench_alltoall(8, algo, 1024, n(200)));    // 8 KiB messages
         results.push_back(bench_alltoall(8, algo, 131072, n(20)));   // 1 MiB messages
+        // v-variant sweep (ROADMAP: Bruck v included since it exists now).
+        results.push_back(bench_alltoallv(8, algo, 16, n(500)));     // ~128/256 B blocks
+        results.push_back(bench_alltoallv(8, algo, 8192, n(100)));   // ~64/128 KiB blocks
     }
 
     std::printf("%-10s %-9s %6s %10s %8s %14s\n", "op", "algo", "ranks", "bytes", "iters",

@@ -25,12 +25,14 @@
 /// communicator in the same order (the usual MPI contract).
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <numeric>
 #include <optional>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -56,45 +58,133 @@ struct Message {
     }
 };
 
-/// Handle for a pending nonblocking operation. isend() completes
-/// immediately (sends are buffered); irecv() defers the matching receive
-/// until wait().
+/// Handle for a pending nonblocking operation with *real* nonblocking
+/// semantics: isend() completes immediately (sends are buffered), and
+/// irecv() eagerly matches at post time — a message already queued is
+/// consumed on the spot, and a later arrival can be picked up with test()
+/// without blocking, so computation can overlap in-flight messages.
 class Request {
 public:
     Request() = default;
 
+    [[nodiscard]] bool valid() const {
+        return status_.has_value() || static_cast<bool>(wait_op_);
+    }
+    /// True once the operation has been observed complete.
+    [[nodiscard]] bool done() const { return status_.has_value(); }
+
+    /// Nonblocking completion attempt. Returns true (and fires the
+    /// completion callback, once) when the operation has completed.
+    bool test() {
+        if (status_) return true;
+        BEATNIK_REQUIRE(static_cast<bool>(try_op_), "test() on an empty Request");
+        if (auto s = try_op_()) {
+            finish(*s);
+            return true;
+        }
+        return false;
+    }
+
     /// Block until the operation completes and return its status.
     Status wait() {
         if (!status_) {
-            BEATNIK_REQUIRE(static_cast<bool>(op_), "wait() on an empty Request");
-            status_ = op_();
-            op_ = nullptr;
+            BEATNIK_REQUIRE(static_cast<bool>(wait_op_), "wait() on an empty Request");
+            finish(wait_op_());
         }
         return *status_;
     }
 
-    [[nodiscard]] bool valid() const { return status_.has_value() || static_cast<bool>(op_); }
+    /// Status of a completed request.
+    [[nodiscard]] Status status() const {
+        BEATNIK_REQUIRE(status_.has_value(), "status() on an incomplete Request");
+        return *status_;
+    }
+
+    /// Register a completion callback, fired exactly once at the moment
+    /// completion is observed (inside test()/wait()/wait_any()). If the
+    /// request is already complete the callback fires immediately.
+    void on_complete(std::function<void(const Status&)> cb) {
+        if (status_) {
+            if (cb) cb(*status_);
+            return;
+        }
+        callback_ = std::move(cb);
+    }
 
     static Request completed(Status s) {
         Request r;
         r.status_ = s;
         return r;
     }
-    static Request deferred(std::function<Status()> op) {
+    /// A pending operation described by a nonblocking attempt and a
+    /// blocking fallback over the same state.
+    static Request pending(std::function<std::optional<Status>()> try_op,
+                           std::function<Status()> wait_op) {
         Request r;
-        r.op_ = std::move(op);
+        r.try_op_ = std::move(try_op);
+        r.wait_op_ = std::move(wait_op);
         return r;
     }
 
 private:
-    std::function<Status()> op_;
+    friend std::size_t wait_any(std::span<Request>);
+
+    void finish(Status s) {
+        status_ = s;
+        try_op_ = nullptr;
+        wait_op_ = nullptr;
+        if (callback_) {
+            auto cb = std::move(callback_);
+            callback_ = nullptr;
+            cb(*status_);
+        }
+    }
+
+    std::function<std::optional<Status>()> try_op_;
+    std::function<Status()> wait_op_;
+    std::function<void(const Status&)> callback_;
     std::optional<Status> status_;
+    bool retired_ = false;   ///< already returned by wait_any()
 };
 
 /// Wait on every request in order. Order is irrelevant for correctness
 /// because message matching is done by (source, tag).
 inline void wait_all(std::span<Request> requests) {
-    for (auto& r : requests) r.wait();
+    for (auto& r : requests) {
+        if (r.valid()) r.wait();
+    }
+}
+
+/// Returned by wait_any() when no un-retired valid request remains.
+inline constexpr std::size_t wait_any_done = static_cast<std::size_t>(-1);
+
+/// Wait until *some* request completes and return its index, each index
+/// exactly once (a returned request is retired, like MPI_Waitany
+/// deactivating its slot). Like MPI_Waitany, no ordering among requests
+/// that are simultaneously ready is guaranteed — a request that completed
+/// while others are still in flight is returned without waiting for them.
+/// Completion is observed by polling test(); blocked polls back off to
+/// short sleeps. Rank failures unwind through the CommError the mailbox
+/// probe throws on context abort.
+inline std::size_t wait_any(std::span<Request> requests) {
+    for (int spin = 0;; ++spin) {
+        bool pending = false;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            Request& r = requests[i];
+            if (r.retired_ || !r.valid()) continue;
+            if (r.test()) {
+                r.retired_ = true;
+                return i;
+            }
+            pending = true;
+        }
+        if (!pending) return wait_any_done;
+        if (spin < 256) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
 }
 
 class Communicator {
@@ -178,10 +268,34 @@ public:
         return Request::completed(Status{rank_, tag, data.size_bytes()});
     }
 
-    /// Deferred receive: the matching happens inside Request::wait().
+    /// Nonblocking receive with eager matching: a message already queued
+    /// is consumed immediately; otherwise the returned Request picks it up
+    /// on test()/wait()/wait_any(). \p out must stay alive until the
+    /// request completes.
     template <Transferable T>
     Request irecv(std::vector<T>& out, int src = any_source, int tag = any_tag) {
-        return Request::deferred([this, &out, src, tag] { return recv<T>(out, src, tag); });
+        if (src != any_source) check_peer(src);
+        auto take = [this, &out](Envelope& env) {
+            auto in = env.payload.view<T>();
+            out.assign(in.begin(), in.end());
+            return Status{env.src, env.tag, env.payload.size()};
+        };
+        Envelope env;
+        if (ctx_->mailbox(world_rank()).try_receive(comm_id_, src, tag, env)) {
+            return Request::completed(take(env));
+        }
+        return Request::pending(
+            [this, take, src, tag]() -> std::optional<Status> {
+                Envelope e;
+                if (!ctx_->mailbox(world_rank()).try_receive(comm_id_, src, tag, e)) {
+                    return std::nullopt;
+                }
+                return take(e);
+            },
+            [this, take, src, tag] {
+                Envelope e = ctx_->mailbox(world_rank()).receive(comm_id_, src, tag);
+                return take(e);
+            });
     }
 
     /// Exchange with a partner without deadlock (sends are buffered).
@@ -492,16 +606,19 @@ public:
         throw InvalidArgument("unknown alltoall algorithm");
     }
 
-    /// All-to-all with per-destination counts. Receive counts are
-    /// discovered with a fixed-size count exchange first, exactly like the
-    /// common MPI_Alltoall-then-MPI_Alltoallv idiom. Returns the received
+    /// All-to-all with per-destination counts. Returns the received
     /// elements grouped by source rank; \p recvcounts_out gets each
     /// source's element count.
     ///
-    /// Supported algorithms: pairwise and linear. The Bruck v-variant
-    /// (which would need displacement bookkeeping through every log-step
-    /// round) is not implemented; selecting AlltoallAlgo::bruck throws
-    /// InvalidArgument instead of silently running a different algorithm.
+    /// All three algorithms are supported. Pairwise and linear discover
+    /// receive counts with a fixed-size count exchange first (the common
+    /// MPI_Alltoall-then-MPI_Alltoallv idiom) and, like alltoall, publish
+    /// blocks at or above the rendezvous threshold as zero-copy aliases of
+    /// the caller's buffer with a closing barrier (taken only when some
+    /// rank actually aliased — the flag rides on the count exchange, so
+    /// agreement costs no extra collective). The Bruck v-variant forwards
+    /// per-block counts alongside each round's payload, so it needs no
+    /// count pre-exchange at all.
     template <Transferable T>
     [[nodiscard]] std::vector<T> alltoallv(std::span<const T> sendbuf,
                                            std::span<const std::size_t> sendcounts,
@@ -511,15 +628,41 @@ public:
                         "alltoallv: sendcounts size != communicator size");
         std::size_t total = std::accumulate(sendcounts.begin(), sendcounts.end(), std::size_t{0});
         BEATNIK_REQUIRE(sendbuf.size() == total, "alltoallv: send buffer size != sum of counts");
-        // Reject unsupported algorithms before any message leaves, so no
-        // peer is left mid-collective.
         if (alltoall_algo_ == AlltoallAlgo::bruck) {
-            throw InvalidArgument(
-                "alltoallv: the Bruck v-variant is not implemented; "
-                "use AlltoallAlgo::pairwise or AlltoallAlgo::linear");
+            return alltoallv_bruck(sendbuf, sendcounts, recvcounts_out);
         }
 
-        recvcounts_out = alltoall(std::span<const std::size_t>(sendcounts));
+        // Rendezvous is per-block (each block at or above the threshold is
+        // aliased, not copied), but the closing barrier must be a uniform
+        // decision. The "did anyone alias" flag piggybacks on the count
+        // exchange every rank already pays for — each rank broadcasts its
+        // local flag alongside the per-destination counts and ORs over
+        // what it receives, so the agreement costs no extra collective.
+        bool local_alias = false;
+        if (p > 1) {
+            for (int r = 0; r < p; ++r) {
+                if (r != rank_ &&
+                    sendcounts[static_cast<std::size_t>(r)] * sizeof(T) >=
+                        ctx_->config().rendezvous_threshold_bytes) {
+                    local_alias = true;
+                    break;
+                }
+            }
+        }
+        std::vector<std::size_t> counts_and_flag(2 * static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            counts_and_flag[2 * static_cast<std::size_t>(r)] =
+                sendcounts[static_cast<std::size_t>(r)];
+            counts_and_flag[2 * static_cast<std::size_t>(r) + 1] = local_alias ? 1 : 0;
+        }
+        auto received_meta = alltoall(std::span<const std::size_t>(counts_and_flag));
+        recvcounts_out.resize(static_cast<std::size_t>(p));
+        bool any_alias = false;
+        for (int r = 0; r < p; ++r) {
+            recvcounts_out[static_cast<std::size_t>(r)] =
+                received_meta[2 * static_cast<std::size_t>(r)];
+            any_alias = any_alias || received_meta[2 * static_cast<std::size_t>(r) + 1] != 0;
+        }
 
         std::vector<std::size_t> sdispl(static_cast<std::size_t>(p) + 1, 0);
         std::vector<std::size_t> rdispl(static_cast<std::size_t>(p) + 1, 0);
@@ -531,7 +674,10 @@ public:
 
         const int tag = next_collective_tag(kTagAlltoallv);
         auto send_block = [&](int dst) {
-            post_typed(sendbuf.subspan(sdispl[static_cast<std::size_t>(dst)], sendcounts[static_cast<std::size_t>(dst)]), dst, tag);
+            auto block = sendbuf.subspan(sdispl[static_cast<std::size_t>(dst)],
+                                         sendcounts[static_cast<std::size_t>(dst)]);
+            post_block(block, dst, tag,
+                       block.size_bytes() >= ctx_->config().rendezvous_threshold_bytes);
         };
         auto recv_block = [&](int src) {
             Message m = recv_msg(src, tag);
@@ -567,9 +713,12 @@ public:
             }
             break;
         case AlltoallAlgo::bruck:
-            BEATNIK_ASSERT(false, "unreachable: rejected above");
+            BEATNIK_ASSERT(false, "unreachable: dispatched above");
             break;
         }
+        // Aliased blocks point into the caller's sendbuf; hold every rank
+        // here until all reads have finished.
+        if (any_alias) barrier();
         return recvbuf;
     }
 
@@ -619,8 +768,23 @@ public:
     /// Duplicate this communicator (fresh id / tag space).
     [[nodiscard]] Communicator dup() { return split(0, rank_); }
 
+    /// Allocate the next persistent-plan tag on this communicator (see
+    /// comm/types.hpp tag bands). Plans must be built collectively in the
+    /// same order on every rank — the per-instance counter stays in
+    /// lockstep exactly like the collective tag sequence, so every rank
+    /// derives the same tag for the same plan.
+    [[nodiscard]] int new_plan_tag() { return tags::plan_seq(plan_seq_++); }
+
+    /// Context (world) rank of communicator rank \p r.
+    [[nodiscard]] int world_rank_of(int r) const {
+        check_peer(r);
+        return world_ranks_[static_cast<std::size_t>(r)];
+    }
+
+    [[nodiscard]] int comm_id() const { return comm_id_; }
+
 private:
-    static constexpr int kUserTagLimit = 1 << 24;
+    static constexpr int kUserTagLimit = tags::user_limit;
     static constexpr int kTagBarrier = 0;
     static constexpr int kTagBcast = 1;
     static constexpr int kTagReduce = 2;
@@ -635,11 +799,11 @@ private:
     static constexpr int kTagSplit = 11;
     static constexpr int kTagScan = 12;
     static constexpr int kNumCollectiveKinds = 16;
-    /// Collective sequence numbers live in the tag space above
-    /// kUserTagLimit; this is how many fit before an int tag overflows
-    /// (about 134 million collectives per communicator instance).
+    /// Collective sequence numbers live in the reserved band above
+    /// tags::collective_base; this is how many fit before an int tag
+    /// overflows (about 132 million collectives per communicator instance).
     static constexpr int kMaxCollectiveSeq =
-        (std::numeric_limits<int>::max() - kUserTagLimit) / kNumCollectiveKinds;
+        (std::numeric_limits<int>::max() - tags::collective_base) / kNumCollectiveKinds;
 
     void check_peer(int r) const {
         BEATNIK_REQUIRE(r >= 0 && r < size(), "peer rank out of range");
@@ -662,7 +826,7 @@ private:
                 std::to_string(collective_seq_) +
                 " collectives; dup() it to get a fresh tag space");
         }
-        return kUserTagLimit + collective_seq_++ * kNumCollectiveKinds + kind;
+        return tags::collective_base + collective_seq_++ * kNumCollectiveKinds + kind;
     }
 
     /// Internal typed send used by collectives: same delivery path as
@@ -844,6 +1008,82 @@ private:
         }
         return recvbuf;
     }
+
+    /// Bruck's algorithm for per-destination counts: the same ceil(log2 P)
+    /// rounds as alltoall_bruck, but each round's message carries a count
+    /// header for the blocks it aggregates (sent as a separate message on
+    /// the same tag; per-(src, tag) FIFO keeps the pair ordered). Receive
+    /// counts fall out of the final block sizes, so no count pre-exchange
+    /// is needed.
+    template <Transferable T>
+    std::vector<T> alltoallv_bruck(std::span<const T> sendbuf,
+                                   std::span<const std::size_t> sendcounts,
+                                   std::vector<std::size_t>& recvcounts_out) {
+        const int p = size();
+        const int tag = next_collective_tag(kTagAlltoallv);
+        std::vector<std::size_t> sdispl(static_cast<std::size_t>(p) + 1, 0);
+        for (int r = 0; r < p; ++r) {
+            sdispl[static_cast<std::size_t>(r) + 1] =
+                sdispl[static_cast<std::size_t>(r)] + sendcounts[static_cast<std::size_t>(r)];
+        }
+        // Phase 1: local rotation — slot i holds the block destined to
+        // rank (rank + i) % p.
+        std::vector<std::vector<T>> slot(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            int dst = (rank_ + i) % p;
+            auto block = sendbuf.subspan(sdispl[static_cast<std::size_t>(dst)],
+                                         sendcounts[static_cast<std::size_t>(dst)]);
+            slot[static_cast<std::size_t>(i)].assign(block.begin(), block.end());
+        }
+        // Phase 2: log-step exchanges, moving the slots whose index has
+        // the round's bit set.
+        std::vector<std::size_t> sizes;
+        std::vector<T> packed;
+        for (int dist = 1; dist < p; dist <<= 1) {
+            int dst = (rank_ + dist) % p;
+            int src = (rank_ - dist + p) % p;
+            sizes.clear();
+            packed.clear();
+            for (int i = 0; i < p; ++i) {
+                if ((i & dist) == 0) continue;
+                const auto& s = slot[static_cast<std::size_t>(i)];
+                sizes.push_back(s.size());
+                packed.insert(packed.end(), s.begin(), s.end());
+            }
+            post_typed(std::span<const std::size_t>(sizes), dst, tag);
+            post_typed(std::span<const T>(packed), dst, tag);
+            Message msz = recv_msg(src, tag);
+            Message mdat = recv_msg(src, tag);
+            auto insz = msz.view<std::size_t>();
+            auto indata = mdat.view<T>();
+            BEATNIK_REQUIRE(insz.size() == sizes.size(), "bruckv: count header size mismatch");
+            std::size_t off = 0;
+            std::size_t si = 0;
+            for (int i = 0; i < p; ++i) {
+                if ((i & dist) == 0) continue;
+                std::size_t n = insz[si++];
+                BEATNIK_REQUIRE(off + n <= indata.size(), "bruckv: block set overruns payload");
+                slot[static_cast<std::size_t>(i)].assign(
+                    indata.begin() + static_cast<std::ptrdiff_t>(off),
+                    indata.begin() + static_cast<std::ptrdiff_t>(off + n));
+                off += n;
+            }
+            BEATNIK_REQUIRE(off == indata.size(), "bruckv: payload not fully consumed");
+        }
+        // Phase 3: inverse rotation — slot i now holds the block sent to
+        // us by rank (rank - i + p) % p; emit in source-rank order.
+        recvcounts_out.assign(static_cast<std::size_t>(p), 0);
+        std::size_t total = 0;
+        for (const auto& s : slot) total += s.size();
+        std::vector<T> recvbuf;
+        recvbuf.reserve(total);
+        for (int origin = 0; origin < p; ++origin) {
+            const auto& s = slot[static_cast<std::size_t>((rank_ - origin + p) % p)];
+            recvcounts_out[static_cast<std::size_t>(origin)] = s.size();
+            recvbuf.insert(recvbuf.end(), s.begin(), s.end());
+        }
+        return recvbuf;
+    }
 #pragma GCC diagnostic pop
 
     Context* ctx_;
@@ -852,6 +1092,7 @@ private:
     std::vector<int> world_ranks_;
     AlltoallAlgo alltoall_algo_;
     int collective_seq_ = 0;
+    int plan_seq_ = 0;
 };
 
 } // namespace beatnik::comm

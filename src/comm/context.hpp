@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "comm/channel.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/trace.hpp"
 #include "comm/types.hpp"
@@ -58,6 +59,17 @@ public:
     /// Allocate a fresh communicator id (used by split/dup). Thread-safe.
     [[nodiscard]] int new_comm_id() { return next_comm_id_.fetch_add(1); }
 
+    /// Registry of persistent plan channels (see comm/plan.hpp). Both
+    /// endpoints of a planned transfer resolve the same channel here. The
+    /// registry is held by shared_ptr so a Plan that is destroyed after
+    /// its context can still detach safely.
+    [[nodiscard]] ChannelRegistry& plan_channels() { return *plan_channels_; }
+    [[nodiscard]] std::shared_ptr<ChannelRegistry> plan_channels_ptr() { return plan_channels_; }
+
+    /// The context-wide abort flag, observed by blocking plan waits so a
+    /// failing rank wakes every other rank instead of deadlocking it.
+    [[nodiscard]] const std::atomic<bool>& abort_flag() const { return abort_; }
+
     /// Message trace, or nullptr when tracing is disabled.
     [[nodiscard]] Trace* trace() { return config_.enable_trace ? &trace_ : nullptr; }
 
@@ -77,6 +89,7 @@ private:
     std::atomic<bool> abort_{false};
     std::atomic<int> next_comm_id_{1};   // id 0 is the world communicator
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::shared_ptr<ChannelRegistry> plan_channels_ = std::make_shared<ChannelRegistry>();
     Trace trace_;
 };
 

@@ -91,8 +91,12 @@ public:
     }
 
     /// Non-blocking probe-and-take. Returns false if no matching message
-    /// is currently queued.
+    /// is currently queued. Throws CommError on context abort so that
+    /// polling loops (Request::test, wait_any) unwind when a rank fails.
     bool try_receive(int comm_id, int src, int tag, Envelope& out) {
+        if (abort_.load(std::memory_order_acquire)) {
+            throw CommError("receive aborted: another rank failed");
+        }
         Bucket& b = bucket(comm_id);
         std::lock_guard lock(b.mutex);
         return take_match(b, src, tag, out);

@@ -1,0 +1,541 @@
+/// \file plan.hpp
+/// \brief Persistent communication plans: build-once / execute-many
+/// message patterns with zero per-iteration allocation.
+///
+/// A comm::Plan is the MPI persistent-request / neighborhood-collective
+/// analogue for patterns whose (peer, tag, max_bytes) schedule is fixed —
+/// halo exchanges, particle migration, FFT reshapes. The builder registers
+/// every send and recv slot up front; matching happens exactly once, at
+/// build time, when both endpoints resolve the same PlanChannel in the
+/// context's ChannelRegistry (comm/channel.hpp). After that, an iteration
+/// is:
+///
+///   plan.start();                                  // open the iteration
+///   auto buf = plan.send_buffer(s, nbytes);        // acquire slot buffer
+///   /* pack directly into buf */                   // zero staging copy
+///   plan.publish(s);                               // hand off to receiver
+///   while ((s = plan.wait_any_recv()) != -1) {     // arrival order
+///       /* read plan.recv_view(s) in place */      // zero receive copy
+///       plan.release_recv(s);                      // slot reusable
+///   }
+///
+/// No queues, no matching, no Payload control blocks, no heap traffic:
+/// steady-state start()/publish()/wait() touch only pre-allocated state
+/// (verified by a counting-allocator test). Receives complete in arrival
+/// order through a per-plan ready ring, so unpacking one message overlaps
+/// the delivery of the rest — the "real nonblocking" semantics the
+/// mailbox-path irecv() approximates by polling.
+///
+/// Plans must be built collectively (every rank builds the matching plan)
+/// and iterations are collective in the usual loose sense: every
+/// participant eventually starts its iteration. A plan should finish its
+/// current iteration before destruction; destruction releases any
+/// consumed-but-unreleased slots so the channels are immediately reusable
+/// by a successor plan (this is what lets the deprecated free-function
+/// halo wrappers rebuild a plan per call on the same channels).
+///
+/// Lifetime: a plan may be *destroyed* after its context (channels and
+/// registry are shared-owned), but it must only be *executed* while the
+/// context and the communicator it was built from are alive — and objects
+/// that bind plans lazily (reshape planners) must not be carried from one
+/// context into another: they detect communicator change by address,
+/// which a fresh context can legitimately reuse.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/error.hpp"
+#include "comm/communicator.hpp"
+
+namespace beatnik::comm {
+
+class Plan {
+public:
+    /// Per-recv-slot completion callback: the received bytes, valid for
+    /// the duration of the call.
+    using RecvCallback = std::function<void(std::span<const std::byte>)>;
+
+    class Builder {
+    public:
+        explicit Builder(Communicator& comm) : comm_(&comm) {}
+
+        /// Register a send slot toward \p peer on \p tag (a plan-band tag,
+        /// see comm/types.hpp) with capacity \p max_bytes. Returns the
+        /// slot index used with send_buffer()/publish().
+        int add_send(int peer, int tag, std::size_t max_bytes) {
+            check_tag(tag);
+            sends_.push_back({peer, tag, max_bytes, {}});
+            return static_cast<int>(sends_.size()) - 1;
+        }
+
+        /// Register a recv slot from \p peer on \p tag. \p on_message, if
+        /// set, fires when the message is consumed during wait()/test()/
+        /// wait_any_recv(). Returns the slot index.
+        int add_recv(int peer, int tag, std::size_t max_bytes, RecvCallback on_message = {}) {
+            check_tag(tag);
+            recvs_.push_back({peer, tag, max_bytes, std::move(on_message)});
+            return static_cast<int>(recvs_.size()) - 1;
+        }
+
+        [[nodiscard]] Plan build() { return Plan(*comm_, std::move(sends_), std::move(recvs_)); }
+
+    private:
+        friend class Plan;
+        struct SlotSpec {
+            int peer;
+            int tag;
+            std::size_t max_bytes;
+            RecvCallback on_message;
+        };
+        static void check_tag(int tag) {
+            BEATNIK_REQUIRE(tags::is_plan(tag),
+                            "plan slots must use tags from the reserved plan band");
+        }
+
+        Communicator* comm_;
+        std::vector<SlotSpec> sends_;
+        std::vector<SlotSpec> recvs_;
+    };
+
+    static Builder builder(Communicator& comm) { return Builder(comm); }
+
+    Plan() = default;
+    Plan(Plan&& other) noexcept = default;
+    Plan& operator=(Plan&& other) noexcept {
+        if (this != &other) {
+            detach();
+            st_ = std::move(other.st_);
+        }
+        return *this;
+    }
+    Plan(const Plan&) = delete;
+    Plan& operator=(const Plan&) = delete;
+
+    ~Plan() { detach(); }
+
+    [[nodiscard]] bool valid() const { return static_cast<bool>(st_); }
+    [[nodiscard]] int num_sends() const { return static_cast<int>(state().sends.size()); }
+    [[nodiscard]] int num_recvs() const { return static_cast<int>(state().recvs.size()); }
+
+    /// Open an iteration: release every recv slot still held from the
+    /// previous iteration and reset per-iteration bookkeeping. The
+    /// previous iteration must have completed (all recvs consumed).
+    /// Arrivals observed early (a peer already one iteration ahead) are
+    /// re-enqueued so this iteration consumes them in arrival order.
+    void start() {
+        State& st = state();
+        BEATNIK_REQUIRE(!st.started || st.consumed == st.recvs.size(),
+                        "Plan::start: previous iteration still has pending receives");
+        for (std::size_t s = 0; s < st.recvs.size(); ++s) {
+            if (st.recv_state[s] == RecvState::arrived) release_slot(static_cast<int>(s));
+            st.recv_state[s] = RecvState::idle;
+        }
+        for (std::size_t s = 0; s < st.sends.size(); ++s) st.send_acquired[s] = false;
+        st.consumed = 0;
+        st.started = true;
+        if (!st.deferred.empty()) {
+            std::lock_guard lock(st.ready.mutex);
+            for (auto it = st.deferred.rbegin(); it != st.deferred.rend(); ++it) {
+                st.ready.push_front_locked(*it);
+            }
+            st.deferred.clear();
+        }
+    }
+
+    /// Acquire send slot \p s for this iteration: blocks until the peer
+    /// has released the previous message, then returns the transport
+    /// buffer to pack into (exactly \p bytes long; capacity grows only
+    /// here, while the channel is empty).
+    [[nodiscard]] std::span<std::byte> send_buffer(int s, std::size_t bytes) {
+        State& st = state();
+        auto& slot = st.sends[check_send(s)];
+        auto& ch = *slot.channel;
+        {
+            std::unique_lock lock(ch.mutex);
+            // Spin briefly before blocking: the receiver usually releases
+            // the slot within microseconds, far below a futex round-trip.
+            // (Spinning is disabled when rank-threads are oversubscribed
+            // on the machine — there it only steals the peer's timeslice.)
+            for (int spin = st.spin_iters; ch.full && spin > 0; --spin) {
+                lock.unlock();
+                detail::cpu_relax();
+                lock.lock();
+            }
+            if (ch.full) {
+                ch.sender_waiting = true;
+                wait_until(lock, ch.cv, [&] { return !ch.full; },
+                           "Plan::send_buffer: peer never released the previous message");
+                ch.sender_waiting = false;
+            }
+            if (ch.buf.size() < bytes) ch.buf.resize(bytes);
+            ch.bytes = bytes;
+        }
+        // Channel is EMPTY and this thread is its only writer until
+        // publish(); packing outside the lock is safe.
+        st.send_acquired[static_cast<std::size_t>(s)] = true;
+        return {ch.buf.data(), bytes};
+    }
+
+    /// Hand the packed bytes of slot \p s to the receiver.
+    void publish(int s) {
+        State& st = state();
+        auto& slot = st.sends[check_send(s)];
+        BEATNIK_REQUIRE(st.send_acquired[static_cast<std::size_t>(s)],
+                        "Plan::publish: slot was not acquired with send_buffer()");
+        st.send_acquired[static_cast<std::size_t>(s)] = false;
+        auto& ch = *slot.channel;
+        if (Trace* t = st.comm->context().trace()) {
+            t->record(st.self_world, slot.peer_world, ch.bytes, slot.tag);
+        }
+        std::lock_guard lock(ch.mutex);
+        BEATNIK_ASSERT(!ch.full, "publish on a full channel");
+        ch.full = true;
+        if (ch.ready != nullptr) {
+            // Completion hook: enqueue into the receiving plan's ready
+            // ring. Taken under the channel mutex (see channel.hpp lock
+            // ordering) so detach can never race this push. Only pay the
+            // futex wake when the receiver is actually blocked.
+            std::lock_guard ring_lock(ch.ready->mutex);
+            ch.ready->push_locked(ch.recv_slot);
+            if (ch.ready->waiting) ch.ready->cv.notify_one();
+        }
+    }
+
+    /// Convenience: acquire, copy \p data in, publish.
+    void publish_copy(int s, std::span<const std::byte> data) {
+        auto buf = send_buffer(s, data.size());
+        if (!data.empty()) std::memcpy(buf.data(), data.data(), data.size());
+        publish(s);
+    }
+
+    /// Block until some recv slot of this iteration completes and return
+    /// its index (arrival order, each slot exactly once per iteration);
+    /// -1 once every slot has been returned. Fires the slot's on_message
+    /// callback, if registered. The slot's bytes stay readable through
+    /// recv_view() until release_recv() or the next start().
+    int wait_any_recv() {
+        State& st = state();
+        for (;;) {
+            if (st.consumed == st.recvs.size()) return -1;
+            int s;
+            {
+                std::unique_lock lock(st.ready.mutex);
+                // Spin briefly before blocking — arrivals are usually a
+                // few hundred nanoseconds out, far below a futex sleep.
+                for (int spin = st.spin_iters; st.ready.count == 0 && spin > 0; --spin) {
+                    lock.unlock();
+                    detail::cpu_relax();
+                    lock.lock();
+                }
+                // Oversubscribed (no spin budget): hand the core to the
+                // producer a few times before paying a futex sleep+wake.
+                for (int y = 0; st.spin_iters == 0 && st.ready.count == 0 && y < 16; ++y) {
+                    lock.unlock();
+                    std::this_thread::yield();
+                    lock.lock();
+                }
+                if (st.ready.count == 0) {
+                    st.ready.waiting = true;
+                    wait_until(lock, st.ready.cv, [&] { return st.ready.count > 0; },
+                               "Plan::wait_any_recv: message never arrived");
+                    st.ready.waiting = false;
+                }
+                s = st.ready.pop_locked();
+            }
+            // An arrival for a slot already handled this iteration belongs
+            // to the *next* iteration (the peer raced ahead); stash it for
+            // the next start().
+            if (st.recv_state[static_cast<std::size_t>(s)] != RecvState::idle) {
+                st.deferred.push_back(s);
+                continue;
+            }
+            consume(s);
+            return s;
+        }
+    }
+
+    /// Nonblocking progress: consume every recv that has already arrived
+    /// (firing callbacks) and return true once the whole iteration's
+    /// receives have completed.
+    bool test() {
+        State& st = state();
+        for (;;) {
+            int s;
+            {
+                std::lock_guard lock(st.ready.mutex);
+                if (st.ready.count == 0) break;
+                s = st.ready.pop_locked();
+            }
+            if (st.recv_state[static_cast<std::size_t>(s)] != RecvState::idle) {
+                st.deferred.push_back(s);
+                continue;
+            }
+            consume(s);
+        }
+        return st.consumed == st.recvs.size();
+    }
+
+    /// Drain every remaining receive of the iteration.
+    void wait() {
+        while (wait_any_recv() != -1) {}
+    }
+
+    /// Received bytes of a completed slot; valid until release_recv(\p s)
+    /// or the next start().
+    [[nodiscard]] std::span<const std::byte> recv_view(int s) const {
+        const State& st = state();
+        BEATNIK_REQUIRE(s >= 0 && s < static_cast<int>(st.recvs.size()),
+                        "Plan: recv slot index out of range");
+        BEATNIK_REQUIRE(st.recv_state[static_cast<std::size_t>(s)] == RecvState::arrived,
+                        "Plan::recv_view: slot has not completed (or was released)");
+        const auto& ch = *st.recvs[static_cast<std::size_t>(s)].channel;
+        return {ch.buf.data(), ch.bytes};
+    }
+
+    /// Typed view of a completed recv slot.
+    template <class T>
+    [[nodiscard]] std::span<const T> recv_view_as(int s) const {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                      "channel buffers only guarantee default new alignment");
+        auto bytes = recv_view(s);
+        BEATNIK_REQUIRE(bytes.size() % sizeof(T) == 0,
+                        "Plan::recv_view_as: size is not a multiple of element size");
+        return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+    }
+
+    /// Release a consumed recv slot early so the sender can refill it
+    /// without waiting for our next start() — call as soon as the data
+    /// has been unpacked to maximize pipelining.
+    void release_recv(int s) {
+        State& st = state();
+        BEATNIK_REQUIRE(s >= 0 && s < static_cast<int>(st.recvs.size()),
+                        "Plan: recv slot index out of range");
+        BEATNIK_REQUIRE(st.recv_state[static_cast<std::size_t>(s)] == RecvState::arrived,
+                        "Plan::release_recv: slot has not completed");
+        release_slot(s);
+    }
+
+    /// The plan's send schedule in world-rank coordinates (slot capacity
+    /// as bytes) — ready to feed into the netsim machine model.
+    [[nodiscard]] std::vector<PlanMsg> send_schedule() const {
+        const State& st = state();
+        std::vector<PlanMsg> msgs;
+        msgs.reserve(st.sends.size());
+        for (const auto& s : st.sends) {
+            msgs.push_back({st.self_world, s.peer_world, s.max_bytes});
+        }
+        return msgs;
+    }
+
+private:
+    /// Try-lock spin iterations before falling back to a cv sleep.
+    static constexpr int kSpinIters = 2048;
+
+    enum class RecvState : std::uint8_t {
+        idle,       ///< not yet arrived this iteration
+        arrived,    ///< consumed from the ready ring, bytes readable
+        released,   ///< handed back to the sender
+    };
+
+    struct Slot {
+        std::shared_ptr<detail::PlanChannel> channel;
+        int peer_world = 0;
+        int tag = 0;
+        std::size_t max_bytes = 0;
+        RecvCallback on_message;
+    };
+
+    /// All mutable state lives behind a unique_ptr so the ready ring's
+    /// address (registered in the channels) survives Plan moves.
+    struct State {
+        Communicator* comm = nullptr;
+        int self_world = 0;
+        std::vector<Slot> sends;
+        std::vector<Slot> recvs;
+        std::vector<bool> send_acquired;
+        std::vector<RecvState> recv_state;
+        std::size_t consumed = 0;   ///< recv slots consumed this iteration
+        bool started = false;
+        detail::ReadyRing ready;
+        /// Early arrivals (peer one iteration ahead), re-enqueued at the
+        /// next start(). reserve()d to nrecvs at build — at most one early
+        /// arrival per slot can exist, so pushes never allocate.
+        std::vector<int> deferred;
+        double timeout_seconds = 0.0;
+        const std::atomic<bool>* abort = nullptr;
+        std::shared_ptr<ChannelRegistry> registry;   ///< keeps detach safe past context death
+        bool has_seq_channels = false;   ///< any slot on a sequence-band tag
+        int spin_iters = 0;              ///< try-lock spins before a cv sleep
+
+        State(std::size_t nrecvs) : ready(nrecvs == 0 ? 1 : nrecvs) {
+            deferred.reserve(nrecvs);
+        }
+    };
+
+    Plan(Communicator& comm, std::vector<Builder::SlotSpec> sends,
+         std::vector<Builder::SlotSpec> recvs)
+        : st_(std::make_unique<State>(recvs.size())) {
+        State& st = *st_;
+        st.comm = &comm;
+        st.self_world = comm.world_rank();
+        st.timeout_seconds = comm.context().config().recv_timeout_seconds;
+        st.abort = &comm.context().abort_flag();
+        // Spin-then-block only pays when every rank-thread can run at
+        // once; oversubscribed, a spinner just burns the timeslice the
+        // peer needs to produce the message.
+        if (std::thread::hardware_concurrency() >=
+            static_cast<unsigned>(comm.context().size())) {
+            st.spin_iters = kSpinIters;
+        }
+        st.registry = comm.context().plan_channels_ptr();
+        ChannelRegistry& reg = *st.registry;
+        st.sends.reserve(sends.size());
+        auto note_band = [&st](int tag) {
+            if (tag >= tags::plan_seq_base && tag < tags::plan_limit) {
+                st.has_seq_channels = true;
+            }
+        };
+        for (const auto& spec : sends) {
+            Slot slot;
+            slot.peer_world = comm.world_rank_of(spec.peer);
+            slot.tag = spec.tag;
+            slot.max_bytes = spec.max_bytes;
+            slot.channel = reg.get_or_create(
+                {comm.comm_id(), st.self_world, slot.peer_world, spec.tag}, spec.max_bytes);
+            note_band(spec.tag);
+            st.sends.push_back(std::move(slot));
+        }
+        st.send_acquired.assign(st.sends.size(), false);
+        st.recvs.reserve(recvs.size());
+        st.recv_state.assign(recvs.size(), RecvState::idle);
+        for (std::size_t s = 0; s < recvs.size(); ++s) {
+            auto& spec = recvs[s];
+            Slot slot;
+            slot.peer_world = comm.world_rank_of(spec.peer);
+            slot.tag = spec.tag;
+            slot.max_bytes = spec.max_bytes;
+            slot.on_message = std::move(spec.on_message);
+            slot.channel = reg.get_or_create(
+                {comm.comm_id(), slot.peer_world, st.self_world, spec.tag}, spec.max_bytes);
+            note_band(spec.tag);
+            // Attach the completion hook. A message published before we
+            // attached (a peer racing ahead) is enqueued here, so nothing
+            // is ever lost to the build/attach race.
+            {
+                auto& ch = *slot.channel;
+                std::lock_guard lock(ch.mutex);
+                BEATNIK_REQUIRE(ch.ready == nullptr,
+                                "plan recv tag already attached by another live plan");
+                ch.ready = &st.ready;
+                ch.recv_slot = static_cast<int>(s);
+                if (ch.full) {
+                    std::lock_guard ring_lock(st.ready.mutex);
+                    st.ready.push_locked(static_cast<int>(s));
+                }
+            }
+            st.recvs.push_back(std::move(slot));
+        }
+    }
+
+    /// Release every slot this plan still holds and detach the ready ring
+    /// so a successor plan can attach to the same channels. The push in
+    /// publish() happens under the channel mutex, so after this loop no
+    /// sender can touch the ring. Early arrivals (deferred) are left FULL
+    /// in their channels — a successor plan picks them up at attach.
+    void detach() noexcept {
+        if (!st_) return;
+        for (std::size_t s = 0; s < st_->recvs.size(); ++s) {
+            auto& ch = *st_->recvs[s].channel;
+            std::lock_guard lock(ch.mutex);
+            if (st_->recv_state[s] == RecvState::arrived) {
+                ch.full = false;
+                ch.cv.notify_one();
+            }
+            ch.ready = nullptr;
+            ch.recv_slot = -1;
+        }
+        std::shared_ptr<ChannelRegistry> registry = st_->registry;
+        const bool had_seq_channels = st_->has_seq_channels;
+        st_.reset();   // drop our channel references first
+        // Reclaim channels nobody can ever reach again: sequence tags are
+        // allocated monotonically, so once no plan references such a
+        // channel it is dead. Halo-band channels persist for wrapper
+        // reattachment — a plan that held only those (the per-call
+        // deprecated wrappers) skips the registry scan entirely.
+        if (registry != nullptr && had_seq_channels) {
+            registry->prune_unreferenced([](const ChannelKey& k) {
+                return k.tag >= tags::plan_seq_base && k.tag < tags::plan_limit;
+            });
+        }
+    }
+
+    State& state() {
+        BEATNIK_REQUIRE(static_cast<bool>(st_), "operation on an empty Plan");
+        return *st_;
+    }
+    const State& state() const {
+        BEATNIK_REQUIRE(static_cast<bool>(st_), "operation on an empty Plan");
+        return *st_;
+    }
+
+    std::size_t check_send(int s) const {
+        BEATNIK_REQUIRE(s >= 0 && s < static_cast<int>(st_->sends.size()),
+                        "Plan: send slot index out of range");
+        return static_cast<std::size_t>(s);
+    }
+
+    /// Mark slot \p s consumed and fire its callback.
+    void consume(int s) {
+        State& st = state();
+        BEATNIK_ASSERT(st.recv_state[static_cast<std::size_t>(s)] == RecvState::idle);
+        st.recv_state[static_cast<std::size_t>(s)] = RecvState::arrived;
+        ++st.consumed;
+        const auto& slot = st.recvs[static_cast<std::size_t>(s)];
+        if (slot.on_message) slot.on_message(recv_view(s));
+    }
+
+    void release_slot(int s) {
+        State& st = *st_;
+        auto& ch = *st.recvs[static_cast<std::size_t>(s)].channel;
+        bool wake;
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = false;
+            wake = ch.sender_waiting;
+        }
+        if (wake) ch.cv.notify_one();
+        st.recv_state[static_cast<std::size_t>(s)] = RecvState::released;
+    }
+
+    /// Condition wait with abort observation and the context's receive
+    /// timeout: blocked plan operations wake up in short slices to check
+    /// the context-wide abort flag, so one failing rank unwinds everyone.
+    template <class Pred>
+    void wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv, Pred pred,
+                    const char* what) {
+        const State& st = *st_;
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(st.timeout_seconds));
+        while (!pred()) {
+            if (st.abort->load(std::memory_order_acquire)) {
+                throw CommError("plan operation aborted: another rank failed");
+            }
+            if (st.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+                throw CommError(std::string("plan operation timed out (probable deadlock): ") +
+                                what);
+            }
+            cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+    }
+
+    std::unique_ptr<State> st_;
+};
+
+} // namespace beatnik::comm

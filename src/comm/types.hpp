@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -18,6 +19,68 @@ namespace beatnik::comm {
 inline constexpr int any_source = -1;
 /// Wildcard tag for receives (matches any tag).
 inline constexpr int any_tag = -1;
+
+/// Tag-space layout. The int tag space is split into three disjoint bands
+/// so the three kinds of traffic provably cannot collide:
+///
+///   [0, user_limit)                  caller-owned point-to-point tags
+///   [plan_base, plan_limit)          persistent comm::Plan channels
+///   [collective_base, INT_MAX]       per-communicator collective sequence
+///
+/// The plan band is further subdivided: halo plans use a fixed
+/// (direction, stream) encoding so that the same field shape always maps
+/// to the same channels, while every other plan (reshape, migrate, ...)
+/// draws a fresh tag from the per-communicator plan sequence
+/// (Communicator::new_plan_tag, allocated in collective build order).
+namespace tags {
+
+/// User p2p tags live in [0, user_limit).
+inline constexpr int user_limit = 1 << 24;
+
+/// Persistent-plan channels live in [plan_base, plan_limit).
+inline constexpr int plan_base = user_limit;
+inline constexpr int plan_limit = 1 << 25;
+
+/// Halo sub-band: 16 tags per stream (8 directions, room to spare).
+inline constexpr int halo_base = plan_base;
+inline constexpr int halo_max_streams = 1 << 16;
+inline constexpr int halo_limit = halo_base + halo_max_streams * 16;
+
+/// Sequence-allocated plan tags (reshape, migrate, user plans).
+inline constexpr int plan_seq_base = halo_limit;
+inline constexpr int plan_seq_count = plan_limit - plan_seq_base;
+
+/// Collective sequence tags live in [collective_base, INT_MAX].
+inline constexpr int collective_base = 1 << 25;
+
+// Pin the band boundaries: ordered, disjoint, non-empty.
+static_assert(0 < user_limit);
+static_assert(user_limit == plan_base);
+static_assert(halo_base == plan_base);
+static_assert(halo_limit == plan_seq_base);
+static_assert(plan_seq_base < plan_limit);
+static_assert(plan_limit == collective_base);
+static_assert(collective_base < std::numeric_limits<int>::max());
+
+[[nodiscard]] constexpr bool is_user(int tag) { return tag >= 0 && tag < user_limit; }
+[[nodiscard]] constexpr bool is_plan(int tag) { return tag >= plan_base && tag < plan_limit; }
+[[nodiscard]] constexpr bool is_collective(int tag) { return tag >= collective_base; }
+
+/// Tag of the halo-plan channel for direction index \p dir (0..7) and
+/// caller stream \p stream.
+[[nodiscard]] constexpr int halo(int dir, int stream) {
+    BEATNIK_REQUIRE(dir >= 0 && dir < 8, "halo tag: direction index out of range");
+    BEATNIK_REQUIRE(stream >= 0 && stream < halo_max_streams, "halo tag: stream out of range");
+    return halo_base + stream * 16 + dir;
+}
+
+/// Tag of the \p id-th sequence-allocated plan on a communicator.
+[[nodiscard]] constexpr int plan_seq(int id) {
+    BEATNIK_REQUIRE(id >= 0 && id < plan_seq_count, "plan tag sequence exhausted");
+    return plan_seq_base + id;
+}
+
+} // namespace tags
 
 /// Outcome of a completed receive.
 struct Status {

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <numbers>
+#include <optional>
 
 #include "core/br_solver.hpp"
 #include "core/spatial_mesh.hpp"
@@ -47,6 +48,14 @@ public:
     void compute_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma,
                           grid::NodeField<double, 3>& velocity) override {
         auto& comm = pm.comm();
+        // The three recurring migrations run on persistent plans, built
+        // collectively on first use (compute_velocity is collective) and
+        // reused for every subsequent derivative evaluation.
+        if (!owned_plan_) {
+            owned_plan_.emplace(comm);
+            ghost_plan_.emplace(comm);
+            return_plan_.emplace(comm);
+        }
         const auto& local = mesh_->local();
         const int ni = local.owned_extent(0);
         const int nj = local.owned_extent(1);
@@ -71,8 +80,8 @@ public:
                 dest[k] = spatial_.owner_rank(sp.pos.x, sp.pos.y);
             }
         }
-        auto owned = grid::migrate(comm, std::span<const SpatialParticle>(particles),
-                                   std::span<const int>(dest));
+        auto owned = owned_plan_->execute(std::span<const SpatialParticle>(particles),
+                                          std::span<const int>(dest));
         last_spatial_owned_ = owned.size();
 
         // ---- step 2: ghost-copy points near block boundaries (HaloComm).
@@ -93,8 +102,8 @@ public:
                 ghost_dests.push_back(t.rank);
             }
         }
-        auto ghosts = grid::migrate(comm, std::span<const SpatialParticle>(ghost_sends),
-                                    std::span<const int>(ghost_dests));
+        auto ghosts = ghost_plan_->execute(std::span<const SpatialParticle>(ghost_sends),
+                                           std::span<const int>(ghost_dests));
         last_spatial_ghosts_ = ghosts.size();
 
         // ---- step 3: neighbor lists over owned + ghost sources.
@@ -135,8 +144,8 @@ public:
         // ---- step 5: migrate the velocities back to the 2D owners.
         std::vector<int> home(results.size());
         for (std::size_t q = 0; q < results.size(); ++q) home[q] = results[q].home_rank;
-        auto returned = grid::migrate(comm, std::span<const VelocityResult>(results),
-                                      std::span<const int>(home));
+        auto returned = return_plan_->execute(std::span<const VelocityResult>(results),
+                                              std::span<const int>(home));
         BEATNIK_REQUIRE(returned.size() == n_own,
                         "cutoff solver lost or duplicated surface nodes");
         for (const auto& vr : returned) {
@@ -164,6 +173,9 @@ private:
 
     const SurfaceMesh* mesh_;
     SpatialMesh spatial_;
+    std::optional<grid::MigratePlan<SpatialParticle>> owned_plan_;
+    std::optional<grid::MigratePlan<SpatialParticle>> ghost_plan_;
+    std::optional<grid::MigratePlan<VelocityResult>> return_plan_;
     double cutoff_;
     double eps2_;
     std::size_t last_spatial_owned_ = 0;

@@ -18,7 +18,13 @@ public:
     enum Stream : int { kPositionStream = 0, kVorticityStream = 1, kScratchStream = 2 };
 
     ProblemManager(comm::Communicator& comm, const SurfaceMesh& mesh, const Params& params)
-        : comm_(&comm), mesh_(&mesh), bc_(mesh), z_(mesh.local()), w_(mesh.local()) {
+        : comm_(&comm), mesh_(&mesh), bc_(mesh), z_(mesh.local()), w_(mesh.local()),
+          // Auto-stream plans: tags come from the communicator's plan
+          // sequence, so several ProblemManagers can coexist on one
+          // communicator (construction is collective).
+          z_halo_(comm, mesh.topology(), mesh.local()),
+          w_halo_(comm, mesh.topology(), mesh.local()),
+          scratch_halo_(comm, mesh.topology(), mesh.local()) {
         apply_initial_conditions(mesh, params.initial, z_, w_);
         gather_halos();
     }
@@ -37,19 +43,33 @@ public:
     [[nodiscard]] const grid::NodeField<double, 2>& vorticity() const { return w_; }
 
     /// Refresh ghosts of both state fields and re-apply boundary fixups.
-    /// Call after any update of owned values.
+    /// Call after any update of owned values. Runs on the persistent halo
+    /// plans built at construction — no per-call setup or allocation.
     void gather_halos() {
-        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), z_, kPositionStream);
-        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), w_, kVorticityStream);
+        z_halo_.exchange(z_);
+        w_halo_.exchange(w_);
         bc_.apply_position(z_);
         bc_.apply_value(w_);
     }
 
     /// Halo + boundary fixup for a derived (non-position) field owned by a
-    /// solver (e.g. the Bernoulli scalar or a velocity component).
+    /// solver (e.g. the Bernoulli scalar or a velocity component). Plans
+    /// are field-agnostic for a given shape, so every supported width
+    /// rides one of the persistent plans (a 3-component scratch exchange
+    /// reuses the position plan's channels, etc.); other widths fall back
+    /// to a throwaway wrapper plan on a separate fixed stream.
     template <int C>
     void gather_scratch_halo(grid::NodeField<double, C>& f) {
-        grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), f, kScratchStream);
+        if constexpr (C == 1) {
+            scratch_halo_.exchange(f);
+        } else if constexpr (C == 2) {
+            w_halo_.exchange(f);
+        } else if constexpr (C == 3) {
+            z_halo_.exchange(f);
+        } else {
+            grid::halo_exchange(*comm_, mesh_->topology(), mesh_->local(), f,
+                                kScratchStream + C);
+        }
         bc_.apply_value(f);
     }
 
@@ -59,6 +79,9 @@ private:
     BoundaryCondition bc_;
     grid::NodeField<double, 3> z_;
     grid::NodeField<double, 2> w_;
+    grid::HaloPlan<double, 3> z_halo_;
+    grid::HaloPlan<double, 2> w_halo_;
+    grid::HaloPlan<double, 1> scratch_halo_;
 };
 
 } // namespace beatnik

@@ -65,28 +65,24 @@ void DistributedFFT2D::transform_stage(std::vector<cplx>& data, const Stage& sta
 
 void DistributedFFT2D::forward(std::vector<cplx>& data) {
     BEATNIK_REQUIRE(data.size() == brick_layout_.size(), "forward: data/brick size mismatch");
-    std::vector<cplx> work;
-    to_stage1_.execute(*comm_, brick_layout_, data, stage1_.layout, work, config_.use_alltoall);
-    transform_stage(work, stage1_, /*inverse=*/false);
-    std::vector<cplx> work2;
-    stage1_to_stage2_.execute(*comm_, stage1_.layout, work, stage2_.layout, work2,
+    to_stage1_.execute(*comm_, brick_layout_, data, stage1_.layout, work_, config_.use_alltoall);
+    transform_stage(work_, stage1_, /*inverse=*/false);
+    stage1_to_stage2_.execute(*comm_, stage1_.layout, work_, stage2_.layout, work2_,
                               config_.use_alltoall);
-    transform_stage(work2, stage2_, /*inverse=*/false);
-    stage2_to_brick_.execute(*comm_, stage2_.layout, work2, brick_layout_, data,
+    transform_stage(work2_, stage2_, /*inverse=*/false);
+    stage2_to_brick_.execute(*comm_, stage2_.layout, work2_, brick_layout_, data,
                              config_.use_alltoall);
 }
 
 void DistributedFFT2D::inverse(std::vector<cplx>& data) {
     BEATNIK_REQUIRE(data.size() == brick_layout_.size(), "inverse: data/brick size mismatch");
     // Reverse path: brick -> stage2 -> stage1 -> brick.
-    std::vector<cplx> work;
-    to_stage2_.execute(*comm_, brick_layout_, data, stage2_.layout, work, config_.use_alltoall);
-    transform_stage(work, stage2_, /*inverse=*/true);
-    std::vector<cplx> work2;
-    stage2_to_stage1_.execute(*comm_, stage2_.layout, work, stage1_.layout, work2,
+    to_stage2_.execute(*comm_, brick_layout_, data, stage2_.layout, work_, config_.use_alltoall);
+    transform_stage(work_, stage2_, /*inverse=*/true);
+    stage2_to_stage1_.execute(*comm_, stage2_.layout, work_, stage1_.layout, work2_,
                               config_.use_alltoall);
-    transform_stage(work2, stage1_, /*inverse=*/true);
-    stage1_to_brick_.execute(*comm_, stage1_.layout, work2, brick_layout_, data,
+    transform_stage(work2_, stage1_, /*inverse=*/true);
+    stage1_to_brick_.execute(*comm_, stage1_.layout, work2_, brick_layout_, data,
                              config_.use_alltoall);
 }
 

@@ -127,6 +127,11 @@ private:
     ReshapePlan to_stage2_;
     ReshapePlan stage2_to_stage1_;
     ReshapePlan stage1_to_brick_;
+    // Persistent stage buffers: sized on the first transform, reused by
+    // every subsequent one (reshape outputs resize() into them without a
+    // zero-fill pass).
+    std::vector<cplx> work_;
+    std::vector<cplx> work2_;
 };
 
 } // namespace beatnik::fft

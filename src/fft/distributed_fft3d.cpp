@@ -15,6 +15,15 @@ void Reshape3D::pack(const Layout3D& l, std::span<const cplx> in, const Box3D& b
     }
 }
 
+void Reshape3D::pack_into(const Layout3D& l, std::span<const cplx> in, const Box3D& b,
+                          cplx* out) {
+    for (int i = b.i.begin; i < b.i.end; ++i) {
+        for (int j = b.j.begin; j < b.j.end; ++j) {
+            for (int k = b.k.begin; k < b.k.end; ++k) *out++ = in[l.offset(i, j, k)];
+        }
+    }
+}
+
 void Reshape3D::unpack(const Layout3D& l, std::vector<cplx>& out, const Box3D& b,
                        std::span<const cplx> buf) {
     std::size_t m = 0;
@@ -28,7 +37,11 @@ void Reshape3D::unpack(const Layout3D& l, std::vector<cplx>& out, const Box3D& b
 void Reshape3D::execute(comm::Communicator& comm, const Layout3D& src, std::span<const cplx> in,
                         const Layout3D& dst, std::vector<cplx>& out, bool use_alltoall) const {
     BEATNIK_REQUIRE(in.size() == src.size(), "reshape3d: input size mismatch");
-    out.assign(dst.size(), cplx{0.0, 0.0});
+    // The recv boxes tile the destination exactly (checked below), so the
+    // output needs no zero-fill pass — every element is overwritten.
+    BEATNIK_ASSERT(recv_coverage_ == dst.size(),
+                   "reshape3d: recv boxes do not cover the destination layout");
+    out.resize(dst.size());
     if (use_alltoall) {
         const int p = comm.size();
         std::vector<std::size_t> sendcounts(static_cast<std::size_t>(p), 0);
@@ -50,26 +63,14 @@ void Reshape3D::execute(comm::Communicator& comm, const Layout3D& src, std::span
         }
         return;
     }
-    constexpr int kTag = 2100;
-    std::vector<cplx> buf;
-    for (const auto& t : sends_) {
-        if (t.peer == comm.rank()) continue;
-        buf.clear();
-        pack(src, in, t.box, buf);
-        comm.send(std::span<const cplx>(buf.data(), buf.size()), t.peer, kTag);
-    }
-    std::vector<cplx> incoming;
-    for (const auto& t : recvs_) {
-        if (t.peer == comm.rank()) {
-            buf.clear();
-            pack(src, in, t.box, buf);
-            unpack(dst, out, t.box, std::span<const cplx>(buf.data(), buf.size()));
-            continue;
-        }
-        comm.recv<cplx>(incoming, t.peer, kTag);
-        BEATNIK_REQUIRE(incoming.size() == t.box.size(), "reshape3d: unexpected p2p size");
-        unpack(dst, out, t.box, std::span<const cplx>(incoming.data(), incoming.size()));
-    }
+    // heFFTe's custom p2p path on persistent pre-matched channels (see
+    // plan_cache.hpp).
+    p2p_->execute(
+        comm, sends_, recvs_,
+        [&](const Box3D& box, cplx* slot) { pack_into(src, in, box, slot); },
+        [&](const Box3D& box, std::vector<cplx>& buf) { pack(src, in, box, buf); },
+        [&](const Box3D& box, std::span<const cplx> data) { unpack(dst, out, box, data); },
+        "reshape3d: unexpected p2p size");
 }
 
 // --------------------------------------------------------- DistributedFFT3D
@@ -203,21 +204,17 @@ void DistributedFFT3D::transform(std::vector<cplx>& data, bool inverse) {
     if (config_.use_pencils) {
         if (!inverse) {
             transform_axis(data, brick_, 2, false);
-            std::vector<cplx> wb;
-            forward_path_[0].execute(*comm_, brick_, data, stage_b_, wb, a2a);
-            transform_axis(wb, stage_b_, 1, false);
-            std::vector<cplx> wc;
-            forward_path_[1].execute(*comm_, stage_b_, wb, stage_c_, wc, a2a);
-            transform_axis(wc, stage_c_, 0, false);
-            forward_path_[2].execute(*comm_, stage_c_, wc, brick_, data, a2a);
+            forward_path_[0].execute(*comm_, brick_, data, stage_b_, work_b_, a2a);
+            transform_axis(work_b_, stage_b_, 1, false);
+            forward_path_[1].execute(*comm_, stage_b_, work_b_, stage_c_, work_c_, a2a);
+            transform_axis(work_c_, stage_c_, 0, false);
+            forward_path_[2].execute(*comm_, stage_c_, work_c_, brick_, data, a2a);
         } else {
-            std::vector<cplx> wc;
-            inverse_path_[0].execute(*comm_, brick_, data, stage_c_, wc, a2a);
-            transform_axis(wc, stage_c_, 0, true);
-            std::vector<cplx> wb;
-            inverse_path_[1].execute(*comm_, stage_c_, wc, stage_b_, wb, a2a);
-            transform_axis(wb, stage_b_, 1, true);
-            inverse_path_[2].execute(*comm_, stage_b_, wb, brick_, data, a2a);
+            inverse_path_[0].execute(*comm_, brick_, data, stage_c_, work_c_, a2a);
+            transform_axis(work_c_, stage_c_, 0, true);
+            inverse_path_[1].execute(*comm_, stage_c_, work_c_, stage_b_, work_b_, a2a);
+            transform_axis(work_b_, stage_b_, 1, true);
+            inverse_path_[2].execute(*comm_, stage_b_, work_b_, brick_, data, a2a);
             transform_axis(data, brick_, 2, true);
         }
         return;
@@ -225,17 +222,15 @@ void DistributedFFT3D::transform(std::vector<cplx>& data, bool inverse) {
     // Slab path: k in the brick, then (i, j) planes in the slab.
     if (!inverse) {
         transform_axis(data, brick_, 2, false);
-        std::vector<cplx> slab;
-        forward_path_[0].execute(*comm_, brick_, data, stage_b_, slab, a2a);
-        transform_axis(slab, stage_b_, 1, false);
-        transform_axis(slab, stage_b_, 0, false);
-        forward_path_[1].execute(*comm_, stage_b_, slab, brick_, data, a2a);
+        forward_path_[0].execute(*comm_, brick_, data, stage_b_, work_b_, a2a);
+        transform_axis(work_b_, stage_b_, 1, false);
+        transform_axis(work_b_, stage_b_, 0, false);
+        forward_path_[1].execute(*comm_, stage_b_, work_b_, brick_, data, a2a);
     } else {
-        std::vector<cplx> slab;
-        inverse_path_[0].execute(*comm_, brick_, data, stage_b_, slab, a2a);
-        transform_axis(slab, stage_b_, 0, true);
-        transform_axis(slab, stage_b_, 1, true);
-        inverse_path_[1].execute(*comm_, stage_b_, slab, brick_, data, a2a);
+        inverse_path_[0].execute(*comm_, brick_, data, stage_b_, work_b_, a2a);
+        transform_axis(work_b_, stage_b_, 0, true);
+        transform_axis(work_b_, stage_b_, 1, true);
+        inverse_path_[1].execute(*comm_, stage_b_, work_b_, brick_, data, a2a);
         transform_axis(data, brick_, 2, true);
     }
 }

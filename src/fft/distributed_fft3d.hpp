@@ -18,11 +18,11 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
-#include "comm/communicator.hpp"
 #include "fft/distributed_fft.hpp" // FFTConfig
-#include "fft/serial_fft.hpp"
+#include "fft/plan_cache.hpp"
 
 namespace beatnik::fft {
 
@@ -82,7 +82,10 @@ struct Layout3D {
 };
 
 /// Planned repartition between 3D box lists (the 3D analogue of
-/// ReshapePlan; heFFTe's box-intersection approach).
+/// ReshapePlan; heFFTe's box-intersection approach). The p2p path runs on
+/// a persistent comm::Plan bound on first execution; copies of a
+/// Reshape3D share that binding (forward/inverse paths over identical box
+/// lists reuse the same channels).
 class Reshape3D {
 public:
     struct Transfer {
@@ -90,14 +93,18 @@ public:
         Box3D box;
     };
 
-    Reshape3D(int rank, const std::vector<Box3D>& src, const std::vector<Box3D>& dst) {
+    Reshape3D(int rank, const std::vector<Box3D>& src, const std::vector<Box3D>& dst)
+        : p2p_(std::make_shared<detail::P2PPlanCache>()) {
         const int p = static_cast<int>(src.size());
         BEATNIK_REQUIRE(dst.size() == src.size(), "reshape3d: one box per rank on both sides");
         for (int r = 0; r < p; ++r) {
             Box3D out = src[static_cast<std::size_t>(rank)].intersect(dst[static_cast<std::size_t>(r)]);
             if (!out.empty()) sends_.push_back({r, out});
             Box3D in = dst[static_cast<std::size_t>(rank)].intersect(src[static_cast<std::size_t>(r)]);
-            if (!in.empty()) recvs_.push_back({r, in});
+            if (!in.empty()) {
+                recv_coverage_ += in.size();
+                recvs_.push_back({r, in});
+            }
         }
     }
 
@@ -110,11 +117,16 @@ public:
 private:
     static void pack(const Layout3D& l, std::span<const cplx> in, const Box3D& b,
                      std::vector<cplx>& buf);
+    static void pack_into(const Layout3D& l, std::span<const cplx> in, const Box3D& b,
+                          cplx* out);
     static void unpack(const Layout3D& l, std::vector<cplx>& out, const Box3D& b,
                        std::span<const cplx> buf);
 
     std::vector<Transfer> sends_;
     std::vector<Transfer> recvs_;
+    std::size_t recv_coverage_ = 0;
+    /// Execution-time p2p binding, shared by copies (see fft/plan_cache.hpp).
+    std::shared_ptr<detail::P2PPlanCache> p2p_;
 };
 
 class DistributedFFT3D {
@@ -157,6 +169,9 @@ private:
     Layout3D stage_c_; ///< pencil path only
     std::vector<Reshape3D> forward_path_;
     std::vector<Reshape3D> inverse_path_;
+    // Persistent stage buffers, reused across transforms.
+    std::vector<cplx> work_b_;
+    std::vector<cplx> work_c_;
 };
 
 } // namespace beatnik::fft

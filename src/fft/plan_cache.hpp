@@ -1,0 +1,101 @@
+/// \file plan_cache.hpp
+/// \brief Shared persistent-plan binding for the reshape p2p paths.
+///
+/// Both reshape planners (2D ReshapePlan, 3D Reshape3D) execute their
+/// point-to-point path through a comm::Plan bound lazily on first
+/// execution. The binding logic — draw a lockstep plan tag, register one
+/// slot per off-rank transfer, rebuild if the communicator changed — is
+/// identical up to the Transfer type (which only needs `.peer` and
+/// `.box.size()`), so it lives here once. Copies of a planner share the
+/// cache via shared_ptr: forward/inverse paths over identical box lists
+/// reuse the same channels.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "comm/plan.hpp"
+#include "fft/serial_fft.hpp"
+
+namespace beatnik::fft::detail {
+
+/// Execution-time state of a bound p2p reshape plan. Touched only from
+/// the owning rank-thread.
+struct P2PPlanCache {
+    std::optional<comm::Plan> plan;
+    comm::Communicator* comm = nullptr;
+    std::vector<std::pair<int, std::size_t>> send_slots;  ///< (slot, sends index)
+    std::vector<std::pair<int, std::size_t>> recv_slots;  ///< (slot, recvs index)
+    std::vector<cplx> self_buf;                           ///< self-rectangle staging
+
+    /// Bind (or rebind after a communicator change). The plan tag comes
+    /// from the communicator's collective plan sequence, so every rank
+    /// binding the same reshape in the same order resolves the same
+    /// channels. \p Transfer needs `.peer` and `.box.size()`.
+    ///
+    /// Communicator change is detected by address, so a planner holding
+    /// this cache must not be carried across contexts: a new context can
+    /// reuse the old communicator's address and would silently alias the
+    /// stale binding (see the lifetime note in comm/plan.hpp).
+    template <class Transfer>
+    void bind(comm::Communicator& c, const std::vector<Transfer>& sends,
+              const std::vector<Transfer>& recvs) {
+        if (comm == &c && plan.has_value()) return;
+        const int tag = c.new_plan_tag();
+        auto b = comm::Plan::builder(c);
+        send_slots.clear();
+        recv_slots.clear();
+        for (std::size_t t = 0; t < sends.size(); ++t) {
+            if (sends[t].peer == c.rank()) continue;
+            send_slots.push_back(
+                {b.add_send(sends[t].peer, tag, sends[t].box.size() * sizeof(cplx)), t});
+        }
+        for (std::size_t t = 0; t < recvs.size(); ++t) {
+            if (recvs[t].peer == c.rank()) continue;
+            recv_slots.push_back(
+                {b.add_recv(recvs[t].peer, tag, recvs[t].box.size() * sizeof(cplx)), t});
+        }
+        plan.emplace(b.build());
+        comm = &c;
+    }
+
+    /// One p2p reshape sweep: bind if needed, pack each off-rank
+    /// rectangle straight into its transport slot and publish, copy the
+    /// self rectangle locally, then unpack arrivals in completion order,
+    /// releasing each slot as soon as it is consumed. The pack/unpack
+    /// callables carry the dimension-specific layouts:
+    ///   pack_into(box, cplx* dst), pack_self(box, std::vector<cplx>&),
+    ///   unpack(box, std::span<const cplx>).
+    template <class Transfer, class PackInto, class PackSelf, class Unpack>
+    void execute(comm::Communicator& c, const std::vector<Transfer>& sends,
+                 const std::vector<Transfer>& recvs, PackInto&& pack_into,
+                 PackSelf&& pack_self, Unpack&& unpack, const char* size_error) {
+        bind(c, sends, recvs);
+        plan->start();
+        for (const auto& [slot, t] : send_slots) {
+            const auto& box = sends[t].box;
+            auto buf = plan->send_buffer(slot, box.size() * sizeof(cplx));
+            pack_into(box, reinterpret_cast<cplx*>(buf.data()));
+            plan->publish(slot);
+        }
+        // Self rectangle never leaves the rank.
+        for (const auto& t : recvs) {
+            if (t.peer != c.rank()) continue;
+            self_buf.clear();
+            pack_self(t.box, self_buf);
+            unpack(t.box, std::span<const cplx>(self_buf.data(), self_buf.size()));
+        }
+        for (std::size_t done = 0; done < recv_slots.size(); ++done) {
+            int s = plan->wait_any_recv();
+            BEATNIK_ASSERT(s >= 0);
+            const auto& box = recvs[recv_slots[static_cast<std::size_t>(s)].second].box;
+            auto incoming = plan->recv_view_as<cplx>(s);
+            BEATNIK_REQUIRE(incoming.size() == box.size(), size_error);
+            unpack(box, incoming);
+            plan->release_recv(s);
+        }
+    }
+};
+
+} // namespace beatnik::fft::detail

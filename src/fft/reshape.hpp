@@ -4,20 +4,24 @@
 /// This is the heart of the heFFTe substitute: like heFFTe, a reshape is
 /// planned by intersecting every source box with every destination box,
 /// producing per-pair transfer rectangles. Execution either goes through
-/// the alltoallv collective (the `AllToAll=true` configuration) or through
-/// an explicit point-to-point message list touching only overlapping
-/// peers (`AllToAll=false`, heFFTe's custom p2p path).
+/// the alltoallv collective (the `AllToAll=true` configuration, which
+/// inherits the communicator's zero-copy rendezvous path for large
+/// blocks) or through a persistent comm::Plan touching only overlapping
+/// peers (`AllToAll=false`, heFFTe's custom p2p path): the plan is bound
+/// on first execution, packs rectangles straight into pre-registered
+/// channel buffers, and unpacks arrivals in completion order — no
+/// per-sweep staging allocation and real send/recv overlap.
 ///
 /// The plan itself is communication-free and can be built for any rank
 /// count — the scaling benchmarks build P=1024 plans and feed their
 /// message schedules straight into the netsim performance model.
 #pragma once
 
+#include <memory>
 #include <vector>
 
-#include "comm/communicator.hpp"
 #include "fft/layout.hpp"
-#include "fft/serial_fft.hpp"
+#include "fft/plan_cache.hpp"
 
 namespace beatnik::fft {
 
@@ -44,7 +48,10 @@ public:
             Box2D out = mine_src.intersect(dst_boxes[static_cast<std::size_t>(r)]);
             if (!out.empty()) sends_.push_back({r, out});
             Box2D in = mine_dst.intersect(src_boxes[static_cast<std::size_t>(r)]);
-            if (!in.empty()) recvs_.push_back({r, in});
+            if (!in.empty()) {
+                recv_coverage_ += in.size();
+                recvs_.push_back({r, in});
+            }
         }
     }
 
@@ -53,11 +60,17 @@ public:
 
     /// Execute the reshape. \p in is the local data in \p src layout;
     /// \p out is resized and filled in \p dst layout. \p use_alltoall
-    /// selects the collective path vs the explicit p2p path.
+    /// selects the collective path vs the persistent-plan p2p path.
     void execute(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
                  const Layout2D& dst, std::vector<cplx>& out, bool use_alltoall) const {
         BEATNIK_REQUIRE(in.size() == src.size(), "reshape: input size mismatch");
-        out.assign(dst.size(), cplx{0.0, 0.0});
+        // Every element of the output is written exactly once by a recv
+        // rectangle (the recv boxes are disjoint and cover the destination
+        // box — checked below), so no zero-fill pass is needed: resize
+        // without assign, and reused buffers skip even the one-time fill.
+        BEATNIK_ASSERT(recv_coverage_ == dst.size(),
+                       "reshape: recv boxes do not cover the destination layout");
+        out.resize(dst.size());
         if (use_alltoall) {
             execute_alltoall(comm, src, in, dst, out);
         } else {
@@ -74,8 +87,34 @@ private:
         }
     }
 
+    /// Pack directly into caller-provided storage (the plan's transport
+    /// buffer) — no staging vector. In the common j-fastest layout the
+    /// wire order matches memory order, so each box row moves as one
+    /// block copy.
+    static void pack_into(const Layout2D& src, std::span<const cplx> in, const Box2D& box,
+                          cplx* out) {
+        if (src.fast_axis == 1) {
+            const std::size_t row = static_cast<std::size_t>(box.j.extent());
+            for (int i = box.i.begin; i < box.i.end; ++i, out += row) {
+                std::copy_n(in.data() + src.offset(i, box.j.begin), row, out);
+            }
+            return;
+        }
+        for (int i = box.i.begin; i < box.i.end; ++i) {
+            for (int j = box.j.begin; j < box.j.end; ++j) *out++ = in[src.offset(i, j)];
+        }
+    }
+
     static void unpack(const Layout2D& dst, std::vector<cplx>& out, const Box2D& box,
                        std::span<const cplx> buf) {
+        if (dst.fast_axis == 1) {
+            const std::size_t row = static_cast<std::size_t>(box.j.extent());
+            std::size_t k = 0;
+            for (int i = box.i.begin; i < box.i.end; ++i, k += row) {
+                std::copy_n(buf.data() + k, row, out.data() + dst.offset(i, box.j.begin));
+            }
+            return;
+        }
         std::size_t k = 0;
         for (int i = box.i.begin; i < box.i.end; ++i) {
             for (int j = box.j.begin; j < box.j.end; ++j) out[dst.offset(i, j)] = buf[k++];
@@ -109,32 +148,22 @@ private:
 
     void execute_p2p(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
                      const Layout2D& dst, std::vector<cplx>& out) const {
-        // heFFTe's custom path: only overlapping peers exchange messages.
-        constexpr int kTag = 2000;
-        std::vector<cplx> buf;
-        for (const auto& t : sends_) {
-            if (t.peer == comm.rank()) continue;
-            buf.clear();
-            pack(src, in, t.box, buf);
-            comm.send(std::span<const cplx>(buf.data(), buf.size()), t.peer, kTag);
-        }
-        std::vector<cplx> incoming;
-        for (const auto& t : recvs_) {
-            if (t.peer == comm.rank()) {
-                buf.clear();
-                pack(src, in, t.box, buf);
-                unpack(dst, out, t.box, std::span<const cplx>(buf.data(), buf.size()));
-                continue;
-            }
-            comm.recv<cplx>(incoming, t.peer, kTag);
-            BEATNIK_REQUIRE(incoming.size() == t.box.size(),
-                            "reshape: unexpected p2p block size");
-            unpack(dst, out, t.box, std::span<const cplx>(incoming.data(), incoming.size()));
-        }
+        // heFFTe's custom path: only overlapping peers exchange messages,
+        // through persistent pre-matched channels (see plan_cache.hpp).
+        p2p_->execute(
+            comm, sends_, recvs_,
+            [&](const Box2D& box, cplx* slot) { pack_into(src, in, box, slot); },
+            [&](const Box2D& box, std::vector<cplx>& buf) { pack(src, in, box, buf); },
+            [&](const Box2D& box, std::span<const cplx> data) { unpack(dst, out, box, data); },
+            "reshape: unexpected p2p block size");
     }
 
     std::vector<Transfer> sends_;
     std::vector<Transfer> recvs_;
+    std::size_t recv_coverage_ = 0;   ///< sum of recv rectangle sizes
+    /// Execution-time p2p binding, shared by copies and touched only from
+    /// the owning rank-thread (see fft/plan_cache.hpp).
+    std::shared_ptr<detail::P2PPlanCache> p2p_ = std::make_shared<detail::P2PPlanCache>();
 };
 
 } // namespace beatnik::fft

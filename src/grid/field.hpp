@@ -2,6 +2,7 @@
 /// \brief Node-centered field storage with ghost layers.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "base/error.hpp"
@@ -68,16 +69,54 @@ public:
 
     /// Unpack a buffer previously produced by pack() for \p space.
     void unpack(const IndexSpace2D& space, const std::vector<T>& in) {
-        BEATNIK_REQUIRE(in.size() == space.size() * C, "unpack: buffer size mismatch");
+        unpack_from(space, std::span<const T>(in.data(), in.size()));
+    }
+
+    /// Pack an index rectangle directly into caller-provided storage of
+    /// exactly space.size() * C elements (the persistent-plan transport
+    /// buffer) — no staging vector, no allocation. Storage is (j, c)-
+    /// contiguous per row, so each row moves as one block copy.
+    void pack_into(const IndexSpace2D& space, std::span<T> out) const {
+        BEATNIK_REQUIRE(out.size() == space.size() * C, "pack_into: buffer size mismatch");
+        if (space.size() == 0) return;
+        const std::size_t row = row_elems(space);
         std::size_t k = 0;
-        for (int i = space.i.begin; i < space.i.end; ++i) {
-            for (int j = space.j.begin; j < space.j.end; ++j) {
-                for (int c = 0; c < C; ++c) (*this)(i, j, c) = in[k++];
-            }
+        for (int i = space.i.begin; i < space.i.end; ++i, k += row) {
+            std::copy_n(&(*this)(i, space.j.begin, 0), row, out.data() + k);
+        }
+    }
+
+    /// Unpack a span previously produced by pack()/pack_into() for \p space.
+    void unpack_from(const IndexSpace2D& space, std::span<const T> in) {
+        BEATNIK_REQUIRE(in.size() == space.size() * C, "unpack: buffer size mismatch");
+        if (space.size() == 0) return;
+        const std::size_t row = row_elems(space);
+        std::size_t k = 0;
+        for (int i = space.i.begin; i < space.i.end; ++i, k += row) {
+            std::copy_n(in.data() + k, row, &(*this)(i, space.j.begin, 0));
+        }
+    }
+
+    /// Accumulate (+=) a packed span into an index rectangle — the
+    /// scatter-add unpack.
+    void accumulate_from(const IndexSpace2D& space, std::span<const T> in) {
+        BEATNIK_REQUIRE(in.size() == space.size() * C, "accumulate: buffer size mismatch");
+        if (space.size() == 0) return;
+        const std::size_t row = row_elems(space);
+        std::size_t k = 0;
+        for (int i = space.i.begin; i < space.i.end; ++i, k += row) {
+            T* dst = &(*this)(i, space.j.begin, 0);
+            for (std::size_t m = 0; m < row; ++m) dst[m] += in[k + m];
         }
     }
 
 private:
+    /// Contiguous elements per row of an index rectangle ((j, c) are the
+    /// two fastest storage axes).
+    [[nodiscard]] static std::size_t row_elems(const IndexSpace2D& space) {
+        return static_cast<std::size_t>(space.j.end - space.j.begin) * C;
+    }
+
     [[nodiscard]] bool in_bounds(int i, int j, int c) const {
         return i >= -halo_ && i < ni_ + halo_ && j >= -halo_ && j < nj_ + halo_ && c >= 0 && c < C;
     }

@@ -1,5 +1,6 @@
 /// \file halo.hpp
-/// \brief Width-w structured halo exchange with corner neighbors.
+/// \brief Width-w structured halo exchange with corner neighbors, built on
+/// persistent communication plans.
 ///
 /// The Cabana::Grid halo-exchange analogue (paper §3.1: Beatnik uses
 /// "two-node-deep stencils" for normals, finite differences and
@@ -7,12 +8,21 @@
 /// corners — per field. Periodic axes wrap through the topology; at
 /// non-periodic boundaries no message is exchanged and ghost values are
 /// left for the BoundaryCondition module to fill by extrapolation.
+///
+/// The primary API is HaloPlan: built once per (topology, grid, stream)
+/// it pre-registers every neighbor channel, and each exchange() /
+/// scatter_add() iteration packs straight into the transport buffers and
+/// unpacks messages in arrival order — zero per-iteration allocation and
+/// no mailbox matching. The halo_exchange()/halo_scatter_add() free
+/// functions remain as deprecated thin wrappers that build a throwaway
+/// plan per call (the channels themselves persist in the context, so even
+/// the wrappers reuse buffers across calls).
 #pragma once
 
 #include <array>
 #include <vector>
 
-#include "comm/communicator.hpp"
+#include "comm/plan.hpp"
 #include "grid/field.hpp"
 
 namespace beatnik::grid {
@@ -22,83 +32,170 @@ namespace beatnik::grid {
 inline constexpr std::array<std::array<int, 2>, 8> kNeighborDirs2D{{
     {-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1}}};
 
-/// Tag layout: direction index (0..7) + a caller-provided stream id so
-/// multiple fields can be in flight without cross-talk.
+/// Tag of the halo channel for direction index \p dir_index (0..7) and
+/// caller-provided stream id, drawn from the reserved plan tag band (see
+/// comm/types.hpp) so halo traffic provably cannot collide with user tags
+/// or the collective tag sequence.
 inline int halo_tag(int dir_index, int stream) {
-    return 1000 + stream * 16 + dir_index;
+    return comm::tags::halo(dir_index, stream);
 }
 
-/// Exchange ghost layers of \p field with all existing neighbors.
+/// Persistent halo-exchange plan for one field shape.
 ///
-/// \p stream distinguishes concurrent exchanges on the same communicator
-/// (e.g. position vs vorticity fields).
+/// Build once per (communicator, topology, grid, components); the
+/// constructor registers one send and one recv channel per existing
+/// neighbor direction. Each direction gets its own tag, so the plan is
+/// correct even on degenerate process grids (1xN, periodic) where the
+/// same rank is a neighbor in several directions — including self-sends.
+///
+/// Tagging: by default (\p stream == kAutoStream) the plan draws a block
+/// of 8 direction tags from the communicator's plan sequence, so any
+/// number of persistent plans can coexist on one communicator as long as
+/// they are built collectively in the same order. A fixed \p stream >= 0
+/// instead uses the halo tag sub-band (tags::halo) — stable across
+/// rebuilds, which is what lets the deprecated free-function wrappers
+/// reuse the same channels call after call, but two *live* plans must
+/// then never share a stream.
+template <class T, int C>
+class HaloPlan {
+public:
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "halo-exchanged elements must be trivially copyable");
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "channel buffers only guarantee default new alignment");
+
+    /// Draw direction tags from the communicator's plan sequence.
+    static constexpr int kAutoStream = -1;
+
+    HaloPlan(comm::Communicator& comm, const CartTopology2D& topo, const LocalGrid2D& grid,
+             int stream = kAutoStream)
+        : grid_(grid) {
+        const int rank = comm.rank();
+        if (grid.halo_width() == 0) return;   // nothing to exchange, empty plan
+        // All 8 tags are allocated unconditionally (even for directions
+        // with no neighbor) so the plan-sequence counter stays in lockstep
+        // across ranks with different neighbor counts.
+        std::array<int, 8> dir_tag;
+        for (int k = 0; k < 8; ++k) {
+            dir_tag[static_cast<std::size_t>(k)] =
+                stream == kAutoStream ? comm.new_plan_tag() : halo_tag(k, stream);
+        }
+        auto b = comm::Plan::builder(comm);
+        for (int k = 0; k < 8; ++k) {
+            auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
+            int nbr = topo.neighbor(rank, di, dj);
+            if (nbr < 0) continue;
+            const std::size_t bytes = grid.shared_space(di, dj).size() * C * sizeof(T);
+            // A neighbor at direction d fills our ghost region
+            // halo_space(d) with its shared_space(-d); messages are tagged
+            // by the *receiver's* direction index so the pairing is
+            // unambiguous even when the same rank is a neighbor in several
+            // directions. kNeighborDirs2D is symmetric: dir[7-k] == -dir[k].
+            Dir dir;
+            dir.k = k;
+            dir.send_slot = b.add_send(nbr, dir_tag[static_cast<std::size_t>(7 - k)], bytes);
+            dir.recv_slot = b.add_recv(nbr, dir_tag[static_cast<std::size_t>(k)], bytes);
+            dirs_.push_back(dir);
+        }
+        if (!dirs_.empty()) plan_ = b.build();
+    }
+
+    /// Exchange ghost layers of \p field with all existing neighbors:
+    /// pack shared bands into the transport buffers, then unpack ghost
+    /// bands in message-arrival order (unpacking one neighbor overlaps
+    /// the delivery of the rest).
+    void exchange(grid::NodeField<T, C>& field) {
+        run(field, /*scatter=*/false);
+    }
+
+    /// Reverse halo exchange ("scatter"): adds the ghost-region values
+    /// this rank accumulated into the *owner's* corresponding owned nodes.
+    /// Used by force-accumulation patterns where contributions land in
+    /// ghosts.
+    void scatter_add(grid::NodeField<T, C>& field) {
+        run(field, /*scatter=*/true);
+    }
+
+    /// The plan's send schedule (world ranks / bytes) for the netsim
+    /// machine model; empty when this rank has no neighbors.
+    [[nodiscard]] std::vector<comm::PlanMsg> send_schedule() const {
+        return plan_.valid() ? plan_.send_schedule() : std::vector<comm::PlanMsg>{};
+    }
+
+    [[nodiscard]] int num_neighbors() const { return static_cast<int>(dirs_.size()); }
+
+private:
+    struct Dir {
+        int k = 0;           ///< direction index into kNeighborDirs2D
+        int send_slot = -1;
+        int recv_slot = -1;
+    };
+
+    void run(grid::NodeField<T, C>& field, bool scatter) {
+        BEATNIK_REQUIRE(field.halo_width() == grid_.halo_width(),
+                        "field/grid halo width mismatch");
+        if (dirs_.empty()) return;
+        plan_.start();
+        for (const Dir& d : dirs_) {
+            auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
+            // Forward: send the owned shared band; reverse: send the ghost
+            // band we accumulated into.
+            auto space = scatter ? grid_.halo_space(di, dj) : grid_.shared_space(di, dj);
+            auto buf = plan_.send_buffer(d.send_slot, space.size() * C * sizeof(T));
+            field.pack_into(space, std::span<T>(reinterpret_cast<T*>(buf.data()),
+                                                space.size() * C));
+            plan_.publish(d.send_slot);
+        }
+        // Unpack in arrival order; release each slot as soon as it is
+        // unpacked so the sender can refill it without waiting for our
+        // next iteration.
+        for (int done = 0; done < static_cast<int>(dirs_.size()); ++done) {
+            int s = plan_.wait_any_recv();
+            BEATNIK_ASSERT(s >= 0);
+            const Dir& d = slot_dir(s);
+            auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
+            auto in = plan_.recv_view_as<T>(s);
+            if (scatter) {
+                field.accumulate_from(grid_.shared_space(di, dj), in);
+            } else {
+                field.unpack_from(grid_.halo_space(di, dj), in);
+            }
+            plan_.release_recv(s);
+        }
+        BEATNIK_ASSERT(plan_.wait_any_recv() == -1);
+    }
+
+    const Dir& slot_dir(int recv_slot) const {
+        // recv slots were allocated in dirs_ order, one per direction.
+        BEATNIK_ASSERT(recv_slot >= 0 && recv_slot < static_cast<int>(dirs_.size()));
+        return dirs_[static_cast<std::size_t>(recv_slot)];
+    }
+
+    LocalGrid2D grid_;
+    std::vector<Dir> dirs_;
+    comm::Plan plan_;
+};
+
+/// Deprecated: exchange ghost layers of \p field with all existing
+/// neighbors. Thin wrapper that builds a HaloPlan per call — prefer
+/// building a HaloPlan once per field shape and calling exchange() on it
+/// (the plan path is allocation-free per iteration; this wrapper is not).
 template <class T, int C>
 void halo_exchange(comm::Communicator& comm, const CartTopology2D& topo, const LocalGrid2D& grid,
                    NodeField<T, C>& field, int stream = 0) {
     BEATNIK_REQUIRE(field.halo_width() == grid.halo_width(), "field/grid halo width mismatch");
     if (grid.halo_width() == 0) return;
-    const int rank = comm.rank();
-
-    // Post all sends (buffered), then receive. A neighbor at direction d
-    // fills our ghost region halo_space(d) with its shared_space(-d); we
-    // tag by *our* direction index so the pairing is unambiguous even
-    // when the same rank is a neighbor in several directions (small or
-    // periodic process grids).
-    std::vector<T> buf;
-    for (int k = 0; k < 8; ++k) {
-        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
-        int nbr = topo.neighbor(rank, di, dj);
-        if (nbr < 0) continue;
-        field.pack(grid.shared_space(di, dj), buf);
-        // The receiver's direction toward us is (-di, -dj); find its index.
-        int recv_dir = 7 - k; // kNeighborDirs2D is symmetric: dir[7-k] == -dir[k]
-        comm.send(std::span<const T>(buf.data(), buf.size()), nbr, halo_tag(recv_dir, stream));
-    }
-    std::vector<T> incoming;
-    for (int k = 0; k < 8; ++k) {
-        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
-        int nbr = topo.neighbor(rank, di, dj);
-        if (nbr < 0) continue;
-        comm.recv<T>(incoming, nbr, halo_tag(k, stream));
-        field.unpack(grid.halo_space(di, dj), incoming);
-    }
+    HaloPlan<T, C>(comm, topo, grid, stream).exchange(field);
 }
 
-/// Reverse halo exchange ("scatter"): adds the ghost-region values this
-/// rank accumulated into the *owner's* corresponding owned nodes. Used by
-/// force-accumulation patterns where contributions land in ghosts.
+/// Deprecated: reverse halo exchange ("scatter-add"). Thin wrapper over
+/// HaloPlan::scatter_add — prefer a persistent HaloPlan.
 template <class T, int C>
 void halo_scatter_add(comm::Communicator& comm, const CartTopology2D& topo,
                       const LocalGrid2D& grid, NodeField<T, C>& field, int stream = 0) {
     BEATNIK_REQUIRE(field.halo_width() == grid.halo_width(), "field/grid halo width mismatch");
     if (grid.halo_width() == 0) return;
-    const int rank = comm.rank();
-
-    std::vector<T> buf;
-    for (int k = 0; k < 8; ++k) {
-        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
-        int nbr = topo.neighbor(rank, di, dj);
-        if (nbr < 0) continue;
-        field.pack(grid.halo_space(di, dj), buf);
-        int recv_dir = 7 - k;
-        comm.send(std::span<const T>(buf.data(), buf.size()), nbr, halo_tag(recv_dir, stream));
-    }
-    std::vector<T> incoming;
-    for (int k = 0; k < 8; ++k) {
-        auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(k)];
-        int nbr = topo.neighbor(rank, di, dj);
-        if (nbr < 0) continue;
-        comm.recv<T>(incoming, nbr, halo_tag(k, stream));
-        // Accumulate into the owned band we would have packed for (di,dj).
-        auto space = grid.shared_space(di, dj);
-        BEATNIK_REQUIRE(incoming.size() == space.size() * C, "scatter: buffer size mismatch");
-        std::size_t idx = 0;
-        for (int i = space.i.begin; i < space.i.end; ++i) {
-            for (int j = space.j.begin; j < space.j.end; ++j) {
-                for (int c = 0; c < C; ++c) field(i, j, c) += incoming[idx++];
-            }
-        }
-    }
+    HaloPlan<T, C>(comm, topo, grid, stream).scatter_add(field);
 }
 
 } // namespace beatnik::grid

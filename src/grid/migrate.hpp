@@ -4,24 +4,144 @@
 /// The Cabana `migrate` analogue and the communication core of the
 /// paper's CutoffBRSolver: every derivative evaluation moves each surface
 /// node from its 2D mesh-index owner to its 3D position-based owner and
-/// back (paper §3.2). The pattern is an alltoallv keyed by a per-particle
+/// back (paper §3.2). The pattern is an all-to-all keyed by a per-particle
 /// destination rank.
+///
+/// The primary API is MigratePlan: built once per recurring migration
+/// (one persistent channel per peer pair), execute() packs particles
+/// straight into the transport buffers and receives counts implicitly
+/// from the arriving message sizes — no count pre-exchange, no staging
+/// copy, and steady-state zero allocation on the communication path
+/// (channel buffers grow once to the high-water mark; only the returned
+/// result vector is allocated per call). The migrate()/distribute() free
+/// functions remain as the legacy alltoallv-collective path.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "comm/communicator.hpp"
+#include "comm/plan.hpp"
 
 namespace beatnik::grid {
 
-/// Exchange particles so each lands on its destination rank.
+/// Persistent migration plan over all peers of a communicator.
+///
+/// Build collectively (every rank constructs the plan in the same order —
+/// the tag is drawn from the communicator's plan sequence). One plan
+/// serves any particle type P and any per-call destination distribution;
+/// reuse it for the same recurring pattern rather than rebuilding.
+template <class P>
+class MigratePlan {
+public:
+    static_assert(std::is_trivially_copyable_v<P>,
+                  "migrated particles must be trivially copyable");
+    static_assert(alignof(P) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "channel buffers only guarantee default new alignment");
+
+    explicit MigratePlan(comm::Communicator& comm) : comm_(&comm) {
+        const int p = comm.size();
+        const int tag = comm.new_plan_tag();
+        auto b = comm::Plan::builder(comm);
+        slots_.resize(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            if (r == comm.rank()) continue;
+            // Initial capacity 0: channels grow to the high-water mark of
+            // actual traffic on first use and stay there.
+            slots_[static_cast<std::size_t>(r)].send = b.add_send(r, tag, 0);
+            slots_[static_cast<std::size_t>(r)].recv = b.add_recv(r, tag, 0);
+            recv_peer_.push_back(r);
+        }
+        if (p > 1) plan_ = b.build();
+        sendcounts_.resize(static_cast<std::size_t>(p));
+        cursors_.resize(static_cast<std::size_t>(p));
+    }
+
+    /// Exchange particles so each lands on its destination rank. Returns
+    /// the particles received by this rank, grouped by source rank in
+    /// ascending order (self-owned particles included).
+    [[nodiscard]] std::vector<P> execute(std::span<const P> particles,
+                                         std::span<const int> destinations) {
+        BEATNIK_REQUIRE(particles.size() == destinations.size(),
+                        "migrate: one destination per particle required");
+        const int p = comm_->size();
+        const int rank = comm_->rank();
+        if (p == 1) return {particles.begin(), particles.end()};
+
+        std::fill(sendcounts_.begin(), sendcounts_.end(), std::size_t{0});
+        for (int dst : destinations) {
+            BEATNIK_REQUIRE(dst >= 0 && dst < p, "migrate: destination rank out of range");
+            ++sendcounts_[static_cast<std::size_t>(dst)];
+        }
+
+        // Acquire every transport buffer, then pack all particles in one
+        // pass, writing each straight into its destination slot.
+        plan_.start();
+        self_buf_.clear();
+        self_buf_.reserve(sendcounts_[static_cast<std::size_t>(rank)]);
+        for (int r = 0; r < p; ++r) {
+            if (r == rank) continue;
+            auto buf = plan_.send_buffer(slots_[static_cast<std::size_t>(r)].send,
+                                         sendcounts_[static_cast<std::size_t>(r)] * sizeof(P));
+            cursors_[static_cast<std::size_t>(r)] = reinterpret_cast<P*>(buf.data());
+        }
+        for (std::size_t k = 0; k < particles.size(); ++k) {
+            const int dst = destinations[k];
+            if (dst == rank) {
+                self_buf_.push_back(particles[k]);
+            } else {
+                *cursors_[static_cast<std::size_t>(dst)]++ = particles[k];
+            }
+        }
+        for (int r = 0; r < p; ++r) {
+            if (r != rank) plan_.publish(slots_[static_cast<std::size_t>(r)].send);
+        }
+
+        // Drain every arrival (sizes are implicit in the messages), then
+        // assemble grouped by source rank ascending.
+        plan_.wait();
+        std::size_t total = self_buf_.size();
+        for (int r : recv_peer_) {
+            total += plan_.recv_view(slots_[static_cast<std::size_t>(r)].recv).size() / sizeof(P);
+        }
+        std::vector<P> result;
+        result.reserve(total);
+        for (int r = 0; r < p; ++r) {
+            if (r == rank) {
+                result.insert(result.end(), self_buf_.begin(), self_buf_.end());
+            } else {
+                auto in = plan_.recv_view_as<P>(slots_[static_cast<std::size_t>(r)].recv);
+                result.insert(result.end(), in.begin(), in.end());
+                plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
+            }
+        }
+        return result;
+    }
+
+private:
+    struct PeerSlots {
+        int send = -1;
+        int recv = -1;
+    };
+
+    comm::Communicator* comm_;
+    comm::Plan plan_;
+    std::vector<PeerSlots> slots_;
+    std::vector<int> recv_peer_;
+    std::vector<std::size_t> sendcounts_;
+    std::vector<P*> cursors_;
+    std::vector<P> self_buf_;
+};
+
+/// Legacy path: exchange particles via the alltoallv collective.
 ///
 /// \param comm         communicator to exchange on
 /// \param particles    local particles (any trivially copyable record)
 /// \param destinations destination rank per particle (same length)
 /// \return particles received by this rank, grouped by source rank in
 ///         ascending order (self-owned particles included).
+///
+/// Prefer a persistent MigratePlan for recurring migrations — it skips
+/// the count pre-exchange and the pack/unpack staging copies.
 template <class P>
 [[nodiscard]] std::vector<P> migrate(comm::Communicator& comm, std::span<const P> particles,
                                      std::span<const int> destinations) {

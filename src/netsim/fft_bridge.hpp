@@ -7,12 +7,35 @@
 /// lists the library would actually send.
 #pragma once
 
+#include <span>
+#include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "fft/distributed_fft.hpp"
 #include "netsim/simulator.hpp"
 
 namespace beatnik::netsim {
+
+/// Convert persistent-plan send schedules (comm::Plan::send_schedule,
+/// grid::HaloPlan::send_schedule, one entry per rank's plan, concatenated)
+/// into a single simulator phase. This is the executable-plan twin of the
+/// static fft::plan_schedule path: a pattern that runs through a comm::Plan
+/// exports exactly the message list it would send, and the machine model
+/// replays it.
+[[nodiscard]] inline Phase phase_from_plans(std::span<const comm::PlanMsg> msgs,
+                                            std::string label,
+                                            PhaseKind kind = PhaseKind::p2p) {
+    Phase ph;
+    ph.label = std::move(label);
+    ph.kind = kind;
+    ph.messages.reserve(msgs.size());
+    for (const auto& m : msgs) {
+        if (m.src_world == m.dst_world) continue;   // self copies cost no network
+        ph.messages.push_back({m.src_world, m.dst_world, m.bytes});
+    }
+    return ph;
+}
 
 /// Convert one planned FFT transform (its reshape phases + per-rank FFT
 /// flops) to simulator phases. \p transforms repeats the whole transform

@@ -216,9 +216,6 @@ TEST_P(AlltoallAlgoP, AlltoallTransposesBlocks) {
 
 TEST_P(AlltoallAlgoP, AlltoallvRandomSizes) {
     auto [nranks, algo] = GetParam();
-    if (algo == bc::AlltoallAlgo::bruck) {
-        GTEST_SKIP() << "v-variant rejects bruck explicitly; see AlltoallvBruckThrows";
-    }
     run(
         nranks,
         [](bc::Communicator& comm) {
@@ -283,21 +280,53 @@ TEST(AlltoallProperty, AlgorithmsProduceIdenticalResults) {
     }
 }
 
-// The v-variant supports pairwise and linear only; selecting bruck must be
-// an explicit error on every rank, not a silent algorithm downgrade.
-TEST(AlltoallProperty, AlltoallvBruckThrows) {
-    run(
-        2,
-        [](bc::Communicator& comm) {
-            std::vector<int> sendbuf{comm.rank(), comm.rank()};
-            std::vector<std::size_t> sendcounts{1, 1};
-            std::vector<std::size_t> recvcounts;
-            EXPECT_THROW((void)comm.alltoallv(std::span<const int>(sendbuf),
-                                              std::span<const std::size_t>(sendcounts),
-                                              recvcounts),
-                         beatnik::InvalidArgument);
-        },
-        bc::AlltoallAlgo::bruck);
+// Property: the Bruck v-variant (log-step rounds with per-block count
+// headers, no count pre-exchange) agrees bit-for-bit with pairwise *per
+// rank* — results are compared rank by rank, never pooled, so a block
+// misrouted to the wrong rank cannot hide in a global multiset.
+TEST(AlltoallProperty, AlltoallvBruckMatchesPairwise) {
+    for (int p : {2, 3, 5, 8, 13}) {
+        // results[algo][rank] = (payload, counts) that rank received.
+        std::vector<std::vector<std::int64_t>> payload(2 * static_cast<std::size_t>(p));
+        std::vector<std::vector<std::size_t>> counts(2 * static_cast<std::size_t>(p));
+        int which = 0;
+        for (auto algo : {bc::AlltoallAlgo::pairwise, bc::AlltoallAlgo::bruck}) {
+            run(
+                p,
+                [&, which](bc::Communicator& comm) {
+                    // Skewed deterministic counts: many (src, dst) pairs
+                    // send nothing at all.
+                    auto count = [](int src, int dst) {
+                        auto h = beatnik::hash_mix(99, static_cast<std::uint64_t>(src * 257 + dst));
+                        return static_cast<std::size_t>(h % 3 == 0 ? 0 : h % 9);
+                    };
+                    std::vector<std::size_t> sendcounts(static_cast<std::size_t>(comm.size()));
+                    std::vector<std::int64_t> sendbuf;
+                    for (int dst = 0; dst < comm.size(); ++dst) {
+                        sendcounts[static_cast<std::size_t>(dst)] = count(comm.rank(), dst);
+                        for (std::size_t i = 0; i < sendcounts[static_cast<std::size_t>(dst)]; ++i) {
+                            sendbuf.push_back(comm.rank() * 1'000'000 + dst * 1000 +
+                                              static_cast<std::int64_t>(i));
+                        }
+                    }
+                    std::vector<std::size_t> recvcounts;
+                    auto recvbuf = comm.alltoallv(std::span<const std::int64_t>(sendbuf),
+                                                  std::span<const std::size_t>(sendcounts),
+                                                  recvcounts);
+                    auto slot = static_cast<std::size_t>(which * p + comm.rank());
+                    payload[slot] = std::move(recvbuf);
+                    counts[slot] = std::move(recvcounts);
+                },
+                algo);
+            ++which;
+        }
+        for (int r = 0; r < p; ++r) {
+            auto pw = static_cast<std::size_t>(r);
+            auto br = static_cast<std::size_t>(p + r);
+            EXPECT_EQ(payload[pw], payload[br]) << "payload differs on rank " << r << ", p=" << p;
+            EXPECT_EQ(counts[pw], counts[br]) << "counts differ on rank " << r << ", p=" << p;
+        }
+    }
 }
 
 // ------------------------------------------------------ edge cases

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "grid/field.hpp"
 #include "grid/halo.hpp"
@@ -139,6 +140,125 @@ TEST(Halo, TwoFieldsDistinctStreamsDoNotMix) {
         // Ghosts of b are the negation of ghosts of a.
         EXPECT_DOUBLE_EQ(a(-1, 0, 0), -b(-1, 0, 0));
         EXPECT_DOUBLE_EQ(a(0, -1, 0), -b(0, -1, 0));
+    });
+}
+
+// ----------------------------------------------------- persistent plans
+
+/// Reference halo exchange over plain user-tag sends/recvs — independent
+/// of the plan machinery, mirroring the pre-plan implementation.
+template <int C>
+void reference_halo_exchange(bc::Communicator& comm, const bg::CartTopology2D& topo,
+                             const bg::LocalGrid2D& grid, bg::NodeField<double, C>& field) {
+    const int rank = comm.rank();
+    std::vector<double> buf;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = bg::kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        field.pack(grid.shared_space(di, dj), buf);
+        comm.send(std::span<const double>(buf.data(), buf.size()), nbr, 500 + (7 - k));
+    }
+    std::vector<double> incoming;
+    for (int k = 0; k < 8; ++k) {
+        auto [di, dj] = bg::kNeighborDirs2D[static_cast<std::size_t>(k)];
+        int nbr = topo.neighbor(rank, di, dj);
+        if (nbr < 0) continue;
+        comm.recv<double>(incoming, nbr, 500 + k);
+        field.unpack(grid.halo_space(di, dj), incoming);
+    }
+}
+
+struct DegenerateCase {
+    int nranks;
+    std::array<int, 2> dims;
+    std::array<bool, 2> periodic;
+    int halo;
+};
+
+class HaloPlanDegenerateP : public ::testing::TestWithParam<DegenerateCase> {};
+
+// 1xN / Nx1 periodic process grids: the same rank is a neighbor in
+// several directions (for 1x2, rank 1 is rank 0's neighbor in *six*
+// directions; for 1x1 every direction is a self-send).
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateGrids, HaloPlanDegenerateP,
+    ::testing::Values(DegenerateCase{1, {1, 1}, {true, true}, 1},
+                      DegenerateCase{1, {1, 1}, {true, true}, 2},
+                      DegenerateCase{2, {1, 2}, {true, true}, 2},
+                      DegenerateCase{2, {2, 1}, {true, true}, 2},
+                      DegenerateCase{3, {1, 3}, {true, true}, 1},
+                      DegenerateCase{4, {1, 4}, {true, false}, 2},
+                      DegenerateCase{4, {4, 1}, {false, true}, 1}));
+
+TEST_P(HaloPlanDegenerateP, PlanReuseMatchesReferenceEveryIteration) {
+    const DegenerateCase tc = GetParam();
+    run(tc.nranks, [&](bc::Communicator& comm) {
+        bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {18, 27}, tc.periodic);
+        bg::CartTopology2D topo(comm.size(), tc.dims, tc.periodic);
+        bg::LocalGrid2D lg(mesh, topo, comm.rank(), tc.halo);
+        bg::NodeField<double, 2> f(lg), ref(lg);
+        bg::HaloPlan<double, 2> plan(comm, topo, lg);
+        for (int iter = 0; iter < 100; ++iter) {
+            for (int i = 0; i < lg.owned_extent(0); ++i) {
+                for (int j = 0; j < lg.owned_extent(1); ++j) {
+                    for (int c = 0; c < 2; ++c) {
+                        double v = node_value(lg.global_offset(0) + i, lg.global_offset(1) + j, c) +
+                                   iter * 1e-3;
+                        f(i, j, c) = v;
+                        ref(i, j, c) = v;
+                    }
+                }
+            }
+            plan.exchange(f);
+            reference_halo_exchange(comm, topo, lg, ref);
+            // Byte-identical over the whole ghosted storage.
+            ASSERT_EQ(f.storage().size(), ref.storage().size());
+            EXPECT_TRUE(std::memcmp(f.storage().data(), ref.storage().data(),
+                                    f.storage().size() * sizeof(double)) == 0)
+                << "iteration " << iter << " rank " << comm.rank();
+        }
+    });
+}
+
+TEST(HaloPlan, ScatterAddMatchesFreeFunction) {
+    run(4, [](bc::Communicator& comm) {
+        bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {8, 8}, {true, true});
+        bg::CartTopology2D topo(4, {2, 2}, {true, true});
+        bg::LocalGrid2D lg(mesh, topo, comm.rank(), 1);
+        bg::NodeField<double, 1> f(lg);
+        bg::HaloPlan<double, 1> plan(comm, topo, lg);
+        f.fill(0.0);
+        auto ghosted = lg.ghosted_space();
+        auto own = lg.own_space();
+        bg::for_each(ghosted, [&](int i, int j) {
+            if (!own.contains(i, j)) f(i, j, 0) = 1.0;
+        });
+        plan.scatter_add(f);
+        double local_sum = 0.0;
+        bg::for_each(own, [&](int i, int j) { local_sum += f(i, j, 0); });
+        double total = comm.allreduce_value(local_sum, bc::op::Sum{});
+        double ghost_nodes_per_rank = static_cast<double>(ghosted.size() - own.size());
+        EXPECT_DOUBLE_EQ(total, 4.0 * ghost_nodes_per_rank);
+        EXPECT_DOUBLE_EQ(f(1, 1, 0), 0.0);
+        EXPECT_DOUBLE_EQ(f(0, 0, 0), 3.0);
+    });
+}
+
+TEST(HaloPlan, ForwardAndScatterInterleaveOnOnePlan) {
+    run(4, [](bc::Communicator& comm) {
+        bg::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {16, 16}, {true, true});
+        bg::CartTopology2D topo(4, {2, 2}, {true, true});
+        bg::LocalGrid2D lg(mesh, topo, comm.rank(), 2);
+        bg::NodeField<double, 1> f(lg);
+        bg::HaloPlan<double, 1> plan(comm, topo, lg);
+        for (int round = 0; round < 5; ++round) {
+            fill_owned(f, lg);
+            plan.exchange(f);
+            int gi = ((lg.global_offset(0) - 1) % 16 + 16) % 16;
+            EXPECT_DOUBLE_EQ(f(-1, 0, 0), node_value(gi, lg.global_offset(1), 0));
+            plan.scatter_add(f);   // same channels, reverse pattern
+        }
     });
 }
 

@@ -2,6 +2,9 @@
 // collective-vs-p2p crossover, and consistency with analytic costs.
 #include <gtest/gtest.h>
 
+#include <mutex>
+
+#include "grid/halo.hpp"
 #include "netsim/fft_bridge.hpp"
 #include "netsim/machine.hpp"
 #include "netsim/simulator.hpp"
@@ -168,6 +171,35 @@ TEST(FftBridge, SchedulesCarryComputeAndMessages) {
     bn::NetworkSimulator sim(m, 4);
     auto res = sim.simulate(phases);
     EXPECT_GT(res.makespan, 0.0);
+}
+
+TEST(FftBridge, ExecutablePlanSchedulesReplayThroughTheModel) {
+    // Build *executable* halo plans on real rank-threads, export their
+    // send schedules, and replay the merged message list through the
+    // machine model — the persistent-plan twin of the static
+    // plan_schedule path.
+    constexpr int kRanks = 4;
+    std::vector<beatnik::comm::PlanMsg> all_msgs;
+    std::mutex m;
+    beatnik::comm::Context::run(kRanks, [&](beatnik::comm::Communicator& comm) {
+        beatnik::grid::GlobalMesh2D mesh({0.0, 0.0}, {1.0, 1.0}, {32, 32}, {true, true});
+        beatnik::grid::CartTopology2D topo(comm.size(), {2, 2}, {true, true});
+        beatnik::grid::LocalGrid2D lg(mesh, topo, comm.rank(), 2);
+        beatnik::grid::HaloPlan<double, 3> plan(comm, topo, lg);
+        auto sched = plan.send_schedule();
+        EXPECT_EQ(sched.size(), 8u);   // fully periodic 2x2: all 8 neighbors exist
+        std::lock_guard lock(m);
+        all_msgs.insert(all_msgs.end(), sched.begin(), sched.end());
+    });
+    ASSERT_EQ(all_msgs.size(), 8u * kRanks);
+    auto phase = bn::phase_from_plans(std::span<const beatnik::comm::PlanMsg>(all_msgs),
+                                      "halo-exchange");
+    EXPECT_EQ(phase.kind, bn::PhaseKind::p2p);
+    EXPECT_EQ(phase.messages.size(), 8u * kRanks);   // 2x2 periodic: no self messages
+    bn::NetworkSimulator sim(bn::MachineModel::lassen(), kRanks);
+    auto res = sim.simulate({phase});
+    EXPECT_GT(res.makespan, 0.0);
+    EXPECT_EQ(res.total_messages, 8u * kRanks);
 }
 
 TEST(FftBridge, WeakScalingRuntimeGrowsWithRankCount) {
