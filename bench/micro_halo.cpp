@@ -9,7 +9,11 @@
 ///     mailbox matching per iteration;
 ///   * "legacy" — the pre-plan per-call path, replicated here verbatim:
 ///     user-tag buffered sends through the mailbox, pack/unpack staging
-///     vectors, and (for reshape) the zero-fill output pass.
+///     vectors, and (for reshape) the zero-fill output pass;
+///   * "device" — (halo only) the GPU-shaped backend: the field lives in
+///     a device mirror and device kernels pack/unpack straight into the
+///     plan's pinned transport buffers, quantifying the pack/stage
+///     overhead of the device split versus the host plan path.
 ///
 /// One JSON record per configuration in the compare_benchmarks.py schema
 /// (`bytes` = the largest single point-to-point message of the pattern).
@@ -88,7 +92,9 @@ void legacy_halo_exchange(bc::Communicator& comm, const bg::CartTopology2D& topo
     }
 }
 
-Result bench_halo(int ranks, int nodes_per_axis, int halo, bool plan_path, int iters) {
+enum class HaloAlgo { legacy, plan, device };
+
+Result bench_halo(int ranks, int nodes_per_axis, int halo, HaloAlgo algo, int iters) {
     constexpr int kComponents = 3;
     double ns = time_pattern(ranks, iters, [=](bc::Communicator& comm) {
         auto dims = bg::dims_create_2d(comm.size());
@@ -104,7 +110,18 @@ Result bench_halo(int ranks, int nodes_per_axis, int halo, bool plan_path, int i
                 for (int c = 0; c < kComponents; ++c) (*field)(i, j, c) = i * 31.0 + j + c;
             }
         }
-        if (plan_path) {
+        if (algo == HaloAlgo::device) {
+            auto plan = std::make_shared<bg::HaloPlan<double, kComponents>>(comm, *topo, *grid);
+            auto queue = std::make_shared<beatnik::par::device::Queue>();
+            plan->enable_device(*queue);
+            field->enable_device_mirror();
+            field->sync_to_device(*queue);
+            queue->fence();
+            return std::function<void()>([plan, queue, field, mesh, topo, grid] {
+                plan->exchange(*field);
+            });
+        }
+        if (algo == HaloAlgo::plan) {
             auto plan = std::make_shared<bg::HaloPlan<double, kComponents>>(comm, *topo, *grid);
             return std::function<void()>([plan, field, mesh, topo, grid] {
                 plan->exchange(*field);
@@ -120,7 +137,10 @@ Result bench_halo(int ranks, int nodes_per_axis, int halo, bool plan_path, int i
     std::size_t edge_bytes =
         static_cast<std::size_t>(block) * static_cast<std::size_t>(halo) * kComponents *
         sizeof(double);
-    return {"halo", plan_path ? "plan" : "legacy", ranks, edge_bytes, iters, ns};
+    const char* name = algo == HaloAlgo::device ? "device"
+                       : algo == HaloAlgo::plan ? "plan"
+                                                : "legacy";
+    return {"halo", name, ranks, edge_bytes, iters, ns};
 }
 
 /// The pre-plan p2p reshape, replicated: zero-fill output, staging
@@ -232,9 +252,11 @@ int main(int argc, char** argv) {
     auto n = [quick](int full) { return quick ? std::max(2, full / 50) : full; };
 
     std::vector<Result> results;
+    for (auto algo : {HaloAlgo::legacy, HaloAlgo::plan, HaloAlgo::device}) {
+        results.push_back(bench_halo(8, 64, 2, algo, n(2000)));    // small blocks
+        results.push_back(bench_halo(8, 256, 2, algo, n(500)));    // bigger bands
+    }
     for (bool plan_path : {false, true}) {
-        results.push_back(bench_halo(8, 64, 2, plan_path, n(2000)));    // small blocks
-        results.push_back(bench_halo(8, 256, 2, plan_path, n(500)));    // bigger bands
         results.push_back(bench_reshape(8, 64, plan_path, n(1000)));    // small reshape
         results.push_back(bench_reshape(8, 256, plan_path, n(200)));    // bigger reshape
     }

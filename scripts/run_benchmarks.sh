@@ -65,6 +65,7 @@ run_example quickstart --ranks 2 --mesh 32 --steps 2
 run_example fft_tuning --ranks 2 --mesh 32 --steps 1
 run_example rocketrig --help
 run_example rocketrig --ranks 2 --mesh 32 --steps 2
+run_example rocketrig --ranks 2 --mesh 32 --steps 2 --deck rollup-ladder
 run_example singlemode_rollup --ranks 2 --mesh 32 --steps 2
 
 echo

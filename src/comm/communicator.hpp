@@ -525,7 +525,11 @@ public:
 
     /// Ring allgather of equal-size contributions; every rank returns the
     /// concatenation ordered by rank. Each rank's block is published once
-    /// and the same buffer is aliased all the way around the ring.
+    /// and the same buffer is aliased all the way around the ring. Blocks
+    /// at or above the rendezvous threshold skip even that one copy: the
+    /// ring forwards an alias of the caller's own buffer, and a closing
+    /// barrier holds every rank until all reads have finished (the block
+    /// size is uniform, so the decision — and the barrier — is too).
     template <Transferable T>
     [[nodiscard]] std::vector<T> allgather(std::span<const T> local) {
         const int tag = next_collective_tag(kTagAllgather);
@@ -535,9 +539,11 @@ public:
         std::copy(local.begin(), local.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(n) * rank_);
         if (p == 1) return all;
+        const bool rendezvous = use_rendezvous(n * sizeof(T));
         const int right = (rank_ + 1) % p;
         const int left = (rank_ - 1 + p) % p;
-        Payload block = Payload::copy_of(std::as_bytes(local));
+        Payload block = rendezvous ? Payload::alias_of(std::as_bytes(local))
+                                   : Payload::copy_of(std::as_bytes(local));
         for (int step = 0; step < p - 1; ++step) {
             post_payload(block, right, tag);
             Message m = recv_msg(left, tag);
@@ -548,6 +554,9 @@ public:
                         all.begin() + static_cast<std::ptrdiff_t>(n) * origin);
             block = std::move(m.payload);
         }
+        // Aliased blocks point into the senders' buffers; hold every rank
+        // here until all reads have finished.
+        if (rendezvous) barrier();
         return all;
     }
 
@@ -558,7 +567,11 @@ public:
 
     /// Ring allgather with per-rank sizes. \p counts_out (if non-null)
     /// receives every rank's element count. Blocks are forwarded around the
-    /// ring by aliasing, like allgather.
+    /// ring by aliasing, like allgather — and, like alltoallv, each block
+    /// at or above the rendezvous threshold is aliased from its sender's
+    /// buffer instead of copied. Every rank sees all counts from the size
+    /// pre-exchange, so "did anyone alias" is uniform information and the
+    /// closing barrier needs no extra agreement collective.
     template <Transferable T>
     [[nodiscard]] std::vector<T> allgatherv(std::span<const T> local,
                                             std::vector<std::size_t>* counts_out = nullptr) {
@@ -571,10 +584,19 @@ public:
         std::copy(local.begin(), local.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(rank_)]));
         if (p == 1) return all;
+        bool any_alias = false;
+        for (int r = 0; r < p; ++r) {
+            if (use_rendezvous(counts[static_cast<std::size_t>(r)] * sizeof(T))) {
+                any_alias = true;
+                break;
+            }
+        }
+        const bool alias_mine = use_rendezvous(local.size_bytes());
         const int tag = next_collective_tag(kTagAllgatherv);
         const int right = (rank_ + 1) % p;
         const int left = (rank_ - 1 + p) % p;
-        Payload block = Payload::copy_of(std::as_bytes(local));
+        Payload block = alias_mine ? Payload::alias_of(std::as_bytes(local))
+                                   : Payload::copy_of(std::as_bytes(local));
         for (int step = 0; step < p - 1; ++step) {
             post_payload(block, right, tag);
             Message m = recv_msg(left, tag);
@@ -586,6 +608,7 @@ public:
                       all.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(origin)]));
             block = std::move(m.payload);
         }
+        if (any_alias) barrier();
         return all;
     }
 

@@ -321,6 +321,34 @@ public:
         release_slot(s);
     }
 
+    /// Buffer-registration hook for device backends: pre-size every
+    /// slot's transport buffer to its registered max_bytes and hand each
+    /// resulting stable span to \p on_buffer.
+    ///
+    /// After this call, send_buffer()/publish() iterations that stay
+    /// within max_bytes never move the buffer, so the caller may pin the
+    /// ranges with an accelerator runtime and pack into them from device
+    /// kernels (the paper's pack-on-device-into-pinned-staging pattern).
+    /// Must be called between iterations (the usual place is right after
+    /// build); slots registered with max_bytes == 0 (size discovered at
+    /// run time, e.g. migration) are skipped — those buffers can still
+    /// move and need per-iteration registration instead.
+    void pin_buffers(const std::function<void(std::span<std::byte>)>& on_buffer) {
+        State& st = state();
+        auto pin = [&](Slot& slot) {
+            if (slot.max_bytes == 0) return;
+            auto& ch = *slot.channel;
+            std::lock_guard lock(ch.mutex);
+            // Grow-only: a published-but-unconsumed message survives the
+            // resize (vector growth copies), and the registered pointer
+            // is the post-growth one.
+            if (ch.buf.size() < slot.max_bytes) ch.buf.resize(slot.max_bytes);
+            on_buffer(std::span<std::byte>(ch.buf.data(), ch.buf.size()));
+        };
+        for (auto& slot : st.sends) pin(slot);
+        for (auto& slot : st.recvs) pin(slot);
+    }
+
     /// The plan's send schedule in world-rank coordinates (slot capacity
     /// as bytes) — ready to feed into the netsim machine model.
     [[nodiscard]] std::vector<PlanMsg> send_schedule() const {

@@ -42,6 +42,31 @@ inline Params multimode_highorder(int nodes_per_axis, double cutoff = 0.2) {
     return p;
 }
 
+/// Multi-mode "rollup ladder": a small ladder of commensurate modes on a
+/// free-boundary high-order deck. Unlike multimode_highorder (periodic,
+/// load-balanced) this combines the multimode perturbation with the
+/// singlemode case's *distinct BC setup* — free boundaries, so ghost
+/// bands are filled by extrapolation instead of periodic wrap — and a
+/// stronger kick, so several rollups of different sizes develop at once
+/// and the spatial ownership census drifts earlier than in either paper
+/// deck. Scaled to the (-3,3)^2 high-order domain with cutoff 0.4.
+inline Params rollup_ladder(int nodes_per_axis, double cutoff = 0.4) {
+    Params p;
+    p.num_nodes = {nodes_per_axis, nodes_per_axis};
+    p.boundary = Boundary::free;
+    p.surface_low = {-3.0, -3.0};
+    p.surface_high = {3.0, 3.0};
+    p.box_low = {-3.0, -3.0, -3.0};
+    p.box_high = {3.0, 3.0, 3.0};
+    p.order = Order::high;
+    p.br_solver = BRSolverKind::cutoff;
+    p.cutoff_distance = cutoff;
+    p.initial.kind = InitialCondition::Kind::multimode;
+    p.initial.magnitude = 0.15;
+    p.initial.num_modes = 3;
+    return p;
+}
+
 /// Single-mode high-order strong scaling: surface rollup creates load
 /// imbalance and dynamic, irregular communication. Paper: 512^2 mesh,
 /// cutoff 0.5 ("smaller cutoffs resulted in significant numerical

@@ -3,6 +3,12 @@
 /// "two-node-deep stencils for calculating surface normals, finite
 /// differences, and Laplacians").
 ///
+/// Operators are templated on the field *view* type: anything indexable
+/// as f(i, j, c) works — a host grid::NodeField or a device-side
+/// grid::DeviceFieldView — so the same kernels run unmodified on every
+/// execution backend, including inside device kernels against the
+/// device mirror.
+///
 /// All operators act at *owned* nodes and read up to two ghost layers:
 ///  * D1/D2 — 4th-order central first derivatives along the two surface
 ///    parameter directions;
@@ -17,39 +23,41 @@
 namespace beatnik::operators {
 
 /// 4th-order first derivative along axis 0 of component c.
-template <int C>
-double d1(const grid::NodeField<double, C>& f, int i, int j, int c, double spacing) {
+template <class F>
+double d1(const F& f, int i, int j, int c, double spacing) {
     return (f(i - 2, j, c) - 8.0 * f(i - 1, j, c) + 8.0 * f(i + 1, j, c) - f(i + 2, j, c)) /
            (12.0 * spacing);
 }
 
 /// 4th-order first derivative along axis 1 of component c.
-template <int C>
-double d2(const grid::NodeField<double, C>& f, int i, int j, int c, double spacing) {
+template <class F>
+double d2(const F& f, int i, int j, int c, double spacing) {
     return (f(i, j - 2, c) - 8.0 * f(i, j - 1, c) + 8.0 * f(i, j + 1, c) - f(i, j + 2, c)) /
            (12.0 * spacing);
 }
 
 /// 2nd-order 5-point Laplacian of component c.
-template <int C>
-double laplacian(const grid::NodeField<double, C>& f, int i, int j, int c, double dx, double dy) {
+template <class F>
+double laplacian(const F& f, int i, int j, int c, double dx, double dy) {
     return (f(i + 1, j, c) - 2.0 * f(i, j, c) + f(i - 1, j, c)) / (dx * dx) +
            (f(i, j + 1, c) - 2.0 * f(i, j, c) + f(i, j - 1, c)) / (dy * dy);
 }
 
 /// Tangent vector along axis 0 at an owned node.
-inline Vec3 tangent1(const grid::NodeField<double, 3>& z, int i, int j, double dx) {
+template <class F>
+Vec3 tangent1(const F& z, int i, int j, double dx) {
     return {d1(z, i, j, 0, dx), d1(z, i, j, 1, dx), d1(z, i, j, 2, dx)};
 }
 
 /// Tangent vector along axis 1 at an owned node.
-inline Vec3 tangent2(const grid::NodeField<double, 3>& z, int i, int j, double dy) {
+template <class F>
+Vec3 tangent2(const F& z, int i, int j, double dy) {
     return {d2(z, i, j, 0, dy), d2(z, i, j, 1, dy), d2(z, i, j, 2, dy)};
 }
 
 /// Non-unit surface normal t1 x t2.
-inline Vec3 surface_normal(const grid::NodeField<double, 3>& z, int i, int j, double dx,
-                           double dy) {
+template <class F>
+Vec3 surface_normal(const F& z, int i, int j, double dx, double dy) {
     return cross(tangent1(z, i, j, dx), tangent2(z, i, j, dy));
 }
 
@@ -57,9 +65,8 @@ inline Vec3 surface_normal(const grid::NodeField<double, 3>& z, int i, int j, do
 ///   gamma = w1 * dz/dalpha2 - w2 * dz/dalpha1,
 /// the 90-degree-rotated surface gradient of the dipole strength. For a
 /// flat sheet this reduces to (-w2, w1, 0) = n x (w1, w2, 0).
-inline Vec3 gamma_vector(const grid::NodeField<double, 3>& z,
-                         const grid::NodeField<double, 2>& w, int i, int j, double dx,
-                         double dy) {
+template <class FZ, class FW>
+Vec3 gamma_vector(const FZ& z, const FW& w, int i, int j, double dx, double dy) {
     Vec3 t1 = tangent1(z, i, j, dx);
     Vec3 t2 = tangent2(z, i, j, dy);
     return w(i, j, 0) * t2 - w(i, j, 1) * t1;

@@ -22,6 +22,7 @@
 #include "core/br_solver.hpp"
 #include "core/operators.hpp"
 #include "fft/distributed_fft.hpp"
+#include "par/par.hpp"
 
 namespace beatnik {
 
@@ -55,15 +56,18 @@ public:
         const double dy = mesh_->global().spacing(1);
 
         // Biot–Savart source gamma at owned nodes (width-2 stencils).
+        // All point-local loops below go through par::parallel_for_2d, so
+        // the kernels run unmodified on whichever backend the rank-thread
+        // selected (serial, OpenMP worksharing, or the device pool).
         grid::NodeField<double, 3> gamma(local);
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j) {
-                Vec3 g = operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
-                gamma(i, j, 0) = g.x;
-                gamma(i, j, 1) = g.y;
-                gamma(i, j, 2) = g.z;
-            }
-        }
+        par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
+            const int i = static_cast<int>(ip);
+            const int j = static_cast<int>(jp);
+            Vec3 g = operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
+            gamma(i, j, 0) = g.x;
+            gamma(i, j, 1) = g.y;
+            gamma(i, j, 2) = g.z;
+        });
 
         // Interface velocity W (zdot) and the Bernoulli velocity Wb.
         grid::NodeField<double, 3> w_fft(local);
@@ -76,34 +80,34 @@ public:
             w_for_z = &w_br;
             if (order_ == Order::high) w_for_bernoulli = &w_br;
         }
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j) {
-                for (int c = 0; c < 3; ++c) zdot(i, j, c) = (*w_for_z)(i, j, c);
-            }
-        }
+        par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
+            const int i = static_cast<int>(ip);
+            const int j = static_cast<int>(jp);
+            for (int c = 0; c < 3; ++c) zdot(i, j, c) = (*w_for_z)(i, j, c);
+        });
 
         // Bernoulli scalar phi = -2*A*g*z3 - A*|Wb|^2, haloed so its
         // surface gradient exists at owned nodes.
         grid::NodeField<double, 1> phi(local);
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j) {
-                const auto& wb = *w_for_bernoulli;
-                double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
-                                wb(i, j, 2) * wb(i, j, 2);
-                phi(i, j, 0) =
-                    -2.0 * atwood_ * gravity_ * pm.position()(i, j, 2) - atwood_ * speed2;
-            }
-        }
+        par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
+            const int i = static_cast<int>(ip);
+            const int j = static_cast<int>(jp);
+            const auto& wb = *w_for_bernoulli;
+            double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
+                            wb(i, j, 2) * wb(i, j, 2);
+            phi(i, j, 0) =
+                -2.0 * atwood_ * gravity_ * pm.position()(i, j, 2) - atwood_ * speed2;
+        });
         pm.gather_scratch_halo(phi);
 
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j) {
-                wdot(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
-                                mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 0, dx, dy);
-                wdot(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
-                                mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 1, dx, dy);
-            }
-        }
+        par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
+            const int i = static_cast<int>(ip);
+            const int j = static_cast<int>(jp);
+            wdot(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
+                            mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 0, dx, dy);
+            wdot(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
+                            mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 1, dx, dy);
+        });
     }
 
     [[nodiscard]] Order order() const { return order_; }

@@ -1,14 +1,50 @@
 /// \file field.hpp
-/// \brief Node-centered field storage with ghost layers.
+/// \brief Node-centered field storage with ghost layers, with an optional
+/// device mirror (par/device) for GPU-shaped runs.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "base/error.hpp"
 #include "grid/local_grid.hpp"
+#include "par/device/device.hpp"
 
 namespace beatnik::grid {
+
+/// Non-owning device-side view of a NodeField's ghosted rectangle: the
+/// same (i, j, c) indexing over the device mirror. Dereferenceable only
+/// in device context (kernels) — the accessor is debug-checked like any
+/// DeviceView.
+template <class T, int C>
+class DeviceFieldView {
+public:
+    DeviceFieldView() = default;
+    DeviceFieldView(par::device::DeviceView<T> data, int halo, int ni, int nj)
+        : data_(data), halo_(halo), ni_(ni), nj_(nj), stride_i_((nj + 2 * halo) * C) {}
+
+    [[nodiscard]] T& operator()(int i, int j, int c = 0) const {
+        BEATNIK_ASSERT(i >= -halo_ && i < ni_ + halo_ && j >= -halo_ && j < nj_ + halo_ &&
+                       c >= 0 && c < C);
+        return data_[index(i, j, c)];
+    }
+
+    [[nodiscard]] int halo_width() const { return halo_; }
+    [[nodiscard]] int extent(int d) const { return d == 0 ? ni_ : nj_; }
+    static constexpr int components() { return C; }
+
+private:
+    [[nodiscard]] std::size_t index(int i, int j, int c) const {
+        return static_cast<std::size_t>((i + halo_) * stride_i_ + (j + halo_) * C + c);
+    }
+
+    par::device::DeviceView<T> data_;
+    int halo_ = 0;
+    int ni_ = 0;
+    int nj_ = 0;
+    int stride_i_ = 0;
+};
 
 /// A C-component field over the owned+ghost nodes of a LocalGrid2D.
 ///
@@ -110,7 +146,105 @@ public:
         }
     }
 
+    // ------------------------------------------------------ device mirror
+
+    /// Allocate the device-resident mirror of the ghosted rectangle
+    /// (uninitialized — sync_to_device() fills it). Idempotent.
+    void enable_device_mirror() {
+        if (!dev_) dev_ = par::device::DeviceBuffer<T>(data_.size());
+    }
+
+    [[nodiscard]] bool device_mirrored() const { return static_cast<bool>(dev_); }
+
+    /// Enqueue host -> device / device -> host mirror copies on \p q.
+    void sync_to_device(par::device::Queue& q) {
+        require_mirror();
+        par::device::deep_copy(q, dev_.view(), std::span<const T>(data_.data(), data_.size()));
+    }
+    void sync_to_host(par::device::Queue& q) {
+        require_mirror();
+        par::device::deep_copy(q, std::span<T>(data_.data(), data_.size()),
+                               std::as_const(dev_).view());
+    }
+
+    /// Device-side (i, j, c) view of the mirror for kernels.
+    [[nodiscard]] DeviceFieldView<T, C> device_view() {
+        require_mirror();
+        return {dev_.view(), halo_, ni_, nj_};
+    }
+    [[nodiscard]] DeviceFieldView<const T, C> device_view() const {
+        require_mirror();
+        return {dev_.view(), halo_, ni_, nj_};
+    }
+
+    /// Device-kernel pack: rows of the rectangle are copied from the
+    /// device mirror straight into \p out — which must be device-
+    /// accessible (device memory or a *registered* host staging range,
+    /// e.g. a pinned communication-plan buffer; see Plan::pin_buffers).
+    /// Asynchronous: complete at q.fence().
+    void device_pack_into(par::device::Queue& q, const IndexSpace2D& space,
+                          std::span<T> out) const {
+        require_mirror();
+        BEATNIK_REQUIRE(out.size() == space.size() * C, "device pack: buffer size mismatch");
+        BEATNIK_REQUIRE(
+            par::device::Runtime::instance().device_accessible(out.data(), out.size_bytes()),
+            "device pack target is not device-accessible — pin the staging buffer first");
+        if (space.size() == 0) return;
+        const std::size_t row = row_elems(space);
+        const T* src = dev_.view().data();
+        T* dst = out.data();
+        const std::size_t base = index(space.i.begin, space.j.begin, 0);
+        const auto stride = static_cast<std::size_t>(stride_i_);
+        q.parallel_for(static_cast<std::size_t>(space.i.end - space.i.begin),
+                       [src, dst, base, stride, row](std::size_t r) {
+                           std::copy_n(src + base + r * stride, row, dst + r * row);
+                       });
+    }
+
+    /// Device-kernel unpack: the inverse of device_pack_into. \p in must
+    /// be device-accessible (a received plan buffer, pinned).
+    void device_unpack_from(par::device::Queue& q, const IndexSpace2D& space,
+                            std::span<const T> in) {
+        run_device_unpack(q, space, in, /*accumulate=*/false);
+    }
+
+    /// Device-kernel scatter-add unpack (+=).
+    void device_accumulate_from(par::device::Queue& q, const IndexSpace2D& space,
+                                std::span<const T> in) {
+        run_device_unpack(q, space, in, /*accumulate=*/true);
+    }
+
 private:
+    void require_mirror() const {
+        BEATNIK_REQUIRE(static_cast<bool>(dev_),
+                        "field has no device mirror — call enable_device_mirror() first");
+    }
+
+    void run_device_unpack(par::device::Queue& q, const IndexSpace2D& space,
+                           std::span<const T> in, bool accumulate) {
+        require_mirror();
+        BEATNIK_REQUIRE(in.size() == space.size() * C, "device unpack: buffer size mismatch");
+        BEATNIK_REQUIRE(
+            par::device::Runtime::instance().device_accessible(in.data(), in.size_bytes()),
+            "device unpack source is not device-accessible — pin the staging buffer first");
+        if (space.size() == 0) return;
+        const std::size_t row = row_elems(space);
+        T* dst = dev_.view().data();
+        const T* src = in.data();
+        const std::size_t base = index(space.i.begin, space.j.begin, 0);
+        const auto stride = static_cast<std::size_t>(stride_i_);
+        q.parallel_for(static_cast<std::size_t>(space.i.end - space.i.begin),
+                       [src, dst, base, stride, row, accumulate](std::size_t r) {
+                           T* d = dst + base + r * stride;
+                           const T* s = src + r * row;
+                           if (accumulate) {
+                               for (std::size_t m = 0; m < row; ++m) d[m] += s[m];
+                           } else {
+                               std::copy_n(s, row, d);
+                           }
+                       });
+    }
+
     /// Contiguous elements per row of an index rectangle ((j, c) are the
     /// two fastest storage axes).
     [[nodiscard]] static std::size_t row_elems(const IndexSpace2D& space) {
@@ -128,6 +262,7 @@ private:
     int ni_, nj_;
     int stride_j_, stride_i_;
     std::vector<T> data_;
+    par::device::DeviceBuffer<T> dev_;   ///< empty unless device-mirrored
 };
 
 } // namespace beatnik::grid

@@ -100,6 +100,25 @@ public:
         if (!dirs_.empty()) plan_ = b.build();
     }
 
+    /// Switch the plan to device-side packing: every transport buffer is
+    /// pre-sized to its maximum and registered (pinned) with the device
+    /// runtime, and subsequent exchange()/scatter_add() calls on device-
+    /// mirrored fields pack and unpack with device kernels on \p q,
+    /// straight between the field's device mirror and the pinned plan
+    /// buffers — one staged copy, no host-side pack loop, still zero
+    /// per-iteration allocation. Call once, between iterations.
+    void enable_device(par::device::Queue& q) {
+        device_queue_ = &q;
+        arrived_.reserve(dirs_.size());
+        if (plan_.valid()) {
+            plan_.pin_buffers([this](std::span<std::byte> buf) {
+                pinned_.emplace_back(buf);
+            });
+        }
+    }
+
+    [[nodiscard]] bool device_enabled() const { return device_queue_ != nullptr; }
+
     /// Exchange ghost layers of \p field with all existing neighbors:
     /// pack shared bands into the transport buffers, then unpack ghost
     /// bands in message-arrival order (unpacking one neighbor overlaps
@@ -135,6 +154,10 @@ private:
         BEATNIK_REQUIRE(field.halo_width() == grid_.halo_width(),
                         "field/grid halo width mismatch");
         if (dirs_.empty()) return;
+        if (device_queue_ != nullptr) {
+            run_device(field, scatter);
+            return;
+        }
         plan_.start();
         for (const Dir& d : dirs_) {
             auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
@@ -165,6 +188,48 @@ private:
         BEATNIK_ASSERT(plan_.wait_any_recv() == -1);
     }
 
+    /// Device iteration: device kernels pack every direction's shared
+    /// band from the field's device mirror into the pinned transport
+    /// buffers (one fence covers all directions — kernels for different
+    /// rows run concurrently on the pool), publish, then unpack arrivals
+    /// with device kernels and release the slots after a closing fence.
+    void run_device(grid::NodeField<T, C>& field, bool scatter) {
+        BEATNIK_REQUIRE(field.device_mirrored(),
+                        "device halo exchange needs a device-mirrored field");
+        par::device::Queue& q = *device_queue_;
+        plan_.start();
+        for (const Dir& d : dirs_) {
+            auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
+            auto space = scatter ? grid_.halo_space(di, dj) : grid_.shared_space(di, dj);
+            auto buf = plan_.send_buffer(d.send_slot, space.size() * C * sizeof(T));
+            field.device_pack_into(q, space,
+                                   std::span<T>(reinterpret_cast<T*>(buf.data()),
+                                                space.size() * C));
+        }
+        q.fence();
+        for (const Dir& d : dirs_) plan_.publish(d.send_slot);
+        // Unpack in arrival order; the kernels read the pinned recv
+        // buffers in place, so slots are released only after the closing
+        // fence proves the reads are done.
+        arrived_.clear();
+        for (int done = 0; done < static_cast<int>(dirs_.size()); ++done) {
+            int s = plan_.wait_any_recv();
+            BEATNIK_ASSERT(s >= 0);
+            const Dir& d = slot_dir(s);
+            auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
+            auto in = plan_.recv_view_as<T>(s);
+            if (scatter) {
+                field.device_accumulate_from(q, grid_.shared_space(di, dj), in);
+            } else {
+                field.device_unpack_from(q, grid_.halo_space(di, dj), in);
+            }
+            arrived_.push_back(s);
+        }
+        BEATNIK_ASSERT(plan_.wait_any_recv() == -1);
+        q.fence();
+        for (int s : arrived_) plan_.release_recv(s);
+    }
+
     const Dir& slot_dir(int recv_slot) const {
         // recv slots were allocated in dirs_ order, one per direction.
         BEATNIK_ASSERT(recv_slot >= 0 && recv_slot < static_cast<int>(dirs_.size()));
@@ -174,6 +239,9 @@ private:
     LocalGrid2D grid_;
     std::vector<Dir> dirs_;
     comm::Plan plan_;
+    par::device::Queue* device_queue_ = nullptr;
+    std::vector<par::device::ScopedHostRegistration> pinned_;
+    std::vector<int> arrived_;   ///< per-iteration scratch (capacity reused)
 };
 
 /// Deprecated: exchange ghost layers of \p field with all existing

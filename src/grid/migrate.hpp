@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "comm/plan.hpp"
+#include "par/device/device.hpp"
 
 namespace beatnik::grid {
 
@@ -117,6 +118,107 @@ public:
         return result;
     }
 
+    /// Device-resident variant: \p particles live on the device; a device
+    /// kernel scatters them straight into the plan's transport buffers
+    /// (registered for the iteration — migration buffers grow to the
+    /// high-water mark, so they are pinned per call, unlike the fixed
+    /// halo buffers), and arrivals are unpacked by device kernels into
+    /// \p out, grouped by source rank ascending with byte-identical
+    /// layout to the host execute(). Destination ranks stay on the host
+    /// (they are computed from host-side ownership logic); the particle
+    /// payload itself never takes a host round-trip. Returns the received
+    /// particle count; \p out grows as needed (grow-only).
+    std::size_t execute_device(par::device::Queue& q,
+                               par::device::DeviceView<const P> particles,
+                               std::span<const int> destinations,
+                               par::device::DeviceBuffer<P>& out) {
+        BEATNIK_REQUIRE(particles.size() == destinations.size(),
+                        "migrate: one destination per particle required");
+        const int p = comm_->size();
+        const int rank = comm_->rank();
+        if (p == 1) {
+            if (out.size() < particles.size()) out = par::device::DeviceBuffer<P>(particles.size());
+            par::device::deep_copy(q, out.view().subview(0, particles.size()), particles);
+            q.fence();
+            return particles.size();
+        }
+
+        // Host pass: counts and a deterministic slot per particle (its
+        // rank within its destination block, in input order) so the
+        // scatter kernel needs no atomics and reproduces the host pack's
+        // byte layout exactly.
+        std::fill(sendcounts_.begin(), sendcounts_.end(), std::size_t{0});
+        slot_of_.resize(destinations.size());
+        for (std::size_t k = 0; k < destinations.size(); ++k) {
+            const int dst = destinations[k];
+            BEATNIK_REQUIRE(dst >= 0 && dst < p, "migrate: destination rank out of range");
+            slot_of_[k] = sendcounts_[static_cast<std::size_t>(dst)]++;
+        }
+
+        plan_.start();
+        pinned_.clear();
+        std::fill(cursors_.begin(), cursors_.end(), nullptr);
+        for (int r = 0; r < p; ++r) {
+            if (r == rank) continue;
+            auto buf = plan_.send_buffer(slots_[static_cast<std::size_t>(r)].send,
+                                         sendcounts_[static_cast<std::size_t>(r)] * sizeof(P));
+            pinned_.emplace_back(std::span<const std::byte>(buf.data(), buf.size()));
+            cursors_[static_cast<std::size_t>(r)] = reinterpret_cast<P*>(buf.data());
+        }
+        {
+            const P* src = particles.data();
+            const int* dest = destinations.data();
+            const std::size_t* slot = slot_of_.data();
+            P* const* cur = cursors_.data();
+            q.parallel_for(particles.size(), [src, dest, slot, cur, rank](std::size_t k) {
+                const int dst = dest[k];
+                if (dst != rank) cur[dst][slot[k]] = src[k];
+            });
+        }
+        q.fence();
+        for (int r = 0; r < p; ++r) {
+            if (r != rank) plan_.publish(slots_[static_cast<std::size_t>(r)].send);
+        }
+
+        // Drain arrivals, size the output, then unpack with device
+        // kernels: peers' blocks stream from the pinned recv buffers,
+        // the self block gathers device -> device through its slot map.
+        plan_.wait();
+        const std::size_t self_count = sendcounts_[static_cast<std::size_t>(rank)];
+        std::size_t total = self_count;
+        for (int r : recv_peer_) {
+            total += plan_.recv_view(slots_[static_cast<std::size_t>(r)].recv).size() / sizeof(P);
+        }
+        if (out.size() < total) out = par::device::DeviceBuffer<P>(total);
+        std::size_t off = 0;
+        for (int r = 0; r < p; ++r) {
+            if (r == rank) {
+                const P* src = particles.data();
+                const int* dest = destinations.data();
+                const std::size_t* slot = slot_of_.data();
+                P* dst = out.view().data() + off;
+                q.parallel_for(particles.size(), [src, dest, slot, dst, rank](std::size_t k) {
+                    if (dest[k] == rank) dst[slot[k]] = src[k];
+                });
+                off += self_count;
+            } else {
+                auto in = plan_.recv_view_as<P>(slots_[static_cast<std::size_t>(r)].recv);
+                pinned_.emplace_back(std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(in.data()), in.size_bytes()));
+                q.copy_bytes(out.view().data() + off, in.data(), in.size_bytes());
+                off += in.size();
+            }
+        }
+        q.fence();
+        // Unregister before releasing the slots: a released peer may
+        // immediately re-pin the same (reused) channel buffer with a
+        // different message size, which the registry rejects while our
+        // old registration is still live.
+        pinned_.clear();
+        for (int r : recv_peer_) plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
+        return total;
+    }
+
 private:
     struct PeerSlots {
         int send = -1;
@@ -130,6 +232,8 @@ private:
     std::vector<std::size_t> sendcounts_;
     std::vector<P*> cursors_;
     std::vector<P> self_buf_;
+    std::vector<std::size_t> slot_of_;                       ///< device path scratch
+    std::vector<par::device::ScopedHostRegistration> pinned_;
 };
 
 /// Legacy path: exchange particles via the alltoallv collective.

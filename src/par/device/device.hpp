@@ -1,0 +1,73 @@
+/// \file device.hpp
+/// \brief Umbrella header for the GPU-shaped execution backend: default
+/// per-thread queue and explicit deep_copy between memory spaces.
+///
+/// `Backend::device` in par.hpp dispatches through default_queue() —
+/// every rank-thread owns one implicit stream, so concurrent rank-threads
+/// share the device the way processes share a GPU, without serializing
+/// each other's synchronous launches.
+#pragma once
+
+#include "par/device/memory.hpp"
+#include "par/device/queue.hpp"
+
+namespace beatnik::par::device {
+
+/// The calling thread's implicit stream (created on first use, fenced at
+/// thread exit). Synchronous par::parallel_for dispatch and the sync
+/// deep_copy overloads run on it.
+inline Queue& default_queue() {
+    thread_local Queue q;
+    return q;
+}
+
+// ---------------------------------------------------------- deep copies
+//
+// Explicit mirror movement, cudaMemcpyAsync-shaped: enqueue on a queue,
+// complete at fence/event. The *_sync convenience overloads enqueue on
+// the default queue and fence. Sizes must match exactly — a silent
+// partial copy is how mirror bugs hide.
+
+/// Host -> device.
+template <class T>
+void deep_copy(Queue& q, DeviceView<T> dst, std::span<const T> src) {
+    BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (host -> device)");
+    q.copy_bytes(dst.data(), src.data(), src.size_bytes());
+}
+
+/// Device -> host.
+template <class T>
+void deep_copy(Queue& q, std::span<T> dst, DeviceView<const T> src) {
+    BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (device -> host)");
+    q.copy_bytes(dst.data(), src.data(), src.size() * sizeof(T));
+}
+
+/// Device -> device.
+template <class T>
+void deep_copy(Queue& q, DeviceView<T> dst, DeviceView<const T> src) {
+    BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (device -> device)");
+    q.copy_bytes(dst.data(), src.data(), src.size() * sizeof(T));
+}
+
+template <class T>
+void deep_copy_sync(DeviceView<T> dst, std::span<const T> src) {
+    auto& q = default_queue();
+    deep_copy(q, dst, src);
+    q.fence();
+}
+
+template <class T>
+void deep_copy_sync(std::span<T> dst, DeviceView<const T> src) {
+    auto& q = default_queue();
+    deep_copy(q, dst, src);
+    q.fence();
+}
+
+template <class T>
+void deep_copy_sync(DeviceView<T> dst, DeviceView<const T> src) {
+    auto& q = default_queue();
+    deep_copy(q, dst, src);
+    q.fence();
+}
+
+} // namespace beatnik::par::device

@@ -1,0 +1,147 @@
+/// \file memory.hpp
+/// \brief Device memory space: owning buffers, debug-checked views, and
+/// host-range (pinned-memory) registration helpers.
+///
+/// Device allocations live in the Runtime's tracked heap and are **not
+/// directly dereferenceable from host code**: the DeviceView accessor
+/// asserts (debug builds) that the calling thread is in device context —
+/// i.e. inside a kernel on the worker pool. Host code moves data with
+/// deep_copy (device.hpp), exactly the explicit-mirror discipline the
+/// paper's Kokkos/Cabana stack imposes; forgetting a copy is a crash on a
+/// real GPU and a thrown assertion here.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "par/device/runtime.hpp"
+
+namespace beatnik::par::device {
+
+/// Where an allocation lives. Host memory is universally accessible (the
+/// managed/pinned model); device memory is only touchable from kernels.
+enum class MemorySpace { host, device };
+
+/// Non-owning typed view of device memory. Element access is legal only
+/// in device context (inside a kernel); the check compiles out in release
+/// builds, like any bounds assert. Pointer *arithmetic* on data() is fine
+/// anywhere — dereferencing it from host code is the bug this catches.
+template <class T>
+class DeviceView {
+public:
+    DeviceView() = default;
+    DeviceView(T* p, std::size_t n) : p_(p), n_(n) {}
+
+    /// Views convert like pointers: DeviceView<T> -> DeviceView<const T>.
+    operator DeviceView<const T>() const { return {p_, n_}; }
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+    [[nodiscard]] bool empty() const { return n_ == 0; }
+
+    [[nodiscard]] T& operator[](std::size_t i) const {
+        BEATNIK_ASSERT(in_device_context(),
+                       "device memory dereferenced from host code — deep_copy to a host "
+                       "mirror first");
+        BEATNIK_ASSERT(i < n_);
+        return p_[i];
+    }
+
+    /// Raw device pointer (no dereference implied).
+    [[nodiscard]] T* data() const { return p_; }
+
+    [[nodiscard]] DeviceView subview(std::size_t offset, std::size_t count) const {
+        BEATNIK_ASSERT(offset + count <= n_);
+        return {p_ + offset, count};
+    }
+
+private:
+    T* p_ = nullptr;
+    std::size_t n_ = 0;
+};
+
+/// Owning device-resident array of trivially copyable elements. Contents
+/// are uninitialized after allocation (device-malloc semantics) — fill it
+/// with deep_copy or a kernel.
+template <class T>
+class DeviceBuffer {
+public:
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "device buffers hold trivially copyable elements");
+
+    DeviceBuffer() = default;
+    explicit DeviceBuffer(std::size_t n)
+        : p_(static_cast<T*>(Runtime::instance().device_malloc(n * sizeof(T)))), n_(n) {}
+
+    DeviceBuffer(DeviceBuffer&& other) noexcept
+        : p_(std::exchange(other.p_, nullptr)), n_(std::exchange(other.n_, 0)) {}
+    DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+        if (this != &other) {
+            reset();
+            p_ = std::exchange(other.p_, nullptr);
+            n_ = std::exchange(other.n_, 0);
+        }
+        return *this;
+    }
+    DeviceBuffer(const DeviceBuffer&) = delete;
+    DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+    ~DeviceBuffer() { reset(); }
+
+    void reset() {
+        if (p_ != nullptr) Runtime::instance().device_free(p_);
+        p_ = nullptr;
+        n_ = 0;
+    }
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+    [[nodiscard]] explicit operator bool() const { return p_ != nullptr; }
+
+    [[nodiscard]] DeviceView<T> view() { return {p_, n_}; }
+    [[nodiscard]] DeviceView<const T> view() const { return {p_, n_}; }
+
+private:
+    T* p_ = nullptr;
+    std::size_t n_ = 0;
+};
+
+/// RAII host-range registration: pins a host span for direct kernel
+/// access for the lifetime of the object (used per-iteration by patterns
+/// whose staging buffers move, e.g. growing migration channels).
+class ScopedHostRegistration {
+public:
+    ScopedHostRegistration() = default;
+    explicit ScopedHostRegistration(std::span<const std::byte> range)
+        : p_(range.data()), bytes_(range.size()) {
+        if (bytes_ != 0) Runtime::instance().register_host_range(p_, bytes_);
+    }
+    template <class T>
+    explicit ScopedHostRegistration(std::span<T> range)
+        : ScopedHostRegistration(std::as_bytes(range)) {}
+
+    ScopedHostRegistration(ScopedHostRegistration&& other) noexcept
+        : p_(std::exchange(other.p_, nullptr)), bytes_(std::exchange(other.bytes_, 0)) {}
+    ScopedHostRegistration& operator=(ScopedHostRegistration&& other) noexcept {
+        if (this != &other) {
+            release();
+            p_ = std::exchange(other.p_, nullptr);
+            bytes_ = std::exchange(other.bytes_, 0);
+        }
+        return *this;
+    }
+    ScopedHostRegistration(const ScopedHostRegistration&) = delete;
+    ScopedHostRegistration& operator=(const ScopedHostRegistration&) = delete;
+
+    ~ScopedHostRegistration() { release(); }
+
+    void release() {
+        if (p_ != nullptr && bytes_ != 0) Runtime::instance().unregister_host_range(p_);
+        p_ = nullptr;
+        bytes_ = 0;
+    }
+
+private:
+    const void* p_ = nullptr;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace beatnik::par::device

@@ -1,0 +1,396 @@
+/// \file queue.hpp
+/// \brief Stream-ordered asynchronous submission: Queue, Event, fence.
+///
+/// A Queue is the CUDA-stream analogue over the emulated device
+/// (runtime.hpp): operations enqueued on one queue execute in order, one
+/// at a time, on the worker pool; operations on different queues run
+/// concurrently. The API is deliberately small:
+///
+///   q.parallel_for(n, f);          // async kernel launch
+///   q.copy_bytes(dst, src, nb);    // async memcpy (the DMA engine)
+///   Event e = q.record_event();    // completion marker
+///   other.wait_event(e);           // cross-queue dependency
+///   q.fence();                     // host blocks until the queue drains
+///
+/// Steady-state enqueue/fence cycles are allocation-free: operation slots
+/// are pooled and reused, the pending ring reuses its capacity, and small
+/// kernel captures are stored inline in the task (runtime.hpp). Only
+/// record_event() allocates (a shared completion state handed to the
+/// caller), which keeps the hot pack/unpack paths of the communication
+/// plans clean — mirroring the plan API's own zero-allocation contract.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "par/device/runtime.hpp"
+
+namespace beatnik::par::device {
+
+namespace detail {
+
+/// Shared completion state behind an Event.
+struct EventState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<std::function<void()>> callbacks;
+
+    void set() {
+        std::vector<std::function<void()>> fire;
+        {
+            std::lock_guard lock(m);
+            if (done) return;
+            done = true;
+            fire.swap(callbacks);
+        }
+        cv.notify_all();
+        for (auto& cb : fire) cb();
+    }
+
+    [[nodiscard]] bool is_done() {
+        std::lock_guard lock(m);
+        return done;
+    }
+
+    void wait() {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return done; });
+    }
+
+    /// Run \p cb when the event completes (immediately if it already has).
+    /// The callback runs outside this state's lock.
+    template <class Cb>
+    void on_done(Cb&& cb) {
+        {
+            std::lock_guard lock(m);
+            if (!done) {
+                callbacks.emplace_back(std::forward<Cb>(cb));
+                return;
+            }
+        }
+        cb();
+    }
+};
+
+} // namespace detail
+
+/// Completion marker recorded on a queue. Copyable; an empty Event is
+/// always ready.
+class Event {
+public:
+    Event() = default;
+
+    [[nodiscard]] bool ready() const { return !st_ || st_->is_done(); }
+
+    /// Host-side block until the marker completes.
+    void wait() const {
+        if (st_) st_->wait();
+    }
+
+private:
+    friend class Queue;
+    explicit Event(std::shared_ptr<detail::EventState> st) : st_(std::move(st)) {}
+    std::shared_ptr<detail::EventState> st_;
+};
+
+/// An in-order asynchronous execution stream over the shared device.
+class Queue {
+public:
+    /// Operation slots and the pending ring are preallocated so the
+    /// allocation-free steady state does not depend on the warm-up phase
+    /// having reached the true high-water mark of in-flight operations
+    /// (deeper pipelines still grow once, then reuse).
+    static constexpr std::size_t kInitialOps = 32;
+
+    explicit Queue(Runtime& rt = Runtime::instance()) : rt_(&rt) {
+        ring_.resize(2 * kInitialOps, nullptr);
+        pool_.reserve(kInitialOps);
+        free_.reserve(kInitialOps);
+        for (std::size_t i = 0; i < kInitialOps; ++i) {
+            pool_.push_back(std::make_unique<Op>());
+            free_.push_back(pool_.back().get());
+        }
+    }
+
+    Queue(const Queue&) = delete;
+    Queue& operator=(const Queue&) = delete;
+
+    ~Queue() {
+        fence();
+        for (auto& op : pool_) op->task.uninstall();
+    }
+
+    /// Asynchronously apply f(i) for i in [0, n). \p f is copied into the
+    /// operation; referenced data must stay alive until the kernel
+    /// completes (fence, event, or a later same-queue operation).
+    template <class F>
+    void parallel_for(std::size_t n, F&& f) {
+        const std::size_t chunk = chunk_for(n);
+        parallel_for_range(n, chunk,
+                           [f = std::forward<F>(f)](std::size_t b, std::size_t e) {
+                               for (std::size_t i = b; i < e; ++i) f(i);
+                           });
+    }
+
+    /// Lower-level launch: \p range_fn is invoked once per chunk with the
+    /// chunk's half-open index range — for kernels that want to operate on
+    /// whole subranges (block copies) instead of single indices.
+    template <class R>
+    void parallel_for_range(std::size_t n, std::size_t chunk, R&& range_fn) {
+        BEATNIK_REQUIRE(chunk > 0, "device kernel chunk size must be positive");
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t gen = 0;
+        {
+            std::lock_guard lock(m_);
+            Op* op = acquire();
+            op->kind = Kind::kernel;
+            detail::Task& t = op->task;
+            t.install(std::forward<R>(range_fn));
+            t.n = n;
+            t.chunk_size = chunk;
+            t.nchunks = n == 0 ? 1 : (n + chunk - 1) / chunk;
+            t.owner = this;
+            t.on_done = [](void* owner, detail::Task* task) {
+                static_cast<Queue*>(owner)->task_finished(task);
+            };
+            push(op);
+            dispatch(fire);
+            reg = take_pending_wait(gen);
+        }
+        finish_dispatch(fire, reg, gen);
+    }
+
+    /// Asynchronous memcpy executed by the worker pool (the DMA engine):
+    /// both endpoints may be device memory or any host memory — like
+    /// cudaMemcpy, pageable host memory is legal here, while *kernels*
+    /// writing host memory require registration (runtime.hpp).
+    void copy_bytes(void* dst, const void* src, std::size_t bytes) {
+        auto* d = static_cast<std::byte*>(dst);
+        const auto* s = static_cast<const std::byte*>(src);
+        parallel_for_range(bytes, kCopyChunkBytes, [d, s](std::size_t b, std::size_t e) {
+            if (e > b) std::memcpy(d + b, s + b, e - b);
+        });
+    }
+
+    /// Record a completion marker after everything currently enqueued.
+    [[nodiscard]] Event record_event() {
+        auto st = std::make_shared<detail::EventState>();
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t gen = 0;
+        {
+            std::lock_guard lock(m_);
+            Op* op = acquire();
+            op->kind = Kind::event;
+            op->ev = st;
+            push(op);
+            dispatch(fire);
+            reg = take_pending_wait(gen);
+        }
+        finish_dispatch(fire, reg, gen);
+        return Event(std::move(st));
+    }
+
+    /// Make every operation enqueued after this call wait until \p e
+    /// completes (cross-queue dependency). An empty/completed event is a
+    /// no-op barrier.
+    void wait_event(const Event& e) {
+        if (!e.st_) return;
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t gen = 0;
+        {
+            std::lock_guard lock(m_);
+            Op* op = acquire();
+            op->kind = Kind::wait;
+            op->ev = e.st_;
+            push(op);
+            dispatch(fire);
+            reg = take_pending_wait(gen);
+        }
+        finish_dispatch(fire, reg, gen);
+    }
+
+    /// Block the host until every enqueued operation has completed.
+    void fence() {
+        std::unique_lock lock(m_);
+        cv_.wait(lock, [&] { return running_ == nullptr && head_ == tail_ && waiting_ == nullptr; });
+    }
+
+    /// True when nothing is running or pending (nonblocking fence probe).
+    [[nodiscard]] bool idle() {
+        std::lock_guard lock(m_);
+        return running_ == nullptr && head_ == tail_ && waiting_ == nullptr;
+    }
+
+private:
+    enum class Kind : std::uint8_t { kernel, event, wait };
+
+    struct Op {
+        detail::Task task;
+        Kind kind = Kind::kernel;
+        std::shared_ptr<detail::EventState> ev;
+    };
+
+    static constexpr std::size_t kCopyChunkBytes = 1 << 20;
+
+    /// Chunks sized so a launch spreads over the pool but stays coarse
+    /// enough that chunk claiming doesn't dominate tiny kernels.
+    [[nodiscard]] std::size_t chunk_for(std::size_t n) const {
+        const auto workers = static_cast<std::size_t>(rt_->num_workers());
+        const std::size_t target = workers * 4;
+        std::size_t chunk = (n + target - 1) / target;
+        return std::max<std::size_t>(chunk, 64);
+    }
+
+    // All of the below run under m_.
+
+    Op* acquire() {
+        if (free_.empty()) {
+            pool_.push_back(std::make_unique<Op>());
+            free_.push_back(pool_.back().get());
+        }
+        Op* op = free_.back();
+        free_.pop_back();
+        return op;
+    }
+
+    void release(Op* op) {
+        op->ev.reset();
+        free_.push_back(op);
+    }
+
+    void push(Op* op) {
+        if (tail_ - head_ == ring_.size()) {
+            std::vector<Op*> bigger(ring_.size() * 2, nullptr);
+            for (std::size_t i = head_; i != tail_; ++i) {
+                bigger[i % bigger.size()] = ring_[i % ring_.size()];
+            }
+            ring_.swap(bigger);
+        }
+        ring_[tail_ % ring_.size()] = op;
+        ++tail_;
+    }
+
+    /// Advance the stream as far as possible: submit the next kernel,
+    /// complete event markers (collected into \p fire, set after the lock
+    /// is released — event callbacks may take other queues' locks), and
+    /// park on unsatisfied wait ops.
+    void dispatch(std::vector<std::shared_ptr<detail::EventState>>& fire) {
+        while (running_ == nullptr && waiting_ == nullptr && head_ != tail_) {
+            Op* op = ring_[head_ % ring_.size()];
+            ++head_;
+            switch (op->kind) {
+            case Kind::kernel:
+                running_ = op;
+                rt_->submit(&op->task);
+                return;
+            case Kind::event:
+                fire.push_back(op->ev);
+                release(op);
+                break;
+            case Kind::wait:
+                if (op->ev->is_done()) {
+                    release(op);
+                    break;
+                }
+                // Park. The resume callback is registered by the caller
+                // *after* m_ is released (pending_wait_): on_done may run
+                // the callback inline when the event completed in the
+                // meantime, and that callback relocks m_.
+                waiting_ = op;
+                ++wait_generation_;
+                pending_wait_ = op->ev;
+                return;
+            }
+        }
+        if (running_ == nullptr && waiting_ == nullptr && head_ == tail_) cv_.notify_all();
+    }
+
+    /// Consume the event a freshly parked wait op needs a resume
+    /// callback on. Must run under m_, in the same critical section as
+    /// the dispatch() that parked — a later relock would race queue
+    /// destruction on threads that don't own the queue.
+    [[nodiscard]] std::shared_ptr<detail::EventState> take_pending_wait(std::uint64_t& gen) {
+        gen = wait_generation_;
+        return std::exchange(pending_wait_, nullptr);
+    }
+
+    /// Post-dispatch work that must run *without* m_ and must not touch
+    /// queue members: register the parked wait op's resume callback (the
+    /// event may have completed meanwhile, in which case on_done invokes
+    /// the callback inline — it relocks m_, which is why it cannot run
+    /// under the lock) and complete event markers. Touching `this` inside
+    /// the callback is safe because a parked wait keeps waiting_ set,
+    /// which blocks ~Queue's fence until the resume runs.
+    void finish_dispatch(std::vector<std::shared_ptr<detail::EventState>>& fire,
+                         std::shared_ptr<detail::EventState>& reg, std::uint64_t gen) {
+        if (reg) reg->on_done([this, gen] { resume_after_wait(gen); });
+        for (auto& ev : fire) ev->set();
+    }
+
+    /// Runs on whatever thread completes the awaited event; it may not
+    /// touch queue members after its critical section (see
+    /// finish_dispatch). The queue is guaranteed alive on entry: the
+    /// parked wait op holds waiting_ non-null, which blocks destruction.
+    void resume_after_wait(std::uint64_t gen) {
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t next_gen = 0;
+        {
+            std::lock_guard lock(m_);
+            if (waiting_ == nullptr || wait_generation_ != gen) return;
+            release(waiting_);
+            waiting_ = nullptr;
+            dispatch(fire);
+            reg = take_pending_wait(next_gen);
+        }
+        finish_dispatch(fire, reg, next_gen);
+    }
+
+    /// Completion hook, called by the worker that finishes the task's
+    /// last chunk. Everything that wakes a fencing (possibly destroying)
+    /// thread happens inside the critical section — dispatch notifies
+    /// cv_ under the lock when the queue drains — so after the unlock
+    /// this thread never touches queue members again (finish_dispatch
+    /// only uses the extracted shared states).
+    void task_finished(detail::Task* t) {
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t gen = 0;
+        {
+            std::lock_guard lock(m_);
+            Op* op = running_;
+            BEATNIK_ASSERT(op != nullptr && &op->task == t);
+            (void)t;
+            op->task.uninstall();
+            running_ = nullptr;
+            release(op);
+            dispatch(fire);
+            reg = take_pending_wait(gen);
+        }
+        finish_dispatch(fire, reg, gen);
+    }
+
+    Runtime* rt_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Op>> pool_;
+    std::vector<Op*> free_;
+    std::vector<Op*> ring_;   ///< pending ops, [head_, tail_) live
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    Op* running_ = nullptr;
+    Op* waiting_ = nullptr;   ///< head wait op parked on an external event
+    std::uint64_t wait_generation_ = 0;
+    /// Event whose resume callback still needs registering (set by
+    /// dispatch under m_, drained by take_pending_wait in the same
+    /// critical section, registered by finish_dispatch outside it).
+    std::shared_ptr<detail::EventState> pending_wait_;
+};
+
+} // namespace beatnik::par::device

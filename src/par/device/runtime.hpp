@@ -1,0 +1,324 @@
+/// \file runtime.hpp
+/// \brief The emulated device: a process-wide accelerator with its own
+/// memory space and a persistent worker pool.
+///
+/// `par::device` models the host/device split that dominates real GPU
+/// runs of the paper's Z-Model without requiring a GPU: one process-wide
+/// Runtime plays the role of the accelerator. It owns
+///
+///   * a **device heap** — allocations that "live on the device". Host
+///     code must never dereference them directly (the DeviceView accessor
+///     debug-checks this, see view.hpp); data moves with explicit
+///     deep_copy, exactly the discipline Kokkos/Cabana impose;
+///   * a **host-range registry** — the pinned/mapped-memory analogue.
+///     Device kernels may write straight into a host buffer (e.g. a
+///     communication plan's transport buffer) only after the range has
+///     been registered, mirroring the register-then-DMA contract of
+///     GPU-aware communication;
+///   * a **persistent worker pool** — the execution units. Kernels are
+///     split into chunks that workers claim from a FIFO of submitted
+///     tasks; a worker thread runs with the device-context flag set, which
+///     is what legitimizes device-memory access inside kernels.
+///
+/// Queues (queue.hpp) provide the stream-ordered submission API on top;
+/// this header is the raw machine.
+///
+/// Worker count comes from BEATNIK_DEVICE_WORKERS (default 4). Like a
+/// GPU shared by several processes, all rank-threads of a run submit to
+/// the same pool; tasks from different queues interleave at chunk
+/// granularity while each queue stays internally ordered.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace beatnik::par::device {
+
+class Runtime;
+
+namespace detail {
+
+/// True on threads currently executing device work (the worker pool).
+/// Device-memory accessors assert on it; host threads read false.
+inline thread_local bool t_device_context = false;
+
+/// One kernel launch, type-erased. The callable is stored inline when it
+/// fits (the common case: a lambda capturing a few pointers/ints), so the
+/// steady-state enqueue path performs no heap allocation; larger captures
+/// fall back to the heap. Workers claim chunk indices under the runtime
+/// lock and invoke `run(fn, begin, end)` for the half-open index range of
+/// each chunk. The final chunk to finish fires `on_done` — the owning
+/// queue's completion hook.
+struct Task {
+    static constexpr std::size_t kInlineBytes = 256;
+
+    alignas(std::max_align_t) std::byte storage[kInlineBytes];
+    void* heap_fn = nullptr;                       ///< set when the callable spilled
+    void (*run)(void* fn, std::size_t begin, std::size_t end) = nullptr;
+    void (*destroy)(void* fn) noexcept = nullptr;  ///< tears down fn() in place
+    void (*on_done)(void* owner, Task* task) = nullptr;
+    void* owner = nullptr;
+
+    std::size_t n = 0;           ///< total index count
+    std::size_t chunk_size = 0;  ///< indices per chunk
+    std::size_t nchunks = 0;     ///< always >= 1 (empty ranges run one no-op chunk)
+    std::size_t next_chunk = 0;  ///< next chunk to hand out (runtime lock)
+    std::atomic<std::size_t> chunks_left{0};
+
+    [[nodiscard]] void* fn() { return heap_fn != nullptr ? heap_fn : storage; }
+
+    /// Install callable \p r as the range functor (invoked with a chunk's
+    /// [begin, end)). Inline when it fits, heap otherwise. `destroy` owns
+    /// the full teardown for its storage mode — in-place destructor for
+    /// inline, `delete` for heap (which pairs correctly with the aligned
+    /// allocation path of over-aligned callables).
+    template <class R>
+    void install(R&& r) {
+        using Fn = std::decay_t<R>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(storage)) Fn(std::forward<R>(r));
+            heap_fn = nullptr;
+            if constexpr (std::is_trivially_destructible_v<Fn>) {
+                destroy = nullptr;
+            } else {
+                destroy = [](void* fn) noexcept { static_cast<Fn*>(fn)->~Fn(); };
+            }
+        } else {
+            heap_fn = new Fn(std::forward<R>(r));
+            destroy = [](void* fn) noexcept { delete static_cast<Fn*>(fn); };
+        }
+        run = [](void* fn, std::size_t b, std::size_t e) { (*static_cast<Fn*>(fn))(b, e); };
+    }
+
+    /// Destroy the installed callable (after completion, before reuse).
+    void uninstall() noexcept {
+        if (destroy != nullptr) destroy(fn());
+        heap_fn = nullptr;
+        run = nullptr;
+        destroy = nullptr;
+    }
+};
+
+} // namespace detail
+
+/// True while the calling thread is executing device work. Kernels run
+/// with this set; host threads see false. The device-memory accessor
+/// (DeviceView) and the kernel-side staging checks key off it.
+[[nodiscard]] inline bool in_device_context() { return detail::t_device_context; }
+
+/// The process-wide emulated accelerator. Use Runtime::instance().
+class Runtime {
+public:
+    static Runtime& instance() {
+        static Runtime rt;
+        return rt;
+    }
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    [[nodiscard]] int num_workers() const { return static_cast<int>(workers_.size()); }
+
+    // ------------------------------------------------------- device heap
+
+    /// Allocate \p bytes in the device memory space (host API, like
+    /// cudaMalloc). The block is tracked so accessibility checks and the
+    /// host-dereference debug assert can tell device memory apart.
+    [[nodiscard]] void* device_malloc(std::size_t bytes) {
+        void* p = ::operator new(bytes != 0 ? bytes : 1);
+        std::lock_guard lock(mem_m_);
+        heap_blocks_[p] = bytes;
+        ++device_allocs_;
+        device_bytes_ += bytes;
+        return p;
+    }
+
+    void device_free(void* p) noexcept {
+        if (p == nullptr) return;
+        {
+            std::lock_guard lock(mem_m_);
+            auto it = heap_blocks_.find(p);
+            if (it != heap_blocks_.end()) {
+                device_bytes_ -= it->second;
+                heap_blocks_.erase(it);
+            }
+        }
+        ::operator delete(p);
+    }
+
+    /// Whether [p, p + bytes) lies inside one device-heap block.
+    [[nodiscard]] bool on_device_heap(const void* p, std::size_t bytes) const {
+        std::lock_guard lock(mem_m_);
+        return range_inside(heap_blocks_, p, bytes);
+    }
+
+    /// Device allocations performed since start-up (diagnostic).
+    [[nodiscard]] std::uint64_t device_alloc_count() const {
+        std::lock_guard lock(mem_m_);
+        return device_allocs_;
+    }
+    [[nodiscard]] std::size_t device_bytes_in_use() const {
+        std::lock_guard lock(mem_m_);
+        return device_bytes_;
+    }
+
+    // ----------------------------------------- host (pinned) registration
+
+    /// Register a host range for device access — the pin/map analogue.
+    /// Kernels may write directly into registered host memory (plan
+    /// transport buffers); unregistered host memory is reachable only
+    /// through deep_copy. Registrations are refcounted: both endpoints of
+    /// an in-process channel may pin the same buffer.
+    void register_host_range(const void* p, std::size_t bytes) {
+        if (bytes == 0) return;
+        std::lock_guard lock(mem_m_);
+        auto [it, inserted] = host_ranges_.try_emplace(p, RangeRef{bytes, 1});
+        if (!inserted) {
+            BEATNIK_REQUIRE(it->second.bytes == bytes,
+                            "register_host_range: same pointer registered with another size");
+            ++it->second.refs;
+        }
+    }
+
+    void unregister_host_range(const void* p) noexcept {
+        std::lock_guard lock(mem_m_);
+        auto it = host_ranges_.find(p);
+        if (it != host_ranges_.end() && --it->second.refs == 0) host_ranges_.erase(it);
+    }
+
+    /// Whether [p, p + bytes) lies inside one registered host range.
+    [[nodiscard]] bool host_range_registered(const void* p, std::size_t bytes) const {
+        std::lock_guard lock(mem_m_);
+        auto it = host_ranges_.upper_bound(p);
+        if (it == host_ranges_.begin()) return false;
+        --it;
+        const auto* base = static_cast<const std::byte*>(it->first);
+        const auto* q = static_cast<const std::byte*>(p);
+        return q >= base && q + bytes <= base + it->second.bytes;
+    }
+
+    /// A device kernel may touch [p, p + bytes) directly iff it is device
+    /// memory or a registered (pinned) host range.
+    [[nodiscard]] bool device_accessible(const void* p, std::size_t bytes) const {
+        if (bytes == 0) return true;
+        return on_device_heap(p, bytes) || host_range_registered(p, bytes);
+    }
+
+    // -------------------------------------------------------- submission
+
+    /// Queue a task for the worker pool (called by Queue, which owns the
+    /// task's lifetime until its on_done hook fires). Tasks start in FIFO
+    /// order; chunks of the head task are handed to workers until
+    /// exhausted, then the next task starts while straggler chunks finish.
+    void submit(detail::Task* t) {
+        BEATNIK_ASSERT(t->nchunks >= 1);
+        t->next_chunk = 0;
+        t->chunks_left.store(t->nchunks, std::memory_order_relaxed);
+        {
+            std::lock_guard lock(m_);
+            if (tail_ - head_ == fifo_.size()) grow_fifo();
+            fifo_[tail_ % fifo_.size()] = t;
+            ++tail_;
+        }
+        cv_.notify_all();
+    }
+
+private:
+    struct RangeRef {
+        std::size_t bytes;
+        int refs;
+    };
+
+    Runtime() {
+        int n = 4;
+        if (const char* env = std::getenv("BEATNIK_DEVICE_WORKERS")) {
+            char* end = nullptr;
+            long parsed = std::strtol(env, &end, 10);
+            if (end != nullptr && *end == '\0' && parsed > 0 && parsed <= 256) {
+                n = static_cast<int>(parsed);
+            }
+        }
+        fifo_.resize(64, nullptr);
+        workers_.reserve(static_cast<std::size_t>(n));
+        for (int w = 0; w < n; ++w) workers_.emplace_back([this] { worker_main(); });
+    }
+
+    ~Runtime() {
+        {
+            std::lock_guard lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    template <class Map>
+    [[nodiscard]] static bool range_inside(const Map& blocks, const void* p, std::size_t bytes) {
+        auto it = blocks.upper_bound(p);
+        if (it == blocks.begin()) return false;
+        --it;
+        const auto* base = static_cast<const std::byte*>(it->first);
+        const auto* q = static_cast<const std::byte*>(p);
+        return q >= base && q + bytes <= base + it->second;
+    }
+
+    void grow_fifo() {
+        // Relocate the live window into a doubled ring (startup only; the
+        // steady state reuses the existing capacity).
+        std::vector<detail::Task*> bigger(fifo_.size() * 2, nullptr);
+        for (std::size_t i = head_; i != tail_; ++i) {
+            bigger[i % bigger.size()] = fifo_[i % fifo_.size()];
+        }
+        fifo_.swap(bigger);
+    }
+
+    void worker_main() {
+        detail::t_device_context = true;
+        std::unique_lock lock(m_);
+        for (;;) {
+            cv_.wait(lock, [&] { return stop_ || head_ != tail_; });
+            if (stop_) return;
+            detail::Task* t = fifo_[head_ % fifo_.size()];
+            const std::size_t c = t->next_chunk++;
+            BEATNIK_ASSERT(c < t->nchunks);
+            if (c + 1 == t->nchunks) ++head_;   // last chunk handed out
+            lock.unlock();
+            const std::size_t begin = c * t->chunk_size;
+            const std::size_t end = std::min(t->n, begin + t->chunk_size);
+            t->run(t->fn(), begin, end);
+            // The worker finishing the last chunk completes the task; the
+            // owner may immediately reuse or destroy it.
+            if (t->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                t->on_done(t->owner, t);
+            }
+            lock.lock();
+        }
+    }
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<detail::Task*> fifo_;   ///< ring buffer, [head_, tail_) live
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mem_m_;
+    std::map<const void*, std::size_t> heap_blocks_;
+    std::map<const void*, RangeRef> host_ranges_;
+    std::uint64_t device_allocs_ = 0;
+    std::size_t device_bytes_ = 0;
+};
+
+} // namespace beatnik::par::device

@@ -8,25 +8,57 @@
 ///     share the machine (rank-threads already use the cores).
 ///   * Backend::openmp — OpenMP worksharing, for single-rank tools and
 ///     calibration microbenchmarks.
+///   * Backend::device — the GPU-shaped backend (par/device/): kernels
+///     are launched on the emulated accelerator's worker pool through the
+///     calling thread's implicit queue and fenced before returning, so
+///     the dispatch keeps synchronous semantics while exercising the real
+///     host/device split (separate memory space, async queues, explicit
+///     mirrors — see par/device/device.hpp).
 ///
 /// The backend is a per-thread setting so each rank-thread can choose
-/// independently without synchronization.
+/// independently; threads inherit the process-wide default
+/// (set_default_backend, or the BEATNIK_TEST_BACKEND env knob in tests).
+///
+/// parallel_reduce is **bitwise deterministic across backends**: the
+/// reduction is defined as a fold over fixed-size chunks (kReduceChunk
+/// elements), each chunk folded left-to-right from the identity and the
+/// chunk partials folded in chunk order. The chunk layout depends only on
+/// n — never on thread or worker count — so serial, OpenMP and device
+/// backends produce identical bits for identical inputs, including for
+/// non-associative floating-point sums (the paper's energy/L2 patterns).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <utility>
+#include <vector>
 
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
 
+#include "par/device/device.hpp"
+
 namespace beatnik::par {
 
-enum class Backend { serial, openmp };
+enum class Backend { serial, openmp, device };
 
-/// Per-thread execution backend (each rank-thread owns its setting).
+/// Process-wide default backend; threads read it once at first use of
+/// backend(). Set it before spawning rank-threads (tests/main.cpp does).
+inline std::atomic<Backend>& default_backend() {
+    static std::atomic<Backend> b{Backend::serial};
+    return b;
+}
+
+inline void set_default_backend(Backend b) {
+    default_backend().store(b, std::memory_order_relaxed);
+}
+
+/// Per-thread execution backend (each rank-thread owns its setting),
+/// initialized from the process-wide default.
 inline Backend& backend() {
-    thread_local Backend b = Backend::serial;
+    thread_local Backend b = default_backend().load(std::memory_order_relaxed);
     return b;
 }
 
@@ -51,9 +83,27 @@ private:
     Backend saved_;
 };
 
+namespace detail {
+
+/// Device dispatch is taken only from host threads: a kernel body that
+/// itself calls parallel_for (nested parallelism) degrades to a serial
+/// loop on the worker, like device code without dynamic parallelism —
+/// and never deadlocks the pool waiting for itself.
+inline bool use_device() {
+    return backend() == Backend::device && !device::in_device_context();
+}
+
+} // namespace detail
+
 /// Apply f(i) for i in [0, n).
 template <class F>
 void parallel_for(std::size_t n, F&& f) {
+    if (detail::use_device()) {
+        auto& q = device::default_queue();
+        q.parallel_for(n, f);
+        q.fence();
+        return;
+    }
 #if defined(_OPENMP)
     if (backend() == Backend::openmp) {
 #pragma omp parallel for schedule(static)
@@ -71,6 +121,21 @@ void parallel_for(std::size_t n, F&& f) {
 template <class F>
 void parallel_for_2d(std::ptrdiff_t i_begin, std::ptrdiff_t i_end, std::ptrdiff_t j_begin,
                      std::ptrdiff_t j_end, F&& f) {
+    if (detail::use_device()) {
+        const std::ptrdiff_t nj = j_end - j_begin;
+        if (i_end <= i_begin || nj <= 0) return;
+        const auto total =
+            static_cast<std::size_t>(i_end - i_begin) * static_cast<std::size_t>(nj);
+        auto& q = device::default_queue();
+        // Flatten to 1D so chunks cut across rows; kernels recover (i, j).
+        q.parallel_for(total, [=](std::size_t idx) {
+            const auto i = i_begin + static_cast<std::ptrdiff_t>(idx / static_cast<std::size_t>(nj));
+            const auto j = j_begin + static_cast<std::ptrdiff_t>(idx % static_cast<std::size_t>(nj));
+            f(i, j);
+        });
+        q.fence();
+        return;
+    }
 #if defined(_OPENMP)
     if (backend() == Backend::openmp) {
 #pragma omp parallel for schedule(static)
@@ -85,28 +150,50 @@ void parallel_for_2d(std::ptrdiff_t i_begin, std::ptrdiff_t i_end, std::ptrdiff_
     }
 }
 
+/// Elements per reduction chunk. Part of the cross-backend determinism
+/// contract: changing it changes every floating-point reduction's bits.
+inline constexpr std::size_t kReduceChunk = 1024;
+
 /// Reduce map(i) over [0, n) with a binary combiner, starting from
-/// identity. The combiner must be associative and commutative.
+/// identity. The combiner must be associative up to the tolerance the
+/// caller cares about; the *evaluation order* is fixed (see file header),
+/// so all backends agree bitwise and runs are reproducible at any worker
+/// or thread count.
 template <class T, class Map, class Combine>
 T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+    const std::size_t nchunks = (n + kReduceChunk - 1) / kReduceChunk;
+    auto fold_chunk = [&](std::size_t c) {
+        const std::size_t b = c * kReduceChunk;
+        const std::size_t e = std::min(n, b + kReduceChunk);
+        T local = identity;
+        for (std::size_t i = b; i < e; ++i) local = combine(local, map(i));
+        return local;
+    };
+
+    if (detail::use_device()) {
+        std::vector<T> partials(nchunks, identity);
+        auto& q = device::default_queue();
+        T* out = partials.data();
+        q.parallel_for(nchunks, [&fold_chunk, out](std::size_t c) { out[c] = fold_chunk(c); });
+        q.fence();
+        T result = identity;
+        for (const T& p : partials) result = combine(result, p);
+        return result;
+    }
 #if defined(_OPENMP)
     if (backend() == Backend::openmp) {
-        T result = identity;
-#pragma omp parallel
-        {
-            T local = identity;
-#pragma omp for schedule(static) nowait
-            for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-                local = combine(local, map(static_cast<std::size_t>(i)));
-            }
-#pragma omp critical
-            result = combine(result, local);
+        std::vector<T> partials(nchunks, identity);
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(nchunks); ++c) {
+            partials[static_cast<std::size_t>(c)] = fold_chunk(static_cast<std::size_t>(c));
         }
+        T result = identity;
+        for (const T& p : partials) result = combine(result, p);
         return result;
     }
 #endif
     T result = identity;
-    for (std::size_t i = 0; i < n; ++i) result = combine(result, map(i));
+    for (std::size_t c = 0; c < nchunks; ++c) result = combine(result, fold_chunk(c));
     return result;
 }
 

@@ -445,6 +445,113 @@ TEST(AlltoallRendezvous, LargeBlocksAboveDefaultThreshold) {
     });
 }
 
+// Force the zero-copy rendezvous path through the allgather ring: every
+// block is "large", so each hop forwards an alias of its origin rank's
+// caller-owned buffer and the closing barrier must keep all of them alive
+// until every rank has finished reading. Non-power-of-two rank counts
+// exercise the ring wrap.
+TEST(AllgatherRendezvous, ForcedRendezvousMatchesEager) {
+    for (int p : {2, 3, 5, 6, 7, 8}) {
+        bc::ContextConfig cfg;
+        cfg.recv_timeout_seconds = 30.0;
+        cfg.rendezvous_threshold_bytes = 1;
+        bc::Context::run(p, [](bc::Communicator& comm) {
+            const int n = comm.size();
+            constexpr int kBlock = 23;
+            std::vector<int> mine(kBlock);
+            for (int i = 0; i < kBlock; ++i) mine[static_cast<std::size_t>(i)] = comm.rank() * 1000 + i;
+            auto all = comm.allgather(std::span<const int>(mine));
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(n * kBlock));
+            for (int src = 0; src < n; ++src)
+                for (int i = 0; i < kBlock; ++i)
+                    EXPECT_EQ(all[static_cast<std::size_t>(src * kBlock + i)], src * 1000 + i);
+            // The caller may overwrite its buffer immediately after return
+            // — the closing barrier guarantees every alias was consumed.
+            std::fill(mine.begin(), mine.end(), -1);
+        }, cfg);
+    }
+}
+
+// Rendezvous allgatherv: per-block aliasing with variable sizes, including
+// zero-length contributions (which can never alias) mixed with aliased
+// ones — the "did anyone alias" agreement comes from the size exchange.
+TEST(AllgatherRendezvous, ForcedRendezvousAllgathervWithZeroLengthBlocks) {
+    for (int p : {2, 3, 5, 7}) {
+        bc::ContextConfig cfg;
+        cfg.recv_timeout_seconds = 30.0;
+        cfg.rendezvous_threshold_bytes = 1;
+        bc::Context::run(p, [](bc::Communicator& comm) {
+            const int n = comm.size();
+            // Every third rank contributes nothing.
+            const int count = comm.rank() % 3 == 2 ? 0 : comm.rank() + 1;
+            std::vector<double> mine(static_cast<std::size_t>(count));
+            for (int i = 0; i < count; ++i) {
+                mine[static_cast<std::size_t>(i)] = comm.rank() * 100.0 + i;
+            }
+            std::vector<std::size_t> counts;
+            auto all = comm.allgatherv(std::span<const double>(mine), &counts);
+            ASSERT_EQ(counts.size(), static_cast<std::size_t>(n));
+            std::size_t off = 0;
+            for (int src = 0; src < n; ++src) {
+                const int expect_count = src % 3 == 2 ? 0 : src + 1;
+                ASSERT_EQ(counts[static_cast<std::size_t>(src)],
+                          static_cast<std::size_t>(expect_count));
+                for (int i = 0; i < expect_count; ++i) {
+                    EXPECT_EQ(all[off + static_cast<std::size_t>(i)], src * 100.0 + i);
+                }
+                off += static_cast<std::size_t>(expect_count);
+            }
+            EXPECT_EQ(all.size(), off);
+        }, cfg);
+    }
+}
+
+// Large equal blocks cross the default threshold organically, like the
+// alltoall variant above.
+TEST(AllgatherRendezvous, LargeBlocksAboveDefaultThreshold) {
+    run(6, [](bc::Communicator& comm) {
+        const int p = comm.size();
+        constexpr std::size_t kBlock = 8192;   // 64 KiB of int64 per rank
+        std::vector<std::int64_t> mine(kBlock);
+        for (std::size_t i = 0; i < kBlock; ++i) {
+            mine[i] = comm.rank() * 1000000 + static_cast<std::int64_t>(i);
+        }
+        auto all = comm.allgather(std::span<const std::int64_t>(mine));
+        ASSERT_EQ(all.size(), kBlock * static_cast<std::size_t>(p));
+        for (int src = 0; src < p; ++src) {
+            const std::size_t base = kBlock * static_cast<std::size_t>(src);
+            for (std::size_t i : {std::size_t{0}, kBlock / 2, kBlock - 1}) {
+                EXPECT_EQ(all[base + i], src * 1000000 + static_cast<std::int64_t>(i));
+            }
+        }
+    });
+}
+
+// Mixed sizes around the threshold: only some ranks' blocks alias, the
+// rest stay eager; both kinds must land correctly and the closing barrier
+// still fires (some rank aliased).
+TEST(AllgatherRendezvous, MixedEagerAndAliasedBlocks) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 30.0;
+    cfg.rendezvous_threshold_bytes = 256;
+    bc::Context::run(5, [](bc::Communicator& comm) {
+        // Ranks 0/2/4: 8 doubles (64 B, eager). Ranks 1/3: 512 doubles
+        // (4 KiB, aliased).
+        const std::size_t count = comm.rank() % 2 == 0 ? 8 : 512;
+        std::vector<double> mine(count, comm.rank() + 0.5);
+        std::vector<std::size_t> counts;
+        auto all = comm.allgatherv(std::span<const double>(mine), &counts);
+        std::size_t off = 0;
+        for (int src = 0; src < comm.size(); ++src) {
+            const std::size_t expect = src % 2 == 0 ? 8 : 512;
+            ASSERT_EQ(counts[static_cast<std::size_t>(src)], expect);
+            EXPECT_EQ(all[off], src + 0.5);
+            EXPECT_EQ(all[off + expect - 1], src + 0.5);
+            off += expect;
+        }
+    }, cfg);
+}
+
 // Regression for the old 16-bit collective sequence counter, which wrapped
 // after 65536 collectives and could re-issue tags still pending elsewhere.
 // The widened space must survive >65536 back-to-back collectives and stay

@@ -12,8 +12,12 @@
 
 int main(int argc, char** argv) {
     ::testing::InitGoogleTest(&argc, argv);
-    std::printf("[beatnik] BEATNIK_TEST_SEED=%llu BEATNIK_TEST_THREADS=%d\n",
+    // Set before any rank-thread spawns: threads inherit the process-wide
+    // default at their first backend() read.
+    beatnik::par::set_default_backend(beatnik::test::backend());
+    std::printf("[beatnik] BEATNIK_TEST_SEED=%llu BEATNIK_TEST_THREADS=%d "
+                "BEATNIK_TEST_BACKEND=%s\n",
                 static_cast<unsigned long long>(beatnik::test::seed()),
-                beatnik::test::thread_count());
+                beatnik::test::thread_count(), beatnik::test::backend_name());
     return RUN_ALL_TESTS();
 }

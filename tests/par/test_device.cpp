@@ -1,0 +1,306 @@
+// Tests for the GPU-shaped execution backend (par/device): memory
+// spaces and debug-checked device views, explicit deep_copy mirrors,
+// async queues with in-order execution, cross-queue events, fences,
+// Backend::device dispatch of the par loops, and the cross-backend
+// bitwise determinism contract of parallel_reduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "par/par.hpp"
+
+namespace bp = beatnik::par;
+namespace bd = beatnik::par::device;
+
+namespace {
+
+// ------------------------------------------------------- memory spaces
+
+TEST(DeviceMemory, HeapIsTrackedAndAccessible) {
+    auto& rt = bd::Runtime::instance();
+    const auto allocs_before = rt.device_alloc_count();
+    bd::DeviceBuffer<double> buf(128);
+    EXPECT_EQ(rt.device_alloc_count(), allocs_before + 1);
+    EXPECT_TRUE(rt.on_device_heap(buf.view().data(), 128 * sizeof(double)));
+    EXPECT_TRUE(rt.device_accessible(buf.view().data(), 128 * sizeof(double)));
+    // A subrange of the block is accessible; a range overrunning it is not.
+    EXPECT_TRUE(rt.device_accessible(buf.view().data() + 64, 64 * sizeof(double)));
+    EXPECT_FALSE(rt.on_device_heap(buf.view().data(), 129 * sizeof(double)));
+    double host = 0.0;
+    EXPECT_FALSE(rt.on_device_heap(&host, sizeof(double)));
+}
+
+TEST(DeviceMemory, BufferReleasesOnDestruction) {
+    auto& rt = bd::Runtime::instance();
+    const std::size_t used_before = rt.device_bytes_in_use();
+    {
+        bd::DeviceBuffer<int> buf(1000);
+        EXPECT_EQ(rt.device_bytes_in_use(), used_before + 1000 * sizeof(int));
+    }
+    EXPECT_EQ(rt.device_bytes_in_use(), used_before);
+}
+
+TEST(DeviceMemory, MoveTransfersOwnership) {
+    bd::DeviceBuffer<int> a(10);
+    int* p = a.view().data();
+    bd::DeviceBuffer<int> b(std::move(a));
+    EXPECT_EQ(b.view().data(), p);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(DeviceMemory, HostDereferenceOfDeviceViewThrowsInDebug) {
+#ifdef NDEBUG
+    GTEST_SKIP() << "debug-only accessor check (BEATNIK_ASSERT compiled out)";
+#else
+    bd::DeviceBuffer<double> buf(4);
+    auto view = buf.view();
+    EXPECT_FALSE(bd::in_device_context());
+    EXPECT_THROW((void)view[0], beatnik::Error);
+#endif
+}
+
+TEST(DeviceMemory, HostRegistrationIsRefcountedRange) {
+    auto& rt = bd::Runtime::instance();
+    std::vector<std::byte> staging(256);
+    EXPECT_FALSE(rt.host_range_registered(staging.data(), 256));
+    rt.register_host_range(staging.data(), 256);
+    rt.register_host_range(staging.data(), 256);   // second endpoint pins too
+    EXPECT_TRUE(rt.host_range_registered(staging.data(), 256));
+    EXPECT_TRUE(rt.host_range_registered(staging.data() + 100, 156));
+    EXPECT_FALSE(rt.host_range_registered(staging.data() + 100, 157));
+    rt.unregister_host_range(staging.data());
+    EXPECT_TRUE(rt.host_range_registered(staging.data(), 256)) << "still one reference";
+    rt.unregister_host_range(staging.data());
+    EXPECT_FALSE(rt.host_range_registered(staging.data(), 256));
+}
+
+TEST(DeviceMemory, ScopedRegistrationUnpinsOnExit) {
+    auto& rt = bd::Runtime::instance();
+    std::vector<double> staging(32);
+    {
+        bd::ScopedHostRegistration pin(
+            std::span<double>(staging.data(), staging.size()));
+        EXPECT_TRUE(rt.host_range_registered(staging.data(), 32 * sizeof(double)));
+    }
+    EXPECT_FALSE(rt.host_range_registered(staging.data(), 32 * sizeof(double)));
+}
+
+// ---------------------------------------------------------- deep copies
+
+TEST(DeviceCopy, RoundTripThroughKernel) {
+    constexpr std::size_t n = 10000;
+    std::vector<double> host(n);
+    std::iota(host.begin(), host.end(), 0.0);
+    bd::DeviceBuffer<double> dev(n);
+    bd::Queue q;
+    bd::deep_copy(q, dev.view(), std::span<const double>(host));
+    auto view = dev.view();
+    q.parallel_for(n, [view](std::size_t i) { view[i] = 2.0 * view[i] + 1.0; });
+    std::vector<double> back(n, -1.0);
+    bd::deep_copy(q, std::span<double>(back), std::as_const(dev).view());
+    q.fence();
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(back[i], 2.0 * static_cast<double>(i) + 1.0) << "index " << i;
+    }
+}
+
+TEST(DeviceCopy, DeviceToDeviceAndSync) {
+    constexpr std::size_t n = 513;   // not a multiple of any chunk size
+    std::vector<int> host(n);
+    std::iota(host.begin(), host.end(), 7);
+    bd::DeviceBuffer<int> a(n), b(n);
+    bd::deep_copy_sync(a.view(), std::span<const int>(host));
+    bd::deep_copy_sync(b.view(), std::as_const(a).view());
+    std::vector<int> back(n, 0);
+    bd::deep_copy_sync(std::span<int>(back), std::as_const(b).view());
+    EXPECT_EQ(back, host);
+}
+
+TEST(DeviceCopy, SizeMismatchThrows) {
+    bd::DeviceBuffer<int> dev(8);
+    std::vector<int> host(9);
+    bd::Queue q;
+    EXPECT_THROW(bd::deep_copy(q, dev.view(), std::span<const int>(host)), beatnik::Error);
+}
+
+// --------------------------------------------------------------- queues
+
+TEST(DeviceQueue, OperationsOnOneQueueRunInOrder) {
+    // Each kernel writes its sequence number over the whole array; with
+    // in-order execution the last kernel wins everywhere.
+    constexpr std::size_t n = 4096;
+    constexpr int rounds = 17;
+    std::vector<int> data(n, -1);
+    bd::Queue q;
+    int* p = data.data();
+    for (int r = 0; r < rounds; ++r) {
+        q.parallel_for(n, [p, r](std::size_t i) { p[i] = r; });
+    }
+    q.fence();
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(data[i], rounds - 1);
+}
+
+TEST(DeviceQueue, FenceOnEmptyQueueAndEmptyKernel) {
+    bd::Queue q;
+    q.fence();   // nothing enqueued
+    bool touched = false;
+    q.parallel_for(0, [&](std::size_t) { touched = true; });
+    q.fence();
+    EXPECT_FALSE(touched);
+    EXPECT_TRUE(q.idle());
+}
+
+TEST(DeviceQueue, KernelsRunInDeviceContext) {
+    bd::Queue q;
+    std::atomic<int> on_device{0};
+    q.parallel_for(100, [&](std::size_t) {
+        if (bd::in_device_context()) on_device.fetch_add(1, std::memory_order_relaxed);
+    });
+    q.fence();
+    EXPECT_EQ(on_device.load(), 100);
+    EXPECT_FALSE(bd::in_device_context());
+}
+
+TEST(DeviceQueue, EventsAreReadyAfterFence) {
+    bd::Queue q;
+    std::atomic<bool> ran{false};
+    q.parallel_for(1, [&](std::size_t) {
+        ran.store(true, std::memory_order_release);
+    });
+    bd::Event e = q.record_event();
+    e.wait();
+    EXPECT_TRUE(e.ready());
+    EXPECT_TRUE(ran.load(std::memory_order_acquire));
+    EXPECT_TRUE(bd::Event{}.ready()) << "empty events are always ready";
+}
+
+TEST(DeviceQueue, CrossQueueEventOrdersProducerBeforeConsumer) {
+    constexpr std::size_t n = 50000;
+    std::vector<double> data(n, 0.0);
+    bd::Queue producer, consumer;
+    double* p = data.data();
+    producer.parallel_for(n, [p](std::size_t i) { p[i] = static_cast<double>(i); });
+    bd::Event ready = producer.record_event();
+    consumer.wait_event(ready);
+    std::atomic<std::uint64_t> bad{0};
+    consumer.parallel_for(n, [p, &bad](std::size_t i) {
+        if (p[i] != static_cast<double>(i)) bad.fetch_add(1, std::memory_order_relaxed);
+    });
+    consumer.fence();
+    producer.fence();
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(DeviceQueue, WaitOnCompletedEventIsNoOp) {
+    bd::Queue a, b;
+    a.parallel_for(10, [](std::size_t) {});
+    bd::Event e = a.record_event();
+    e.wait();
+    b.wait_event(e);
+    std::atomic<int> count{0};
+    b.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+    b.fence();
+    EXPECT_EQ(count.load(), 10);
+}
+
+// ----------------------------------------------------- backend dispatch
+
+TEST(DeviceBackend, ParallelForVisitsEachIndexOnce) {
+    bp::ScopedBackend scoped(bp::Backend::device);
+    std::vector<std::atomic<int>> hits(10000);
+    bp::parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DeviceBackend, ParallelFor2DCoversRectangle) {
+    bp::ScopedBackend scoped(bp::Backend::device);
+    constexpr int ni = 37, nj = 11;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(ni * nj));
+    bp::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        hits[static_cast<std::size_t>(i * nj + j)].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    int count = 0;
+    std::atomic<int> offset_ok{0};
+    bp::parallel_for_2d(2, 5, 3, 6, [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        if (i >= 2 && i < 5 && j >= 3 && j < 6) offset_ok.fetch_add(1);
+    });
+    (void)count;
+    EXPECT_EQ(offset_ok.load(), 9);
+}
+
+TEST(DeviceBackend, NestedParallelForDegradesToSerialWithoutDeadlock) {
+    bp::ScopedBackend scoped(bp::Backend::device);
+    std::vector<std::atomic<int>> hits(64 * 64);
+    bp::parallel_for(64, [&](std::size_t i) {
+        // Inside a kernel: must not dispatch back to the pool.
+        bp::parallel_for(64, [&](std::size_t j) { hits[i * 64 + j].fetch_add(1); });
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --------------------------------------------- reduce determinism (S3)
+
+/// The paper's characteristic reduction inputs: magnitudes spanning many
+/// orders (energy sums over a rolled-up sheet), where floating-point
+/// addition is visibly non-associative.
+double rough_value(std::size_t i) {
+    return std::sin(static_cast<double>(i) * 0.7) *
+           std::exp(-static_cast<double>(i % 977) * 0.01) /
+           (1.0 + static_cast<double>(i % 31));
+}
+
+double sum_with_backend(bp::Backend b, std::size_t n) {
+    bp::ScopedBackend scoped(b);
+    return bp::parallel_reduce(
+        n, 0.0, [](std::size_t i) { return rough_value(i); },
+        [](double a, double x) { return a + x; });
+}
+
+TEST(ReduceDeterminism, AllBackendsAgreeBitwiseOnFloatSums) {
+    // The reduction order is defined by the fixed chunk layout (see
+    // par.hpp), so serial, OpenMP and device must agree *bitwise* — not
+    // just within tolerance — at every size, including non-multiples of
+    // the chunk size and sizes smaller than one chunk.
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+                          bp::kReduceChunk, bp::kReduceChunk + 1, std::size_t{200000}}) {
+        const double serial = sum_with_backend(bp::Backend::serial, n);
+        const double device = sum_with_backend(bp::Backend::device, n);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(serial), std::bit_cast<std::uint64_t>(device))
+            << "serial vs device differ at n=" << n;
+        if (bp::openmp_available()) {
+            const double openmp = sum_with_backend(bp::Backend::openmp, n);
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(serial), std::bit_cast<std::uint64_t>(openmp))
+                << "serial vs openmp differ at n=" << n;
+        }
+    }
+}
+
+TEST(ReduceDeterminism, DeviceReduceIsReproducibleAcrossRuns) {
+    constexpr std::size_t n = 123457;
+    const double first = sum_with_backend(bp::Backend::device, n);
+    for (int run = 0; run < 5; ++run) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(first),
+                  std::bit_cast<std::uint64_t>(sum_with_backend(bp::Backend::device, n)));
+    }
+}
+
+TEST(ReduceDeterminism, MaxAndEmptyRangesMatchAcrossBackends) {
+    const double serial = sum_with_backend(bp::Backend::serial, 0);
+    EXPECT_DOUBLE_EQ(serial, 0.0);
+    bp::ScopedBackend scoped(bp::Backend::device);
+    double mx = bp::parallel_reduce(
+        100000, -1.0, [](std::size_t i) { return i == 77777 ? 999.0 : 1.0; },
+        [](double a, double b) { return std::max(a, b); });
+    EXPECT_DOUBLE_EQ(mx, 999.0);
+    double identity_only = bp::parallel_reduce(
+        0, 7.0, [](std::size_t) { return 0.0; }, [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(identity_only, 7.0);
+}
+
+} // namespace

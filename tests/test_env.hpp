@@ -9,13 +9,19 @@
 ///                         + conference date — any fixed value works)
 ///   BEATNIK_TEST_THREADS  default rank-thread count for multi-rank tests
 ///                         (default 4)
+///   BEATNIK_TEST_BACKEND  default par execution backend for every test:
+///                         serial (default) | openmp | device. CI runs the
+///                         whole suite once with device to push all kernels
+///                         through the GPU-shaped backend's queues.
 ///
-/// Both are read once at process start by tests/main.cpp.
+/// All are read once at process start by tests/main.cpp.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+
+#include "par/par.hpp"
 
 namespace beatnik::test {
 
@@ -40,6 +46,30 @@ inline int thread_count() {
     static const int n =
         static_cast<int>(detail::read_env_u64("BEATNIK_TEST_THREADS", 4ull));
     return n > 0 ? n : 4;
+}
+
+/// Default par execution backend for this test process, from
+/// BEATNIK_TEST_BACKEND. An openmp request in a build without OpenMP
+/// falls back to serial (skipping would silently shrink coverage of
+/// everything else the suite tests).
+inline par::Backend backend() {
+    static const par::Backend b = [] {
+        const char* v = std::getenv("BEATNIK_TEST_BACKEND");
+        const std::string s = v != nullptr ? v : "serial";
+        if (s == "device") return par::Backend::device;
+        if (s == "openmp" && par::openmp_available()) return par::Backend::openmp;
+        return par::Backend::serial;
+    }();
+    return b;
+}
+
+inline const char* backend_name() {
+    switch (backend()) {
+    case par::Backend::serial: return "serial";
+    case par::Backend::openmp: return "openmp";
+    case par::Backend::device: return "device";
+    }
+    return "?";
 }
 
 } // namespace beatnik::test
