@@ -13,7 +13,13 @@
 ///   * "device" — (halo only) the GPU-shaped backend: the field lives in
 ///     a device mirror and device kernels pack/unpack straight into the
 ///     plan's pinned transport buffers, quantifying the pack/stage
-///     overhead of the device split versus the host plan path.
+///     overhead of the device split versus the host plan path. This
+///     column keeps the fence-everything schedule (one fence after all
+///     pack kernels, one before releases);
+///   * "device_overlap" — the per-direction event schedule: each
+///     direction publishes as soon as its own pack kernel completes and
+///     each recv slot is released on its own unpack event, overlapping
+///     pack with communication (the solver-loop default).
 ///
 /// One JSON record per configuration in the compare_benchmarks.py schema
 /// (`bytes` = the largest single point-to-point message of the pattern).
@@ -92,7 +98,7 @@ void legacy_halo_exchange(bc::Communicator& comm, const bg::CartTopology2D& topo
     }
 }
 
-enum class HaloAlgo { legacy, plan, device };
+enum class HaloAlgo { legacy, plan, device, device_overlap };
 
 Result bench_halo(int ranks, int nodes_per_axis, int halo, HaloAlgo algo, int iters) {
     constexpr int kComponents = 3;
@@ -110,10 +116,10 @@ Result bench_halo(int ranks, int nodes_per_axis, int halo, HaloAlgo algo, int it
                 for (int c = 0; c < kComponents; ++c) (*field)(i, j, c) = i * 31.0 + j + c;
             }
         }
-        if (algo == HaloAlgo::device) {
+        if (algo == HaloAlgo::device || algo == HaloAlgo::device_overlap) {
             auto plan = std::make_shared<bg::HaloPlan<double, kComponents>>(comm, *topo, *grid);
             auto queue = std::make_shared<beatnik::par::device::Queue>();
-            plan->enable_device(*queue);
+            plan->enable_device(*queue, /*overlap=*/algo == HaloAlgo::device_overlap);
             field->enable_device_mirror();
             field->sync_to_device(*queue);
             queue->fence();
@@ -137,9 +143,10 @@ Result bench_halo(int ranks, int nodes_per_axis, int halo, HaloAlgo algo, int it
     std::size_t edge_bytes =
         static_cast<std::size_t>(block) * static_cast<std::size_t>(halo) * kComponents *
         sizeof(double);
-    const char* name = algo == HaloAlgo::device ? "device"
-                       : algo == HaloAlgo::plan ? "plan"
-                                                : "legacy";
+    const char* name = algo == HaloAlgo::device_overlap ? "device_overlap"
+                       : algo == HaloAlgo::device       ? "device"
+                       : algo == HaloAlgo::plan         ? "plan"
+                                                        : "legacy";
     return {"halo", name, ranks, edge_bytes, iters, ns};
 }
 
@@ -252,7 +259,8 @@ int main(int argc, char** argv) {
     auto n = [quick](int full) { return quick ? std::max(2, full / 50) : full; };
 
     std::vector<Result> results;
-    for (auto algo : {HaloAlgo::legacy, HaloAlgo::plan, HaloAlgo::device}) {
+    for (auto algo :
+         {HaloAlgo::legacy, HaloAlgo::plan, HaloAlgo::device, HaloAlgo::device_overlap}) {
         results.push_back(bench_halo(8, 64, 2, algo, n(2000)));    // small blocks
         results.push_back(bench_halo(8, 256, 2, algo, n(500)));    // bigger bands
     }

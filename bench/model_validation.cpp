@@ -1,17 +1,19 @@
 /// \file model_validation.cpp
 /// \brief Validates the netsim performance model against *real measured*
 /// executions: the pairwise and Bruck all-to-all algorithms are raced on
-/// thread-ranks at five block sizes spanning the latency-bound to
+/// thread-ranks at six block sizes spanning the latency-bound to
 /// bandwidth-bound range, their actual message traces are replayed
 /// through a host-calibrated model, and the model must pick the same
 /// winner as the measurement in each regime.
 ///
-/// Known fidelity limit: both measurement and model put the
-/// pairwise/Bruck crossover in the 4-64 KiB decade, but not at the same
-/// point — the model ignores Bruck's local per-round pack/unpack copies,
-/// so right at the crossover (~8 KiB blocks on this host) it can still
-/// favor Bruck where the measurement already favors pairwise. The grid
-/// below brackets the crossover without sitting on it.
+/// The Bruck replay charges the algorithm's *local* staging copies
+/// (initial/final rotations + per-round pack staging) through
+/// Phase::local_copy_bytes — the term whose omission used to shift the
+/// modeled pairwise/Bruck crossover off the measured one around ~8 KiB
+/// blocks (the documented fidelity gap, now closed). The run exits
+/// nonzero unless the model picks the measured winner in every regime
+/// AND the modeled crossover lands inside the measured bracket, so CI
+/// catches a fidelity regression.
 ///
 /// This is precisely the kind of prediction the Fig. 9 reproduction
 /// relies on (which all-to-all strategy wins where), so validating it
@@ -19,6 +21,7 @@
 /// modeled scaling claims. Absolute times are not compared (the host is
 /// a shared-memory machine, not a cluster); winners are.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <mutex>
 #include <numeric>
@@ -91,10 +94,25 @@ double measure_alltoall(bc::AlltoallAlgo algo, std::size_t block_doubles,
     return measured;
 }
 
-double model_trace(const std::vector<bn::Msg>& trace, const bn::MachineModel& host) {
+/// Median-of-3 measurement: a 16-thread-rank race on a small (possibly
+/// single-core) host is scheduling-noise dominated; the median filters
+/// the occasional descheduled outlier run.
+double measure_alltoall_median(bc::AlltoallAlgo algo, std::size_t block_doubles,
+                               std::vector<bn::Msg>& trace_out) {
+    std::array<double, 3> reps{};
+    for (auto& r : reps) r = measure_alltoall(algo, block_doubles, trace_out);
+    std::sort(reps.begin(), reps.end());
+    return reps[1];
+}
+
+double model_trace(const std::vector<bn::Msg>& trace, const bn::MachineModel& host,
+                   double local_copy_bytes_per_rank) {
     bn::Phase phase;
     phase.label = "alltoall";
     phase.messages = trace;
+    if (local_copy_bytes_per_rank > 0.0) {
+        phase.local_copy_bytes.assign(kRanks, local_copy_bytes_per_rank);
+    }
     bn::NetworkSimulator sim(host, kRanks);
     return sim.simulate({phase}).makespan;
 }
@@ -116,36 +134,90 @@ int main() {
     host.nic_per_message_overhead = 4.0e-6;
     host.per_message_overhead = 1.0e-6;
     host.incast_factor = 0.0;              // mutexes already serialize above
+    // Local staging copies (pack/unpack, Bruck rotations) are the same
+    // memcpy as the "wire" on a shared-memory host — not the GPU-node
+    // streaming bandwidth of the default model.
+    host.memory_bandwidth = 8.0e9;
 
     struct Regime {
         const char* name;
         std::size_t block;
     };
-    bool all_agree = true;
-    // Five regimes spanning the latency-bound to bandwidth-bound range:
-    // the model must pick the measured winner in each, not just at the
-    // two extremes the original pair covered.
-    for (Regime regime :
-         {Regime{"small blocks (64 B)", 8}, Regime{"medium blocks (2 KiB)", 256},
-          Regime{"medium blocks (4 KiB)", 512},
-          Regime{"large blocks (64 KiB)", 8192}, Regime{"large blocks (512 KiB)", 65536}}) {
+    // Six regimes spanning the latency-bound to bandwidth-bound range.
+    // 4 KiB sits essentially ON the measured crossover (its winner flips
+    // run to run on an oversubscribed host); 16 KiB is the nearest point
+    // where the measurement is decisively pairwise *and* the un-fixed
+    // model (no Bruck local-copy term) still picked Bruck — the regime
+    // that makes this gate catch the fidelity gap.
+    const std::vector<Regime> regimes{
+        {"small blocks (64 B)", 8},      {"medium blocks (2 KiB)", 256},
+        {"medium blocks (4 KiB)", 512},  {"medium blocks (16 KiB)", 2048},
+        {"large blocks (64 KiB)", 8192}, {"large blocks (512 KiB)", 65536}};
+    // A regime is *decisive* when the measured margin clears scheduling
+    // noise; a run sitting right on the crossover must not fail CI on a
+    // coin flip, but a decisive disagreement (the pre-fix gap had the
+    // model picking Bruck against a ~2x measured pairwise win at 16 KiB)
+    // must.
+    constexpr double kDecisiveMargin = 0.25;
+    bool scored_agree = true;
+    std::vector<bool> modeled_pw_wins;
+    int last_decisive_bruck = -1;
+    int first_decisive_pairwise = -1;
+    for (std::size_t r = 0; r < regimes.size(); ++r) {
+        const Regime& regime = regimes[r];
         std::vector<bn::Msg> trace_pw, trace_bruck;
-        double m_pw = measure_alltoall(bc::AlltoallAlgo::pairwise, regime.block, trace_pw);
-        double m_bk = measure_alltoall(bc::AlltoallAlgo::bruck, regime.block, trace_bruck);
-        double s_pw = model_trace(trace_pw, host);
-        double s_bk = model_trace(trace_bruck, host);
-        const char* measured_winner = m_pw < m_bk ? "pairwise" : "bruck";
-        const char* modeled_winner = s_pw < s_bk ? "pairwise" : "bruck";
-        bool agree = std::string(measured_winner) == modeled_winner;
-        all_agree &= agree;
-        std::printf("%-22s measured: pairwise %.6fs bruck %.6fs -> %s\n", regime.name, m_pw,
-                    m_bk, measured_winner);
+        double m_pw = measure_alltoall_median(bc::AlltoallAlgo::pairwise, regime.block, trace_pw);
+        double m_bk = measure_alltoall_median(bc::AlltoallAlgo::bruck, regime.block, trace_bruck);
+        double s_pw = model_trace(trace_pw, host, 0.0);
+        // Bruck's rotations and pack staging never hit the wire, so they
+        // are absent from the trace; charge them explicitly.
+        double s_bk = model_trace(trace_bruck, host,
+                                  bn::analytic::bruck_local_copy_bytes(
+                                      kRanks, regime.block * sizeof(double)));
+        const bool measured_pw = m_pw < m_bk;
+        const bool modeled_pw = s_pw < s_bk;
+        const bool decisive =
+            std::abs(m_pw - m_bk) / std::min(m_pw, m_bk) > kDecisiveMargin;
+        modeled_pw_wins.push_back(modeled_pw);
+        if (decisive && !measured_pw) last_decisive_bruck = static_cast<int>(r);
+        if (decisive && measured_pw && first_decisive_pairwise < 0) {
+            first_decisive_pairwise = static_cast<int>(r);
+        }
+        const bool agree = measured_pw == modeled_pw;
+        if (decisive) scored_agree &= agree;
+        std::printf("%-22s measured: pairwise %.6fs bruck %.6fs -> %s%s\n", regime.name, m_pw,
+                    m_bk, measured_pw ? "pairwise" : "bruck",
+                    decisive ? "" : " (within noise, not scored)");
         std::printf("%-22s modeled:  pairwise %.6fs bruck %.6fs -> %s   [%s]\n", "", s_pw,
-                    s_bk, modeled_winner, agree ? "agrees" : "DISAGREES");
+                    s_bk, modeled_pw ? "pairwise" : "bruck",
+                    agree          ? "agrees"
+                    : decisive     ? "DISAGREES"
+                                   : "disagrees, unscored");
         std::printf("%-22s traces:   pairwise %zu msgs, bruck %zu msgs\n\n", "",
                     trace_pw.size(), trace_bruck.size());
     }
-    std::printf("validation: model predicts the measured algorithm winner in all "
-                "regimes: %s\n", all_agree ? "YES" : "NO");
+
+    // Crossover bracket check: the modeled bruck->pairwise flip must land
+    // strictly after the last decisively-bruck regime and no later than
+    // the first decisively-pairwise one.
+    int modeled_flip = -1;
+    for (std::size_t r = 1; r < modeled_pw_wins.size(); ++r) {
+        if (modeled_pw_wins[r] && !modeled_pw_wins[r - 1]) {
+            modeled_flip = static_cast<int>(r);
+            break;
+        }
+    }
+    auto regime_name = [&](int r) {
+        return r < 0 ? "(none)" : regimes[static_cast<std::size_t>(r)].name;
+    };
+    const bool crossover_ok = modeled_flip > last_decisive_bruck &&
+                              (first_decisive_pairwise < 0 ||
+                               (modeled_flip >= 0 && modeled_flip <= first_decisive_pairwise));
+    std::printf("crossover: measured bracket (%s, %s], modeled flip at %s -> %s\n",
+                regime_name(last_decisive_bruck), regime_name(first_decisive_pairwise),
+                regime_name(modeled_flip), crossover_ok ? "inside" : "OUTSIDE");
+    std::printf("validation: model predicts every decisively measured winner: %s\n",
+                scored_agree ? "YES" : "NO");
+    if (!scored_agree || !crossover_ok) return 1;
     return 0;
 }

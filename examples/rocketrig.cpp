@@ -16,7 +16,7 @@
 #include <iomanip>
 #include <sstream>
 
-#include "example_utils.hpp"
+#include "rocketrig_config.hpp"
 
 namespace b = beatnik;
 namespace ex = beatnik::examples;
@@ -71,69 +71,19 @@ int main(int argc, char** argv) {
     const std::string output = args.get_string("output", "rocketrig");
 
     // A named deck (src/core/input_decks.hpp) provides the baseline;
-    // explicitly passed flags override individual fields on top of it.
+    // explicitly passed flags override individual fields on top of it —
+    // regardless of their position relative to --deck (the assembly and
+    // its precedence rules live in rocketrig_config.hpp, unit-tested by
+    // tests/core/test_rocketrig_cli.cpp).
     const int mesh = args.get_int("mesh", 96);
     const std::string deck = args.get_string("deck", "none");
     b::Params params;
-    bool from_deck = true;
-    if (deck == "multimode-low") {
-        params = b::decks::multimode_loworder(mesh);
-    } else if (deck == "multimode-high") {
-        params = b::decks::multimode_highorder(mesh);
-    } else if (deck == "singlemode") {
-        params = b::decks::singlemode_highorder(mesh);
-    } else if (deck == "rollup-ladder") {
-        params = b::decks::rollup_ladder(mesh);
-    } else if (deck == "none") {
-        from_deck = false;
-        params.num_nodes = {mesh, mesh};
-    } else {
-        std::cerr << "unknown deck '" << deck
-                  << "' (expected none|multimode-low|multimode-high|singlemode|rollup-ladder)\n";
+    try {
+        params = ex::build_rocketrig_params(args);
+    } catch (const b::InvalidArgument& e) {
+        std::cerr << e.what() << "\n";
         return 2;
     }
-    const bool boundary_set = args.has("boundary");
-    if (!from_deck || args.has("order")) {
-        params.order = ex::parse_order(args.get_string("order", "low"));
-    }
-    if (!from_deck || boundary_set) {
-        params.boundary = ex::parse_boundary(args.get_string("boundary", "periodic"));
-    }
-    if (!from_deck || args.has("br")) {
-        params.br_solver = ex::parse_br(args.get_string("br", "cutoff"));
-    }
-    if (!from_deck || args.has("cutoff")) {
-        params.cutoff_distance = args.get_double("cutoff", 0.5);
-    }
-    if (!from_deck || args.has("ic")) {
-        params.initial.kind = args.get_string("ic", "multimode") == "singlemode"
-                                  ? b::InitialCondition::Kind::singlemode
-                                  : b::InitialCondition::Kind::multimode;
-    }
-    if (!from_deck || args.has("magnitude")) {
-        params.initial.magnitude = args.get_double("magnitude", 0.05);
-    }
-    if (!from_deck || args.has("modes")) {
-        params.initial.num_modes = args.get_int("modes", 4);
-    }
-    params.atwood = args.get_double("atwood", 0.5);
-    params.gravity = args.get_double("gravity", 25.0);
-    params.mu = args.get_double("mu", 1.0);
-    params.epsilon = args.get_double("epsilon", 0.25);
-    params.dt = args.get_double("dt", 0.0);
-    params.fft = b::fft::FFTConfig::from_table1_index(args.get_int("fft-config", 7));
-    params.initial.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-    if (!from_deck || boundary_set) {
-        if (params.boundary == b::Boundary::free) {
-            // Free-boundary problems live on the high-order deck's domain.
-            params.surface_low = {-3.0, -3.0};
-            params.surface_high = {3.0, 3.0};
-        } else if (!from_deck) {
-            params.surface_low = {-1.0, -1.0};
-            params.surface_high = {1.0, 1.0};
-        }
-    }
-    params.validate();
 
     b::comm::Context::run(nranks, [&](b::comm::Communicator& comm) {
         b::Solver solver(comm, params);

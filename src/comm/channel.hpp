@@ -150,13 +150,23 @@ public:
     /// only) proves no *live* plan references it — but a FULL channel is
     /// still carrying a message for a receiver that has not bound yet
     /// (plans bind lazily and ranks drift), so those are always kept.
+    ///
+    /// Lock ordering: registry mutex, then channel mutex — nothing nests
+    /// the other way (detach releases each channel lock before pruning).
+    /// The channel lock for the `full` read is required even at
+    /// use_count()==1: the peer's final release wrote `full` before
+    /// dropping its reference, and use_count() alone establishes no
+    /// happens-before edge with that write.
     template <class KeyPred>
     void prune_unreferenced(KeyPred&& dead_tag) {
         std::lock_guard lock(mutex_);
         for (auto it = channels_.begin(); it != channels_.end();) {
-            // use_count()==1 means no other owner exists, so reading
-            // `full` without the channel lock cannot race a writer.
-            if (it->second.use_count() == 1 && !it->second->full && dead_tag(it->first)) {
+            bool dead = false;
+            if (it->second.use_count() == 1 && dead_tag(it->first)) {
+                std::lock_guard ch_lock(it->second->mutex);
+                dead = !it->second->full;
+            }
+            if (dead) {
                 it = channels_.erase(it);
             } else {
                 ++it;

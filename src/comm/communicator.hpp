@@ -798,6 +798,11 @@ public:
     /// derives the same tag for the same plan.
     [[nodiscard]] int new_plan_tag() { return tags::plan_seq(plan_seq_++); }
 
+    /// Sequence-band plan tags this communicator has handed out so far
+    /// (leak/exhaustion checks: the deprecated fixed-stream halo wrappers
+    /// must never advance this).
+    [[nodiscard]] int plan_tags_used() const { return plan_seq_; }
+
     /// Context (world) rank of communicator rank \p r.
     [[nodiscard]] int world_rank_of(int r) const {
         check_peer(r);

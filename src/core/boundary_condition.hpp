@@ -37,7 +37,118 @@ public:
         if (!mesh_->periodic()) extrapolate(f);
     }
 
+    // ------------------------------------------------------- device path
+    //
+    // The same fixups as kernels over the field's *device mirror*, for
+    // device-resident stepping: enqueued on the rank-thread's queue, so
+    // they order naturally after the halo unpack kernels and before the
+    // next stencil kernel. Bitwise-identical expressions to the host path.
+
+    /// Device apply_position: enqueue on \p q; complete at the next fence
+    /// or same-queue operation.
+    void apply_position_device(par::device::Queue& q, grid::NodeField<double, 3>& z) const {
+        if (mesh_->periodic()) {
+            correct_periodic_positions_device(q, z);
+        } else {
+            extrapolate_device(q, z);
+        }
+    }
+
+    /// Device apply_value: free boundaries extrapolate on the mirror.
+    template <int C>
+    void apply_value_device(par::device::Queue& q, grid::NodeField<double, C>& f) const {
+        if (!mesh_->periodic()) extrapolate_device(f.device_view(), q);
+    }
+
 private:
+    void correct_periodic_positions_device(par::device::Queue& q,
+                                           grid::NodeField<double, 3>& z) const {
+        const auto& local = mesh_->local();
+        const auto& global = mesh_->global();
+        const int w = local.halo_width();
+        const int gi0 = local.global_offset(0);
+        const int gj0 = local.global_offset(1);
+        const int n0 = global.num_nodes(0);
+        const int n1 = global.num_nodes(1);
+        const double lx = global.extent(0);
+        const double ly = global.extent(1);
+        const int wi = local.owned_extent(0) + 2 * w;
+        const int wj = local.owned_extent(1) + 2 * w;
+        auto v = z.device_view();
+        q.parallel_for(static_cast<std::size_t>(wi) * static_cast<std::size_t>(wj),
+                       [=](std::size_t k) {
+                           const int i = -w + static_cast<int>(k) / wj;
+                           const int j = -w + static_cast<int>(k) % wj;
+                           const int gi = gi0 + i;
+                           const int gj = gj0 + j;
+                           if (gi < 0) v(i, j, 0) -= lx;
+                           if (gi >= n0) v(i, j, 0) += lx;
+                           if (gj < 0) v(i, j, 1) -= ly;
+                           if (gj >= n1) v(i, j, 1) += ly;
+                       });
+    }
+
+    /// Device extrapolation: one kernel per boundary band, enqueued in
+    /// the same axis-0-then-axis-1 order as the host loops (the in-order
+    /// queue provides the corner dependency).
+    template <class View>
+    void extrapolate_device(View f, par::device::Queue& q) const {
+        constexpr int C = View::components();
+        const auto& local = mesh_->local();
+        const auto& global = mesh_->global();
+        const int w = local.halo_width();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        const bool at_ilo = local.global_offset(0) == 0;
+        const bool at_ihi = local.global_offset(0) + ni == global.num_nodes(0);
+        const bool at_jlo = local.global_offset(1) == 0;
+        const bool at_jhi = local.global_offset(1) + nj == global.num_nodes(1);
+
+        // Each band is parallel over (k, cross, c): every ghost value
+        // depends only on owned values (axis 0) or on values the previous
+        // kernels already produced (axis 1 corners).
+        auto band = [&](int nc, auto&& body) {
+            q.parallel_for(static_cast<std::size_t>(w) * static_cast<std::size_t>(nc) * C,
+                           [body, nc, C](std::size_t idx) {
+                               const auto nC = static_cast<std::size_t>(C);
+                               const int c = static_cast<int>(idx % nC);
+                               const int cross = static_cast<int>((idx / nC) %
+                                                                  static_cast<std::size_t>(nc));
+                               const int k = 1 + static_cast<int>(idx / (nC *
+                                                                  static_cast<std::size_t>(nc)));
+                               body(k, cross, c);
+                           });
+        };
+        if (at_ilo) {
+            band(nj, [f](int k, int j, int c) {
+                f(-k, j, c) = f(0, j, c) + k * (f(0, j, c) - f(1, j, c));
+            });
+        }
+        if (at_ihi) {
+            band(nj, [f, ni](int k, int j, int c) {
+                f(ni - 1 + k, j, c) = f(ni - 1, j, c) + k * (f(ni - 1, j, c) - f(ni - 2, j, c));
+            });
+        }
+        const int ilo = at_ilo ? -w : 0;
+        const int ihi = at_ihi ? ni + w : ni;
+        const int next = ihi - ilo;
+        if (at_jlo) {
+            band(next, [f, ilo](int k, int off, int c) {
+                const int i = ilo + off;
+                f(i, -k, c) = f(i, 0, c) + k * (f(i, 0, c) - f(i, 1, c));
+            });
+        }
+        if (at_jhi) {
+            band(next, [f, ilo, nj](int k, int off, int c) {
+                const int i = ilo + off;
+                f(i, nj - 1 + k, c) = f(i, nj - 1, c) + k * (f(i, nj - 1, c) - f(i, nj - 2, c));
+            });
+        }
+    }
+
+    void extrapolate_device(par::device::Queue& q, grid::NodeField<double, 3>& z) const {
+        extrapolate_device(z.device_view(), q);
+    }
     /// Add +-L offsets to ghost copies that wrapped around an axis. The
     /// surface is periodic as z(i + N, j) = z(i, j) + (Lx, 0, 0) and
     /// z(i, j + M) = z(i, j) + (0, Ly, 0).

@@ -17,6 +17,7 @@
 /// counts are exported for the paper's Figs. 6–7.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <numbers>
 #include <optional>
@@ -34,6 +35,11 @@ public:
     CutoffBRSolver(const SurfaceMesh& mesh, const Params& params)
         : mesh_(&mesh), spatial_(params, mesh.topology()), cutoff_(params.cutoff_distance),
           eps2_(square(mesh.effective_epsilon(params.epsilon))) {}
+
+    /// Drain in-flight kernels before the pinned staging dies.
+    ~CutoffBRSolver() override {
+        if (queue_ != nullptr) queue_->fence();
+    }
 
     [[nodiscard]] const char* name() const override { return "cutoff"; }
 
@@ -60,28 +66,56 @@ public:
         const int ni = local.owned_extent(0);
         const int nj = local.owned_extent(1);
         const auto n_own = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+        const bool device =
+            pm.device_resident() && gamma.device_mirrored() && velocity.device_mirrored();
 
         // ---- step 1: migrate surface nodes into the spatial decomposition.
         // Positions are canonicalized (wrapped into the periodic tile or
         // kept as-is for free boundaries) so binning, ghosting, and image
-        // offsets all work in one coordinate frame.
-        std::vector<SpatialParticle> particles(n_own);
-        std::vector<int> dest(n_own);
-        std::size_t k = 0;
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j, ++k) {
-                SpatialParticle& sp = particles[k];
-                sp.pos = {spatial_.canonical(0, pm.position()(i, j, 0)),
-                          spatial_.canonical(1, pm.position()(i, j, 1)),
-                          pm.position()(i, j, 2)};
-                sp.gamma = {gamma(i, j, 0), gamma(i, j, 1), gamma(i, j, 2)};
-                sp.home_rank = comm.rank();
+        // offsets all work in one coordinate frame. Under device residency
+        // the particle pack reads the field *mirrors* with a device kernel
+        // into pinned staging; the canonicalization/owner pass and the
+        // irregular spatial pipeline stay host-side over that staging.
+        particles_.resize(n_own);
+        dest_.resize(n_own);
+        if (device) {
+            ensure_device_staging(pm, n_own);
+            auto& q = pm.device_queue();
+            auto z = std::as_const(pm.position_raw()).device_view();
+            auto g = std::as_const(gamma).device_view();
+            SpatialParticle* pp = particles_.data();
+            const int rank = comm.rank();
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
+                SpatialParticle& sp = pp[k];
+                sp.pos = {z(i, j, 0), z(i, j, 1), z(i, j, 2)};
+                sp.gamma = {g(i, j, 0), g(i, j, 1), g(i, j, 2)};
+                sp.home_rank = rank;
                 sp.home_index = static_cast<int>(k);
-                dest[k] = spatial_.owner_rank(sp.pos.x, sp.pos.y);
+            });
+            q.fence();   // the host pipeline reads the pinned staging next
+            for (std::size_t m = 0; m < n_own; ++m) {
+                SpatialParticle& sp = particles_[m];
+                sp.pos.x = spatial_.canonical(0, sp.pos.x);
+                sp.pos.y = spatial_.canonical(1, sp.pos.y);
+                dest_[m] = spatial_.owner_rank(sp.pos.x, sp.pos.y);
+            }
+        } else {
+            std::size_t k = 0;
+            for (int i = 0; i < ni; ++i) {
+                for (int j = 0; j < nj; ++j, ++k) {
+                    SpatialParticle& sp = particles_[k];
+                    sp.pos = {spatial_.canonical(0, pm.position()(i, j, 0)),
+                              spatial_.canonical(1, pm.position()(i, j, 1)),
+                              pm.position()(i, j, 2)};
+                    sp.gamma = {gamma(i, j, 0), gamma(i, j, 1), gamma(i, j, 2)};
+                    sp.home_rank = comm.rank();
+                    sp.home_index = static_cast<int>(k);
+                    dest_[k] = spatial_.owner_rank(sp.pos.x, sp.pos.y);
+                }
             }
         }
-        auto owned = owned_plan_->execute(std::span<const SpatialParticle>(particles),
-                                          std::span<const int>(dest));
+        auto owned = owned_plan_->execute(std::span<const SpatialParticle>(particles_),
+                                          std::span<const int>(dest_));
         last_spatial_owned_ = owned.size();
 
         // ---- step 2: ghost-copy points near block boundaries (HaloComm).
@@ -148,12 +182,31 @@ public:
                                               std::span<const int>(home));
         BEATNIK_REQUIRE(returned.size() == n_own,
                         "cutoff solver lost or duplicated surface nodes");
-        for (const auto& vr : returned) {
-            int i = vr.home_index / nj;
-            int j = vr.home_index % nj;
-            velocity(i, j, 0) = vr.velocity.x;
-            velocity(i, j, 1) = vr.velocity.y;
-            velocity(i, j, 2) = vr.velocity.z;
+        if (device) {
+            // Stage the returns into the pinned buffer and scatter into
+            // the velocity *mirror* with a device kernel. Reuse of the
+            // pinned buffer next evaluation is safe: the next particle
+            // pack fences this queue before any host write.
+            auto& q = pm.device_queue();
+            std::copy(returned.begin(), returned.end(), returned_pin_.begin());
+            const VelocityResult* rp = returned_pin_.data();
+            auto v = velocity.device_view();
+            q.parallel_for(n_own, [=](std::size_t k) {
+                const VelocityResult& vr = rp[k];
+                const int i = vr.home_index / nj;
+                const int j = vr.home_index % nj;
+                v(i, j, 0) = vr.velocity.x;
+                v(i, j, 1) = vr.velocity.y;
+                v(i, j, 2) = vr.velocity.z;
+            });
+        } else {
+            for (const auto& vr : returned) {
+                int i = vr.home_index / nj;
+                int j = vr.home_index % nj;
+                velocity(i, j, 0) = vr.velocity.x;
+                velocity(i, j, 1) = vr.velocity.y;
+                velocity(i, j, 2) = vr.velocity.z;
+            }
         }
     }
 
@@ -171,6 +224,20 @@ private:
     };
     static double square(double v) { return v * v; }
 
+    /// Pin the particle staging once: the device pack kernel writes
+    /// particles_ and the return-scatter kernel reads returned_pin_, so
+    /// both must be registered with the device runtime. Sizes are fixed
+    /// by the owned block.
+    void ensure_device_staging(ProblemManager& pm, std::size_t n_own) {
+        queue_ = &pm.device_queue();
+        if (!pinned_.empty()) return;
+        returned_pin_.resize(n_own);
+        pinned_.emplace_back(
+            std::span<const SpatialParticle>(particles_.data(), particles_.size()));
+        pinned_.emplace_back(
+            std::span<const VelocityResult>(returned_pin_.data(), returned_pin_.size()));
+    }
+
     const SurfaceMesh* mesh_;
     SpatialMesh spatial_;
     std::optional<grid::MigratePlan<SpatialParticle>> owned_plan_;
@@ -178,6 +245,13 @@ private:
     std::optional<grid::MigratePlan<VelocityResult>> return_plan_;
     double cutoff_;
     double eps2_;
+    // Persistent particle staging (particles_/dest_ serve both paths;
+    // particles_ and returned_pin_ are pinned under device residency).
+    std::vector<SpatialParticle> particles_;
+    std::vector<int> dest_;
+    std::vector<VelocityResult> returned_pin_;
+    std::vector<par::device::ScopedHostRegistration> pinned_;
+    par::device::Queue* queue_ = nullptr;
     std::size_t last_spatial_owned_ = 0;
     std::size_t last_spatial_ghosts_ = 0;
     std::size_t last_pair_count_ = 0;

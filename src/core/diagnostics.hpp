@@ -15,16 +15,22 @@ struct StateSummary {
     std::size_t total_nodes = 0;
 };
 
-/// Global reductions over the interface state. Collective.
+/// Global reductions over the interface state. Collective. Diagnostics
+/// boundary: refreshes the host copies of a device-resident state first.
 inline StateSummary summarize(ProblemManager& pm) {
+    pm.sync_host();
     const auto& local = pm.mesh().local();
+    // Bind const views once: the non-const accessors would mark the
+    // device mirrors stale (forcing a spurious re-upload next step), and
+    // per-node accessor calls would re-run the coherence checks.
+    const auto& z = std::as_const(pm).position();
+    const auto& w = std::as_const(pm).vorticity();
     double max_h = 0.0, sum_h = 0.0, sum_w2 = 0.0;
     grid::for_each(local.own_space(), [&](int i, int j) {
-        double h = pm.position()(i, j, 2);
+        double h = z(i, j, 2);
         max_h = std::max(max_h, std::abs(h));
         sum_h += h;
-        sum_w2 += pm.vorticity()(i, j, 0) * pm.vorticity()(i, j, 0) +
-                  pm.vorticity()(i, j, 1) * pm.vorticity()(i, j, 1);
+        sum_w2 += w(i, j, 0) * w(i, j, 0) + w(i, j, 1) * w(i, j, 1);
     });
     auto& comm = pm.comm();
     StateSummary s;

@@ -8,6 +8,12 @@
 /// block while (logically) forwarding the block to its right neighbor —
 /// the classic systolic all-pairs schedule. O(N^2) compute; regular,
 /// bandwidth-heavy communication; compute-bound in practice (paper §3.2).
+///
+/// The staging buffers (targets, circulating block, accumulators) are
+/// persistent members. On a device-resident state they are pinned and the
+/// target/block pack and the final velocity write run as device kernels
+/// over the field mirrors; the interaction sweep itself already dispatches
+/// through par::parallel_for onto the device pool.
 #pragma once
 
 #include <numbers>
@@ -22,6 +28,11 @@ public:
     ExactBRSolver(const SurfaceMesh& mesh, const Params& params)
         : mesh_(&mesh), eps2_(square(mesh.effective_epsilon(params.epsilon))) {}
 
+    /// Drain in-flight kernels before the pinned staging dies.
+    ~ExactBRSolver() override {
+        if (queue_ != nullptr) queue_->fence();
+    }
+
     [[nodiscard]] const char* name() const override { return "exact"; }
 
     void compute_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma,
@@ -31,54 +42,96 @@ public:
         const int ni = local.owned_extent(0);
         const int nj = local.owned_extent(1);
         const auto n_own = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+        const bool device =
+            pm.device_resident() && gamma.device_mirrored() && velocity.device_mirrored();
+
+        ensure_buffers(comm, n_own, device, device ? &pm.device_queue() : nullptr);
+        // The ring pass leaves an arbitrary peer's block behind; restore
+        // the local size (within reserved capacity — never reallocates).
+        block_.resize(n_own);
 
         // Pack targets once; the same layout doubles as the first source
         // block.
-        std::vector<SourcePoint> block(n_own);
-        std::vector<Vec3> targets(n_own);
-        std::size_t k = 0;
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j, ++k) {
-                Vec3 pos{pm.position()(i, j, 0), pm.position()(i, j, 1), pm.position()(i, j, 2)};
-                Vec3 g{gamma(i, j, 0), gamma(i, j, 1), gamma(i, j, 2)};
-                targets[k] = pos;
-                block[k] = {pos, g};
+        if (device) {
+            auto& q = pm.device_queue();
+            auto z = std::as_const(pm.position_raw()).device_view();
+            auto g = std::as_const(gamma).device_view();
+            SourcePoint* bp = block_.data();
+            Vec3* tp = targets_.data();
+            Vec3* ap = accum_.data();
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
+                Vec3 pos{z(i, j, 0), z(i, j, 1), z(i, j, 2)};
+                tp[k] = pos;
+                bp[k] = {pos, Vec3{g(i, j, 0), g(i, j, 1), g(i, j, 2)}};
+                ap[k] = Vec3{};
+            });
+            // The ring sends read the pinned block from host code next.
+            q.fence();
+        } else {
+            std::size_t k = 0;
+            for (int i = 0; i < ni; ++i) {
+                for (int j = 0; j < nj; ++j, ++k) {
+                    Vec3 pos{pm.position()(i, j, 0), pm.position()(i, j, 1),
+                             pm.position()(i, j, 2)};
+                    Vec3 g{gamma(i, j, 0), gamma(i, j, 1), gamma(i, j, 2)};
+                    targets_[k] = pos;
+                    block_[k] = {pos, g};
+                }
             }
+            std::fill(accum_.begin(), accum_.end(), Vec3{});
         }
-        std::vector<Vec3> accum(n_own, Vec3{});
 
         const int p = comm.size();
         const int right = (comm.rank() + 1) % p;
         const int left = (comm.rank() - 1 + p) % p;
         constexpr int kRingTag = 100;
-        std::vector<SourcePoint> incoming;
+        std::size_t count = n_own;
         for (int step = 0; step < p; ++step) {
             // Forward the block first (buffered send) so communication
             // overlaps the local interaction sweep, as in the paper.
             if (step + 1 < p) {
-                comm.send(std::span<const SourcePoint>(block.data(), block.size()), right,
-                          kRingTag);
+                comm.send(std::span<const SourcePoint>(block_.data(), count), right, kRingTag);
             }
-            par::parallel_for(n_own, [&](std::size_t t) {
+            const SourcePoint* bp = block_.data();
+            const std::size_t bn = count;
+            const Vec3* tp = targets_.data();
+            Vec3* ap = accum_.data();
+            const double eps2 = eps2_;
+            par::parallel_for(n_own, [=](std::size_t t) {
                 Vec3 sum{};
-                for (const auto& s : block) {
-                    sum += br_kernel(targets[t], s.pos, s.gamma, eps2_);
+                for (std::size_t s = 0; s < bn; ++s) {
+                    sum += br_kernel(tp[t], bp[s].pos, bp[s].gamma, eps2);
                 }
-                accum[t] += sum;
+                ap[t] += sum;
             });
             if (step + 1 < p) {
-                comm.recv<SourcePoint>(incoming, left, kRingTag);
-                block.swap(incoming);
+                comm.recv<SourcePoint>(incoming_, left, kRingTag);
+                count = incoming_.size();
+                block_.swap(incoming_);
             }
         }
 
         const double prefactor = mesh_->cell_area() / (4.0 * std::numbers::pi);
-        k = 0;
-        for (int i = 0; i < ni; ++i) {
-            for (int j = 0; j < nj; ++j, ++k) {
-                velocity(i, j, 0) = prefactor * accum[k].x;
-                velocity(i, j, 1) = prefactor * accum[k].y;
-                velocity(i, j, 2) = prefactor * accum[k].z;
+        if (device) {
+            auto& q = pm.device_queue();
+            auto v = velocity.device_view();
+            const Vec3* ap = accum_.data();
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
+                v(i, j, 0) = prefactor * ap[k].x;
+                v(i, j, 1) = prefactor * ap[k].y;
+                v(i, j, 2) = prefactor * ap[k].z;
+            });
+            // No fence: the caller keeps enqueueing on the same queue, and
+            // the next evaluation's pack kernel fence covers reuse of the
+            // accumulators.
+        } else {
+            std::size_t k = 0;
+            for (int i = 0; i < ni; ++i) {
+                for (int j = 0; j < nj; ++j, ++k) {
+                    velocity(i, j, 0) = prefactor * accum_[k].x;
+                    velocity(i, j, 1) = prefactor * accum_[k].y;
+                    velocity(i, j, 2) = prefactor * accum_[k].z;
+                }
             }
         }
     }
@@ -90,8 +143,44 @@ private:
     };
     static double square(double v) { return v * v; }
 
+    /// Size the persistent staging once. Blocks arriving around the ring
+    /// can be as large as the biggest rank's owned count, so the block
+    /// buffers reserve the global maximum up front — receives then resize
+    /// within capacity and the pinned registration stays valid.
+    void ensure_buffers(comm::Communicator& comm, std::size_t n_own, bool device,
+                        par::device::Queue* q) {
+        if (device) queue_ = q;
+        if (buffers_ready_) return;
+        const auto max_n = static_cast<std::size_t>(
+            comm.allreduce_value(static_cast<double>(n_own), comm::op::Max{}));
+        block_.reserve(max_n);
+        incoming_.reserve(max_n);
+        block_.resize(n_own);
+        incoming_.resize(max_n);
+        targets_.resize(n_own);
+        accum_.resize(n_own);
+        if (device) {
+            pinned_.emplace_back(std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(block_.data()), max_n * sizeof(SourcePoint)));
+            pinned_.emplace_back(std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(incoming_.data()),
+                max_n * sizeof(SourcePoint)));
+            pinned_.emplace_back(std::span<const Vec3>(targets_.data(), targets_.size()));
+            pinned_.emplace_back(std::span<const Vec3>(accum_.data(), accum_.size()));
+        }
+        buffers_ready_ = true;
+    }
+
     const SurfaceMesh* mesh_;
     double eps2_;
+    // Persistent staging (pinned under device residency).
+    std::vector<SourcePoint> block_;
+    std::vector<SourcePoint> incoming_;
+    std::vector<Vec3> targets_;
+    std::vector<Vec3> accum_;
+    std::vector<par::device::ScopedHostRegistration> pinned_;
+    par::device::Queue* queue_ = nullptr;
+    bool buffers_ready_ = false;
 };
 
 } // namespace beatnik

@@ -20,7 +20,10 @@ public:
     explicit SiloWriter(std::string output_prefix) : prefix_(std::move(output_prefix)) {}
 
     /// Gather and write the surface at the current step. Collective.
+    /// I/O boundary: on a device-resident state the host copies are
+    /// refreshed first (the stale-mirror hazard of device stepping).
     void write(ProblemManager& pm, int step) const {
+        pm.sync_host();
         auto& comm = pm.comm();
         const auto& mesh = pm.mesh();
         const auto& local = mesh.local();
@@ -34,13 +37,17 @@ public:
         };
         std::vector<Node> mine;
         mine.reserve(local.own_space().size());
+        // Const views: a non-const accessor would mark the (just-synced)
+        // device mirrors stale and force a spurious re-upload next step.
+        const auto& z = std::as_const(pm).position();
+        const auto& w = std::as_const(pm).vorticity();
         for (int i = 0; i < local.owned_extent(0); ++i) {
             for (int j = 0; j < nj; ++j) {
-                double w1 = pm.vorticity()(i, j, 0);
-                double w2 = pm.vorticity()(i, j, 1);
+                double w1 = w(i, j, 0);
+                double w2 = w(i, j, 1);
                 mine.push_back({local.global_offset(0) + i, local.global_offset(1) + j,
-                                pm.position()(i, j, 0), pm.position()(i, j, 1),
-                                pm.position()(i, j, 2), std::sqrt(w1 * w1 + w2 * w2)});
+                                z(i, j, 0), z(i, j, 1), z(i, j, 2),
+                                std::sqrt(w1 * w1 + w2 * w2)});
             }
         }
         auto all = comm.gatherv(std::span<const Node>(mine), 0);

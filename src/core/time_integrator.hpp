@@ -2,7 +2,14 @@
 /// \brief Third-order SSP Runge–Kutta time integration (paper §3.1,
 /// TimeIntegrator module: "three derivatives, hence invokes the ZModel
 /// object three times per timestep").
+///
+/// On a device-resident ProblemManager the stage save and the axpy state
+/// updates run as device kernels over the state mirrors — the step never
+/// touches the host copies, which is what keeps a steady-state step free
+/// of host<->device traffic.
 #pragma once
+
+#include <utility>
 
 #include "core/zmodel.hpp"
 
@@ -14,9 +21,17 @@ public:
         : mesh_(&mesh), model_(&model), z0_(mesh.local()), w0_(mesh.local()),
           zdot_(mesh.local()), wdot_(mesh.local()) {}
 
+    /// Drain in-flight kernels before the stage mirrors die.
+    ~TimeIntegrator() {
+        if (device_) queue_->fence();
+    }
+    TimeIntegrator(const TimeIntegrator&) = delete;
+    TimeIntegrator& operator=(const TimeIntegrator&) = delete;
+
     /// Advance (z, w) by one SSP-RK3 step of size \p dt. Halos are
     /// refreshed before each of the three derivative evaluations.
     void step(ProblemManager& pm, double dt) {
+        if (pm.device_resident()) ensure_device(pm);
         save_state(pm);
 
         // Stage 1: u1 = u + dt f(u)
@@ -36,7 +51,33 @@ public:
     }
 
 private:
-    void save_state(const ProblemManager& pm) {
+    /// Mirror the integrator's stage fields once so the device step can
+    /// keep every intermediate on the device. They are pure scratch —
+    /// written before read each step — so no upload is needed.
+    void ensure_device(ProblemManager& pm) {
+        if (device_) return;
+        queue_ = &pm.device_queue();
+        z0_.enable_device_mirror();
+        w0_.enable_device_mirror();
+        zdot_.enable_device_mirror();
+        wdot_.enable_device_mirror();
+        device_ = true;
+    }
+
+    void save_state(ProblemManager& pm) {
+        if (device_) {
+            pm.ensure_device_current();
+            const auto [ni, nj] = own_extents();
+            auto z = std::as_const(pm.position_raw()).device_view();
+            auto w = std::as_const(pm.vorticity_raw()).device_view();
+            auto z0 = z0_.device_view();
+            auto w0 = w0_.device_view();
+            par::device::parallel_for_2d(*queue_, ni, nj, [=](int i, int j, std::size_t) {
+                for (int c = 0; c < 3; ++c) z0(i, j, c) = z(i, j, c);
+                for (int c = 0; c < 2; ++c) w0(i, j, c) = w(i, j, c);
+            });
+            return;
+        }
         const auto& local = mesh_->local();
         grid::for_each(local.own_space(), [&](int i, int j) {
             for (int c = 0; c < 3; ++c) z0_(i, j, c) = pm.position()(i, j, c);
@@ -48,6 +89,25 @@ private:
     /// evaluated pointwise on owned nodes, where u is the current state,
     /// u0 the step-start state, and f the freshly computed derivative.
     void axpy_state(ProblemManager& pm, double a, double b, double a_dt) {
+        if (device_) {
+            const auto [ni, nj] = own_extents();
+            auto z = pm.position_raw().device_view();
+            auto w = pm.vorticity_raw().device_view();
+            auto z0 = std::as_const(z0_).device_view();
+            auto w0 = std::as_const(w0_).device_view();
+            auto zd = std::as_const(zdot_).device_view();
+            auto wd = std::as_const(wdot_).device_view();
+            par::device::parallel_for_2d(*queue_, ni, nj, [=](int i, int j, std::size_t) {
+                for (int c = 0; c < 3; ++c) {
+                    z(i, j, c) = b * z0(i, j, c) + a * z(i, j, c) + a_dt * zd(i, j, c);
+                }
+                for (int c = 0; c < 2; ++c) {
+                    w(i, j, c) = b * w0(i, j, c) + a * w(i, j, c) + a_dt * wd(i, j, c);
+                }
+            });
+            pm.mark_host_stale();
+            return;
+        }
         const auto& local = mesh_->local();
         grid::for_each(local.own_space(), [&](int i, int j) {
             for (int c = 0; c < 3; ++c) {
@@ -61,12 +121,19 @@ private:
         });
     }
 
+    [[nodiscard]] std::pair<int, int> own_extents() const {
+        const auto& local = mesh_->local();
+        return {local.owned_extent(0), local.owned_extent(1)};
+    }
+
     const SurfaceMesh* mesh_;
     ZModel* model_;
     grid::NodeField<double, 3> z0_;
     grid::NodeField<double, 2> w0_;
     grid::NodeField<double, 3> zdot_;
     grid::NodeField<double, 2> wdot_;
+    par::device::Queue* queue_ = nullptr;
+    bool device_ = false;
 };
 
 } // namespace beatnik

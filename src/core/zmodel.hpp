@@ -14,6 +14,17 @@
 /// The ZModel performs no direct communication itself; it invokes the FFT
 /// library, the BR solver, and the ProblemManager's halo exchanges —
 /// exactly the role the paper assigns it.
+///
+/// Scratch fields (gamma, velocities, Bernoulli scalar) and the spectral
+/// staging buffers are persistent members, so a steady-state derivative
+/// evaluation allocates nothing. On a device-resident ProblemManager the
+/// whole pipeline runs as device kernels over the field mirrors: gamma,
+/// the Bernoulli scalar, the derivative outputs and the FFT field<->
+/// spectral marshalling are kernels, the spectral buffers are pinned
+/// (registered) host ranges, and the distributed FFT's reshape staging
+/// packs/unpacks on device straight into the pinned plan buffers
+/// (DistributedFFT2D::enable_device). Host code touches only the pinned
+/// spectral lines (the butterfly compute), never the field mirrors.
 #pragma once
 
 #include <numbers>
@@ -34,7 +45,9 @@ public:
            BRSolverBase* br)
         : comm_(&comm), mesh_(&mesh), order_(params.order), br_(br),
           atwood_(params.atwood), gravity_(params.gravity),
-          mu_eff_(mesh.effective_mu(params.mu)) {
+          mu_eff_(mesh.effective_mu(params.mu)), gamma_(mesh.local()), w_fft_(mesh.local()),
+          w_br_(mesh.local()), phi_(mesh.local()), zdot_dev_(mesh.local()),
+          wdot_dev_(mesh.local()) {
         BEATNIK_REQUIRE(order_ == Order::low || br_ != nullptr,
                         "medium/high order require a BR solver");
         if (order_ != Order::high) {
@@ -44,41 +57,91 @@ public:
         }
     }
 
+    /// Drain in-flight kernels before the scratch mirrors and pinned
+    /// spectral buffers die.
+    ~ZModel() {
+        if (device_) queue_->fence();
+    }
+    ZModel(const ZModel&) = delete;
+    ZModel& operator=(const ZModel&) = delete;
+
     /// Compute (zdot, wdot) at owned nodes from the state in \p pm.
     /// Precondition: pm halos are current (the integrator guarantees it).
     /// Collective: every rank must call with the same state generation.
+    ///
+    /// A device-resident state always runs the device pipeline — the
+    /// scratch-field mirrors are the authoritative copies there, and a
+    /// host sweep over them would silently read stale data. Callers with
+    /// plain host derivative fields (direct API use, tests) get the
+    /// results downloaded into their fields' owned nodes; mirrored
+    /// caller fields (the integrator's) are written in place on device.
+    /// A host-resident state takes the pure host path.
     void derivatives(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
                      grid::NodeField<double, 2>& wdot) {
+        if (!pm.device_resident()) {
+            derivatives_host(pm, zdot, wdot);
+            return;
+        }
+        // Half-mirrored caller fields would leave the mirrored one's
+        // device copy silently stale after the download path — refuse.
+        BEATNIK_REQUIRE(zdot.device_mirrored() == wdot.device_mirrored(),
+                        "derivative fields must be both mirrored or both host-resident");
+        if (zdot.device_mirrored() && wdot.device_mirrored()) {
+            derivatives_device(pm, zdot, wdot);
+            return;
+        }
+        ensure_device(pm);
+        derivatives_device(pm, zdot_dev_, wdot_dev_);
+        zdot_dev_.sync_to_host(*queue_);
+        wdot_dev_.sync_to_host(*queue_);
+        queue_->fence();
+        const auto& local = mesh_->local();
+        grid::for_each(local.own_space(), [&](int i, int j) {
+            for (int c = 0; c < 3; ++c) zdot(i, j, c) = zdot_dev_(i, j, c);
+            for (int c = 0; c < 2; ++c) wdot(i, j, c) = wdot_dev_(i, j, c);
+        });
+    }
+
+    [[nodiscard]] Order order() const { return order_; }
+    [[nodiscard]] BRSolverBase* br_solver() const { return br_; }
+
+private:
+    void derivatives_host(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
+                          grid::NodeField<double, 2>& wdot) {
         const auto& local = mesh_->local();
         const int ni = local.owned_extent(0);
         const int nj = local.owned_extent(1);
         const double dx = mesh_->global().spacing(0);
         const double dy = mesh_->global().spacing(1);
+        // Bind the state fields outside the kernels: the accessors do
+        // coherence work on a device-resident state (a host refresh), and
+        // that must happen on the host thread, not inside a kernel on the
+        // worker pool.
+        const auto& z = std::as_const(pm).position();
+        const auto& w = std::as_const(pm).vorticity();
 
         // Biot–Savart source gamma at owned nodes (width-2 stencils).
         // All point-local loops below go through par::parallel_for_2d, so
         // the kernels run unmodified on whichever backend the rank-thread
         // selected (serial, OpenMP worksharing, or the device pool).
-        grid::NodeField<double, 3> gamma(local);
+        grid::NodeField<double, 3>& gamma = gamma_;
         par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
             const int i = static_cast<int>(ip);
             const int j = static_cast<int>(jp);
-            Vec3 g = operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
+            Vec3 g = operators::gamma_vector(z, w, i, j, dx, dy);
             gamma(i, j, 0) = g.x;
             gamma(i, j, 1) = g.y;
             gamma(i, j, 2) = g.z;
         });
 
         // Interface velocity W (zdot) and the Bernoulli velocity Wb.
-        grid::NodeField<double, 3> w_fft(local);
-        if (order_ != Order::high) fft_velocity(gamma, w_fft);
-        grid::NodeField<double, 3>* w_for_z = &w_fft;
-        grid::NodeField<double, 3>* w_for_bernoulli = &w_fft;
-        grid::NodeField<double, 3> w_br(local);
+        if (order_ != Order::high) fft_velocity_host(gamma, w_fft_);
+        grid::NodeField<double, 3>* w_for_z = &w_fft_;
+        grid::NodeField<double, 3>* w_for_bernoulli = &w_fft_;
         if (order_ != Order::low) {
-            br_->compute_velocity(pm, gamma, w_br);
-            w_for_z = &w_br;
-            if (order_ == Order::high) w_for_bernoulli = &w_br;
+            br_->compute_velocity(pm, gamma, w_br_);
+            w_for_z = &w_br_;
+            if (order_ == Order::high) w_for_bernoulli = &w_br_;
         }
         par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
             const int i = static_cast<int>(ip);
@@ -88,15 +151,14 @@ public:
 
         // Bernoulli scalar phi = -2*A*g*z3 - A*|Wb|^2, haloed so its
         // surface gradient exists at owned nodes.
-        grid::NodeField<double, 1> phi(local);
+        grid::NodeField<double, 1>& phi = phi_;
         par::parallel_for_2d(0, ni, 0, nj, [&](std::ptrdiff_t ip, std::ptrdiff_t jp) {
             const int i = static_cast<int>(ip);
             const int j = static_cast<int>(jp);
             const auto& wb = *w_for_bernoulli;
             double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
                             wb(i, j, 2) * wb(i, j, 2);
-            phi(i, j, 0) =
-                -2.0 * atwood_ * gravity_ * pm.position()(i, j, 2) - atwood_ * speed2;
+            phi(i, j, 0) = -2.0 * atwood_ * gravity_ * z(i, j, 2) - atwood_ * speed2;
         });
         pm.gather_scratch_halo(phi);
 
@@ -104,43 +166,185 @@ public:
             const int i = static_cast<int>(ip);
             const int j = static_cast<int>(jp);
             wdot(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
-                            mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 0, dx, dy);
+                            mu_eff_ * operators::laplacian(w, i, j, 0, dx, dy);
             wdot(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
-                            mu_eff_ * operators::laplacian(pm.vorticity(), i, j, 1, dx, dy);
+                            mu_eff_ * operators::laplacian(w, i, j, 1, dx, dy);
         });
     }
 
-    [[nodiscard]] Order order() const { return order_; }
-    [[nodiscard]] BRSolverBase* br_solver() const { return br_; }
+    /// The same pipeline as device kernels over the mirrors. Everything is
+    /// enqueued on the state's queue, so stages order by stream semantics;
+    /// host synchronization happens only inside the FFT (butterflies on
+    /// the pinned spectral lines) and the BR solvers' communication.
+    /// Expressions are evaluated per node exactly as in the host path, so
+    /// results are bitwise identical.
+    void derivatives_device(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
+                            grid::NodeField<double, 2>& wdot) {
+        ensure_device(pm);
+        pm.ensure_device_current();
+        par::device::Queue& q = *queue_;
+        const auto& local = mesh_->local();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        const double dx = mesh_->global().spacing(0);
+        const double dy = mesh_->global().spacing(1);
 
-private:
+        auto z = std::as_const(pm.position_raw()).device_view();
+        auto w = std::as_const(pm.vorticity_raw()).device_view();
+
+        {
+            auto g = gamma_.device_view();
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                Vec3 gv = operators::gamma_vector(z, w, i, j, dx, dy);
+                g(i, j, 0) = gv.x;
+                g(i, j, 1) = gv.y;
+                g(i, j, 2) = gv.z;
+            });
+        }
+
+        if (order_ != Order::high) fft_velocity_device(q);
+        grid::NodeField<double, 3>* w_for_z = &w_fft_;
+        grid::NodeField<double, 3>* w_for_bernoulli = &w_fft_;
+        if (order_ != Order::low) {
+            br_->compute_velocity(pm, gamma_, w_br_);
+            w_for_z = &w_br_;
+            if (order_ == Order::high) w_for_bernoulli = &w_br_;
+        }
+        {
+            auto src = std::as_const(*w_for_z).device_view();
+            auto dst = zdot.device_view();
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                for (int c = 0; c < 3; ++c) dst(i, j, c) = src(i, j, c);
+            });
+        }
+        {
+            auto wb = std::as_const(*w_for_bernoulli).device_view();
+            auto phi = phi_.device_view();
+            const double atwood = atwood_;
+            const double gravity = gravity_;
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
+                                wb(i, j, 2) * wb(i, j, 2);
+                phi(i, j, 0) = -2.0 * atwood * gravity * z(i, j, 2) - atwood * speed2;
+            });
+        }
+        pm.gather_scratch_halo(phi_);
+        {
+            auto phi = std::as_const(phi_).device_view();
+            auto dst = wdot.device_view();
+            const double mu_eff = mu_eff_;
+            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                dst(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
+                               mu_eff * operators::laplacian(w, i, j, 0, dx, dy);
+                dst(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
+                               mu_eff * operators::laplacian(w, i, j, 1, dx, dy);
+            });
+        }
+    }
+
+    /// One-time device setup: mirror the scratch fields, pin the spectral
+    /// staging buffers, and switch the FFT's reshape staging to device
+    /// pack/unpack through the pinned plan buffers.
+    void ensure_device(ProblemManager& pm) {
+        if (device_) return;
+        queue_ = &pm.device_queue();
+        gamma_.enable_device_mirror();
+        w_fft_.enable_device_mirror();
+        w_br_.enable_device_mirror();
+        phi_.enable_device_mirror();
+        zdot_dev_.enable_device_mirror();
+        wdot_dev_.enable_device_mirror();
+        // The derivative-download scratch is read back wholesale; seed
+        // the mirrors from the zero-filled host storage so the ghost
+        // bytes are defined.
+        zdot_dev_.sync_to_device(*queue_);
+        wdot_dev_.sync_to_device(*queue_);
+        queue_->fence();
+        if (fft_) {
+            const auto n = fft_->local_box().size();
+            for (auto& s : spectral_) {
+                s.resize(n);
+                pinned_.emplace_back(std::span<const fft::cplx>(s.data(), s.size()));
+            }
+            fft_->enable_device(*queue_);
+        }
+        device_ = true;
+    }
+
     /// Low-order interface velocity: transform the three gamma components,
     /// apply What = i (k x gamma_hat) / (2|k|), transform back. 3 forward
     /// + 3 inverse distributed FFTs — the all-to-all load of the low-order
     /// benchmarks (paper §4).
-    void fft_velocity(const grid::NodeField<double, 3>& gamma,
-                      grid::NodeField<double, 3>& velocity) {
+    void fft_velocity_host(const grid::NodeField<double, 3>& gamma,
+                           grid::NodeField<double, 3>& velocity) {
         const auto& box = fft_->local_box();
-        const int nj_box = box.j.extent();
         const auto n = box.size();
-        std::array<std::vector<fft::cplx>, 3> spectral;
         for (int c = 0; c < 3; ++c) {
-            spectral[static_cast<std::size_t>(c)].resize(n);
+            auto& s = spectral_[static_cast<std::size_t>(c)];
+            s.resize(n);
             std::size_t k = 0;
             for (int gi = box.i.begin; gi < box.i.end; ++gi) {
                 for (int gj = box.j.begin; gj < box.j.end; ++gj, ++k) {
-                    spectral[static_cast<std::size_t>(c)][k] = {
-                        gamma(gi - box.i.begin, gj - box.j.begin, c), 0.0};
+                    s[k] = {gamma(gi - box.i.begin, gj - box.j.begin, c), 0.0};
                 }
             }
-            fft_->forward(spectral[static_cast<std::size_t>(c)]);
+            fft_->forward(s);
         }
 
+        apply_multiplier();
+
+        for (int c = 0; c < 3; ++c) {
+            auto& s = spectral_[static_cast<std::size_t>(c)];
+            fft_->inverse(s);
+            std::size_t m = 0;
+            for (int gi = box.i.begin; gi < box.i.end; ++gi) {
+                for (int gj = box.j.begin; gj < box.j.end; ++gj, ++m) {
+                    velocity(gi - box.i.begin, gj - box.j.begin, c) = s[m].real();
+                }
+            }
+        }
+    }
+
+    /// Device variant: gamma -> pinned spectral lines and spectral ->
+    /// velocity marshalling are kernels; the distributed transforms and
+    /// the multiplier run on the pinned buffers.
+    void fft_velocity_device(par::device::Queue& q) {
+        const auto& box = fft_->local_box();
+        const int nib = box.i.extent();
+        const int njb = box.j.extent();
+        for (int c = 0; c < 3; ++c) {
+            fft::cplx* sp = spectral_[static_cast<std::size_t>(c)].data();
+            auto g = std::as_const(gamma_).device_view();
+            par::device::parallel_for_2d(q, nib, njb, [=](int i, int j, std::size_t k) {
+                sp[k] = {g(i, j, c), 0.0};
+            });
+        }
+        // The transforms read the spectral lines from host code (the
+        // butterflies); the reshapes inside enqueue their own kernels on
+        // the same queue and fence before host compute.
+        q.fence();
+        for (auto& s : spectral_) fft_->forward(s);
+        apply_multiplier();
+        for (auto& s : spectral_) fft_->inverse(s);
+        for (int c = 0; c < 3; ++c) {
+            const fft::cplx* sp = spectral_[static_cast<std::size_t>(c)].data();
+            auto v = w_fft_.device_view();
+            par::device::parallel_for_2d(q, nib, njb, [=](int i, int j, std::size_t k) {
+                v(i, j, c) = sp[k].real();
+            });
+        }
+    }
+
+    /// The flat-sheet Fourier multiplier, applied in place to the three
+    /// transformed gamma components (host compute on the spectral lines).
+    void apply_multiplier() {
+        const auto& box = fft_->local_box();
         const int n0 = mesh_->global().num_nodes(0);
         const int n1 = mesh_->global().num_nodes(1);
         const double lx = mesh_->global().extent(0);
         const double ly = mesh_->global().extent(1);
         constexpr double tau = 2.0 * std::numbers::pi;
+        auto& spectral = spectral_;
         std::size_t k = 0;
         for (int gi = box.i.begin; gi < box.i.end; ++gi) {
             for (int gj = box.j.begin; gj < box.j.end; ++gj, ++k) {
@@ -160,18 +364,6 @@ private:
                 spectral[2][k] = iunit * (kx * gy - ky * gx) * inv;
             }
         }
-
-        for (int c = 0; c < 3; ++c) {
-            fft_->inverse(spectral[static_cast<std::size_t>(c)]);
-            std::size_t m = 0;
-            for (int gi = box.i.begin; gi < box.i.end; ++gi) {
-                for (int gj = box.j.begin; gj < box.j.end; ++gj, ++m) {
-                    velocity(gi - box.i.begin, gj - box.j.begin, c) =
-                        spectral[static_cast<std::size_t>(c)][m].real();
-                }
-            }
-        }
-        (void)nj_box;
     }
 
     comm::Communicator* comm_;
@@ -182,6 +374,24 @@ private:
     double gravity_;
     double mu_eff_;
     std::optional<fft::DistributedFFT2D> fft_;
+    // Persistent scratch: one derivative evaluation allocates nothing in
+    // the steady state. Only owned nodes are read back (phi additionally
+    // through its own halo refresh), so stale ghosts are harmless.
+    grid::NodeField<double, 3> gamma_;
+    grid::NodeField<double, 3> w_fft_;
+    grid::NodeField<double, 3> w_br_;
+    grid::NodeField<double, 1> phi_;
+    /// Landing pads for host-field callers on a device-resident state:
+    /// the device pipeline writes these mirrors, then the owned nodes are
+    /// downloaded into the caller's fields.
+    grid::NodeField<double, 3> zdot_dev_;
+    grid::NodeField<double, 2> wdot_dev_;
+    std::array<std::vector<fft::cplx>, 3> spectral_;
+    // Device mode: the rank-thread's queue, plus pins for the spectral
+    // staging buffers (kernels write them directly).
+    par::device::Queue* queue_ = nullptr;
+    bool device_ = false;
+    std::vector<par::device::ScopedHostRegistration> pinned_;
 };
 
 } // namespace beatnik

@@ -1,5 +1,8 @@
 #include "fft/distributed_fft.hpp"
 
+#include <algorithm>
+#include <span>
+
 namespace beatnik::fft {
 
 DistributedFFT2D::StagePlan DistributedFFT2D::make_stage_plan(std::array<int, 2> global,
@@ -60,6 +63,24 @@ void DistributedFFT2D::transform_stage(std::vector<cplx>& data, const Stage& sta
         } else {
             plan.forward_strided(line, stride);
         }
+    }
+}
+
+void DistributedFFT2D::enable_device(par::device::Queue& q) {
+    // Both stage buffers see both intermediate layouts across the
+    // forward/inverse routes; size them to the larger once so the pinned
+    // range survives every later resize().
+    const std::size_t smax = std::max(stage1_.layout.size(), stage2_.layout.size());
+    work_.reserve(smax);
+    work2_.reserve(smax);
+    work_.resize(smax);
+    work2_.resize(smax);
+    pinned_.clear();
+    pinned_.emplace_back(std::span<const cplx>(work_.data(), smax));
+    pinned_.emplace_back(std::span<const cplx>(work2_.data(), smax));
+    for (ReshapePlan* rp : {&to_stage1_, &stage1_to_stage2_, &stage2_to_brick_, &to_stage2_,
+                            &stage2_to_stage1_, &stage1_to_brick_}) {
+        rp->enable_device(q);
     }
 }
 

@@ -79,6 +79,15 @@ public:
     /// In-place inverse transform (scaled so inverse(forward(x)) == x).
     void inverse(std::vector<cplx>& data);
 
+    /// Route the reshape staging through the device: the persistent stage
+    /// buffers are pre-sized to their high-water mark and pinned, and the
+    /// p2p reshapes pack/unpack with device kernels straight into the
+    /// pinned plan transport buffers (ReshapePlan::enable_device). The
+    /// caller's transform arrays must be pinned too. The butterflies stay
+    /// host compute over the pinned lines — the cuFFT seam on real
+    /// hardware. The alltoall configurations keep host staging.
+    void enable_device(par::device::Queue& q);
+
     /// Signed integer mode for index m of an N-point axis
     /// (0, 1, ..., N/2, -(N/2-1), ..., -1).
     [[nodiscard]] static int signed_mode(int m, int n) { return m <= n / 2 ? m : m - n; }
@@ -129,9 +138,11 @@ private:
     ReshapePlan stage1_to_brick_;
     // Persistent stage buffers: sized on the first transform, reused by
     // every subsequent one (reshape outputs resize() into them without a
-    // zero-fill pass).
+    // zero-fill pass). Under enable_device they are pre-sized and pinned,
+    // so later resizes never move the registered range.
     std::vector<cplx> work_;
     std::vector<cplx> work2_;
+    std::vector<par::device::ScopedHostRegistration> pinned_;
 };
 
 } // namespace beatnik::fft

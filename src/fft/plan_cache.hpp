@@ -17,6 +17,7 @@
 
 #include "comm/plan.hpp"
 #include "fft/serial_fft.hpp"
+#include "par/device/device.hpp"
 
 namespace beatnik::fft::detail {
 
@@ -28,6 +29,14 @@ struct P2PPlanCache {
     std::vector<std::pair<int, std::size_t>> send_slots;  ///< (slot, sends index)
     std::vector<std::pair<int, std::size_t>> recv_slots;  ///< (slot, recvs index)
     std::vector<cplx> self_buf;                           ///< self-rectangle staging
+    /// Device staging mode (ReshapePlan::enable_device): transport
+    /// buffers are pinned at bind and pack/unpack run as kernels on this
+    /// queue, each send publishing on its own completion event.
+    par::device::Queue* queue = nullptr;
+    std::vector<par::device::ScopedHostRegistration> pinned;
+    std::vector<par::device::Event> send_events;
+    std::vector<par::device::Event> recv_events;
+    std::vector<int> arrived;   ///< per-sweep scratch (capacity reused)
 
     /// Bind (or rebind after a communicator change). The plan tag comes
     /// from the communicator's collective plan sequence, so every rank
@@ -58,6 +67,22 @@ struct P2PPlanCache {
         }
         plan.emplace(b.build());
         comm = &c;
+        if (queue != nullptr) setup_device();
+    }
+
+    /// Pin the bound plan's transport buffers and size the per-slot event
+    /// storage. Called from bind() when device mode is already on, and
+    /// from ReshapePlan::enable_device() when the plan was already bound
+    /// (a host sweep ran first) — bind()'s early return would otherwise
+    /// leave the buffers unpinned and the event vectors empty.
+    void setup_device() {
+        pinned.clear();
+        plan->pin_buffers([this](std::span<std::byte> buf) {
+            pinned.emplace_back(buf);
+        });
+        send_events.resize(send_slots.size());
+        recv_events.resize(recv_slots.size());
+        arrived.reserve(recv_slots.size());
     }
 
     /// One p2p reshape sweep: bind if needed, pack each off-rank

@@ -58,6 +58,21 @@ public:
     [[nodiscard]] const std::vector<Transfer>& sends() const { return sends_; }
     [[nodiscard]] const std::vector<Transfer>& recvs() const { return recvs_; }
 
+    /// Switch the p2p path to device staging: the persistent plan's
+    /// transport buffers are pinned at bind, rectangle packs/unpacks run
+    /// as kernels on \p q (so `in`/`out` must be device-accessible —
+    /// pinned host ranges in practice), and each send publishes on its
+    /// own pack-completion event, overlapping pack with communication.
+    /// The alltoall path is unaffected (host code reads the pinned
+    /// buffers directly). Safe to call after host sweeps already bound
+    /// the plan: the existing binding is pinned in place.
+    void enable_device(par::device::Queue& q) {
+        p2p_->queue = &q;
+        if (p2p_->plan.has_value()) p2p_->setup_device();
+    }
+
+    [[nodiscard]] bool device_enabled() const { return p2p_->queue != nullptr; }
+
     /// Execute the reshape. \p in is the local data in \p src layout;
     /// \p out is resized and filled in \p dst layout. \p use_alltoall
     /// selects the collective path vs the persistent-plan p2p path.
@@ -148,6 +163,10 @@ private:
 
     void execute_p2p(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
                      const Layout2D& dst, std::vector<cplx>& out) const {
+        if (p2p_->queue != nullptr) {
+            execute_p2p_device(comm, src, in, dst, out);
+            return;
+        }
         // heFFTe's custom path: only overlapping peers exchange messages,
         // through persistent pre-matched channels (see plan_cache.hpp).
         p2p_->execute(
@@ -156,6 +175,100 @@ private:
             [&](const Box2D& box, std::vector<cplx>& buf) { pack(src, in, box, buf); },
             [&](const Box2D& box, std::span<const cplx> data) { unpack(dst, out, box, data); },
             "reshape: unexpected p2p block size");
+    }
+
+    /// Device-kernel copy of a box from layout \p src in \p in to the
+    /// canonical i-major wire order at \p slot.
+    static void device_pack_box(par::device::Queue& q, const Layout2D& src, const cplx* in,
+                                const Box2D& box, cplx* slot) {
+        const int ib = box.i.begin;
+        const int jb = box.j.begin;
+        const int rowlen = box.j.extent();
+        const Layout2D layout = src;
+        q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
+            const int i = ib + static_cast<int>(r);
+            cplx* dst = slot + r * static_cast<std::size_t>(rowlen);
+            for (int j = jb; j < jb + rowlen; ++j) dst[j - jb] = in[layout.offset(i, j)];
+        });
+    }
+
+    /// Device-kernel inverse: wire order at \p data into layout \p dst.
+    static void device_unpack_box(par::device::Queue& q, const Layout2D& dst, cplx* out,
+                                  const Box2D& box, const cplx* data) {
+        const int ib = box.i.begin;
+        const int jb = box.j.begin;
+        const int rowlen = box.j.extent();
+        const Layout2D layout = dst;
+        q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
+            const int i = ib + static_cast<int>(r);
+            const cplx* s = data + r * static_cast<std::size_t>(rowlen);
+            for (int j = jb; j < jb + rowlen; ++j) out[layout.offset(i, j)] = s[j - jb];
+        });
+    }
+
+    /// The device sweep: packs go straight from the (pinned) source array
+    /// into the pinned plan buffers as kernels, each send publishing on
+    /// its own completion event; the self rectangle is one direct
+    /// in->out kernel; arrivals unpack as kernels and release on their
+    /// own events. The closing fence makes `out` host-readable (the
+    /// caller runs FFT butterflies on it next).
+    void execute_p2p_device(comm::Communicator& comm, const Layout2D& src,
+                            std::span<const cplx> in, const Layout2D& dst,
+                            std::vector<cplx>& out) const {
+        auto& c = *p2p_;
+        c.bind(comm, sends_, recvs_);
+        par::device::Queue& q = *c.queue;
+        auto& rt = par::device::Runtime::instance();
+        BEATNIK_REQUIRE(rt.device_accessible(in.data(), in.size_bytes()),
+                        "device reshape: source array is not device-accessible — pin it first");
+        BEATNIK_REQUIRE(rt.device_accessible(out.data(), out.size() * sizeof(cplx)),
+                        "device reshape: output array is not device-accessible — pin it first");
+        c.plan->start();
+        for (std::size_t s = 0; s < c.send_slots.size(); ++s) {
+            const auto& [slot, t] = c.send_slots[s];
+            const Box2D& box = sends_[t].box;
+            auto buf = c.plan->send_buffer(slot, box.size() * sizeof(cplx));
+            device_pack_box(q, src, in.data(), box, reinterpret_cast<cplx*>(buf.data()));
+            q.record_event_into(c.send_events[s]);
+        }
+        for (std::size_t s = 0; s < c.send_slots.size(); ++s) {
+            c.send_events[s].wait();
+            c.plan->publish(c.send_slots[s].first);
+        }
+        // Self rectangle: one direct device copy, no staging.
+        for (const auto& t : recvs_) {
+            if (t.peer != comm.rank()) continue;
+            const Box2D& box = t.box;
+            const int ib = box.i.begin;
+            const int jb = box.j.begin;
+            const int rowlen = box.j.extent();
+            const Layout2D lsrc = src;
+            const Layout2D ldst = dst;
+            const cplx* ip = in.data();
+            cplx* op = out.data();
+            q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
+                const int i = ib + static_cast<int>(r);
+                for (int j = jb; j < jb + rowlen; ++j) {
+                    op[ldst.offset(i, j)] = ip[lsrc.offset(i, j)];
+                }
+            });
+        }
+        c.arrived.clear();
+        for (std::size_t done = 0; done < c.recv_slots.size(); ++done) {
+            int s = c.plan->wait_any_recv();
+            BEATNIK_ASSERT(s >= 0);
+            const Box2D& box = recvs_[c.recv_slots[static_cast<std::size_t>(s)].second].box;
+            auto incoming = c.plan->recv_view_as<cplx>(s);
+            BEATNIK_REQUIRE(incoming.size() == box.size(), "reshape: unexpected p2p block size");
+            device_unpack_box(q, dst, out.data(), box, incoming.data());
+            q.record_event_into(c.recv_events[static_cast<std::size_t>(s)]);
+            c.arrived.push_back(s);
+        }
+        for (int s : c.arrived) {
+            c.recv_events[static_cast<std::size_t>(s)].wait();
+            c.plan->release_recv(s);
+        }
+        q.fence();
     }
 
     std::vector<Transfer> sends_;

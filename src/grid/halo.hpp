@@ -107,9 +107,19 @@ public:
     /// straight between the field's device mirror and the pinned plan
     /// buffers — one staged copy, no host-side pack loop, still zero
     /// per-iteration allocation. Call once, between iterations.
-    void enable_device(par::device::Queue& q) {
+    ///
+    /// With \p overlap (the default) each direction's publish() fires as
+    /// soon as *its* pack kernel completes — a per-direction Event instead
+    /// of one post-pack fence — so the first messages are on the wire
+    /// while later directions are still packing, and each recv slot is
+    /// released as soon as its own unpack kernel finishes. overlap=false
+    /// keeps the older fence-everything schedule (benchmark reference).
+    void enable_device(par::device::Queue& q, bool overlap = true) {
         device_queue_ = &q;
+        overlap_ = overlap;
         arrived_.reserve(dirs_.size());
+        send_events_.resize(dirs_.size());
+        recv_events_.resize(dirs_.size());
         if (plan_.valid()) {
             plan_.pin_buffers([this](std::span<std::byte> buf) {
                 pinned_.emplace_back(buf);
@@ -154,7 +164,11 @@ private:
         BEATNIK_REQUIRE(field.halo_width() == grid_.halo_width(),
                         "field/grid halo width mismatch");
         if (dirs_.empty()) return;
-        if (device_queue_ != nullptr) {
+        // A device-enabled plan still serves host-resident fields through
+        // the host path (pinned channel buffers are ordinary host memory
+        // to host code) — this is what lets one ProblemManager exchange a
+        // caller's unmirrored scratch field mid-run.
+        if (device_queue_ != nullptr && field.device_mirrored()) {
             run_device(field, scatter);
             return;
         }
@@ -190,27 +204,40 @@ private:
 
     /// Device iteration: device kernels pack every direction's shared
     /// band from the field's device mirror into the pinned transport
-    /// buffers (one fence covers all directions — kernels for different
-    /// rows run concurrently on the pool), publish, then unpack arrivals
-    /// with device kernels and release the slots after a closing fence.
+    /// buffers, then each direction publishes as soon as *its* pack
+    /// kernel completes (a per-direction Event on the in-order queue), so
+    /// early directions are in flight while later ones are still packing.
+    /// Arrivals are unpacked by device kernels in arrival order and each
+    /// slot is released as soon as its own unpack event fires — the
+    /// sender can refill it without waiting for the whole iteration.
     void run_device(grid::NodeField<T, C>& field, bool scatter) {
         BEATNIK_REQUIRE(field.device_mirrored(),
                         "device halo exchange needs a device-mirrored field");
         par::device::Queue& q = *device_queue_;
         plan_.start();
-        for (const Dir& d : dirs_) {
+        for (std::size_t n = 0; n < dirs_.size(); ++n) {
+            const Dir& d = dirs_[n];
             auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
             auto space = scatter ? grid_.halo_space(di, dj) : grid_.shared_space(di, dj);
             auto buf = plan_.send_buffer(d.send_slot, space.size() * C * sizeof(T));
             field.device_pack_into(q, space,
                                    std::span<T>(reinterpret_cast<T*>(buf.data()),
                                                 space.size() * C));
+            if (overlap_) q.record_event_into(send_events_[n]);
         }
-        q.fence();
-        for (const Dir& d : dirs_) plan_.publish(d.send_slot);
+        if (overlap_) {
+            // Publish in pack-completion order (packs run in queue order).
+            for (std::size_t n = 0; n < dirs_.size(); ++n) {
+                send_events_[n].wait();
+                plan_.publish(dirs_[n].send_slot);
+            }
+        } else {
+            q.fence();
+            for (const Dir& d : dirs_) plan_.publish(d.send_slot);
+        }
         // Unpack in arrival order; the kernels read the pinned recv
-        // buffers in place, so slots are released only after the closing
-        // fence proves the reads are done.
+        // buffers in place, so each slot is released only once its unpack
+        // event (or the closing fence) proves the reads are done.
         arrived_.clear();
         for (int done = 0; done < static_cast<int>(dirs_.size()); ++done) {
             int s = plan_.wait_any_recv();
@@ -223,11 +250,19 @@ private:
             } else {
                 field.device_unpack_from(q, grid_.halo_space(di, dj), in);
             }
+            if (overlap_) q.record_event_into(recv_events_[static_cast<std::size_t>(s)]);
             arrived_.push_back(s);
         }
         BEATNIK_ASSERT(plan_.wait_any_recv() == -1);
-        q.fence();
-        for (int s : arrived_) plan_.release_recv(s);
+        if (overlap_) {
+            for (int s : arrived_) {
+                recv_events_[static_cast<std::size_t>(s)].wait();
+                plan_.release_recv(s);
+            }
+        } else {
+            q.fence();
+            for (int s : arrived_) plan_.release_recv(s);
+        }
     }
 
     const Dir& slot_dir(int recv_slot) const {
@@ -240,8 +275,13 @@ private:
     std::vector<Dir> dirs_;
     comm::Plan plan_;
     par::device::Queue* device_queue_ = nullptr;
+    bool overlap_ = true;
     std::vector<par::device::ScopedHostRegistration> pinned_;
     std::vector<int> arrived_;   ///< per-iteration scratch (capacity reused)
+    /// Per-direction completion markers, re-recorded each iteration
+    /// (allocation-free via record_event_into).
+    std::vector<par::device::Event> send_events_;
+    std::vector<par::device::Event> recv_events_;
 };
 
 /// Deprecated: exchange ghost layers of \p field with all existing

@@ -41,6 +41,17 @@ void NetworkSimulator::simulate_p2p(const Phase& phase, std::vector<double>& clo
     const auto nr = static_cast<std::size_t>(nranks_);
     const int nnodes = (nranks_ + m.ranks_per_node - 1) / m.ranks_per_node;
 
+    // Algorithm-internal staging copies (Bruck rotations and per-round
+    // pack staging) delay the rank before any message issues.
+    if (!phase.local_copy_bytes.empty()) {
+        BEATNIK_REQUIRE(static_cast<int>(phase.local_copy_bytes.size()) == nranks_,
+                        "phase local-copy vector must have one entry per rank");
+        for (int r = 0; r < nranks_; ++r) {
+            clock[static_cast<std::size_t>(r)] +=
+                phase.local_copy_bytes[static_cast<std::size_t>(r)] / m.memory_bandwidth;
+        }
+    }
+
     // Sender CPUs issue their messages back to back: overhead + pack.
     struct Event {
         double issue;
@@ -224,6 +235,22 @@ double allgather_cost(const MachineModel& m, int p, std::size_t bytes_per_rank) 
 double alltoall_pairwise_cost(const MachineModel& m, int p, std::size_t block_bytes) {
     return (p - 1) * (m.inter_latency + m.per_message_overhead +
                       static_cast<double>(block_bytes) / m.inter_bandwidth);
+}
+
+double bruck_local_copy_bytes(int p, std::size_t block_bytes) {
+    // Initial rotation + final inverse rotation: the whole p-block
+    // working set moves once each.
+    double total = 2.0 * static_cast<double>(p) * static_cast<double>(block_bytes);
+    // Per round, the blocks whose (rotated) index has the round's bit set
+    // are packed into contiguous staging before the wire copy.
+    for (int dist = 1; dist < p; dist <<= 1) {
+        int moved = 0;
+        for (int i = 0; i < p; ++i) {
+            if ((i & dist) != 0) ++moved;
+        }
+        total += static_cast<double>(moved) * static_cast<double>(block_bytes);
+    }
+    return total;
 }
 
 } // namespace analytic

@@ -41,7 +41,27 @@ struct Phase {
     PhaseKind kind = PhaseKind::p2p;
     std::vector<double> compute_seconds; ///< per rank, before communication (may be empty)
     std::vector<Msg> messages;
+    /// Local staging bytes the algorithm moves *off the wire*, per rank,
+    /// charged at the machine's memory bandwidth before the rank issues
+    /// its sends (may be empty). Wire pack/unpack is already modeled per
+    /// message; this covers algorithm-internal copies — e.g. Bruck's
+    /// initial/final block rotations and its per-round pack staging,
+    /// which the pairwise exchange does not pay. Ignoring them was the
+    /// documented ~8 KiB crossover-fidelity gap (bench_model_validation).
+    std::vector<double> local_copy_bytes;
 };
+
+namespace analytic {
+
+/// Local (off-wire) copy bytes one rank pays for a Bruck alltoall with
+/// per-rank block size \p block_bytes over \p p ranks: the initial and
+/// final rotations move the whole p-block working set once each, and
+/// every round packs its moved blocks into contiguous staging before the
+/// wire copy (ceil(log2 p) rounds x the blocks whose index has that
+/// round's bit set).
+[[nodiscard]] double bruck_local_copy_bytes(int p, std::size_t block_bytes);
+
+} // namespace analytic
 
 struct SimResult {
     double makespan = 0.0;                 ///< max finish time over ranks

@@ -21,6 +21,20 @@ inline Queue& default_queue() {
     return q;
 }
 
+/// Enqueue f(i, j, k) over the row-major flattening of [0, ni) x
+/// [0, nj) — the shared index decode for 2D solver kernels (k is the
+/// flat index, for kernels that also address 1D staging). Async like
+/// Queue::parallel_for.
+template <class F>
+void parallel_for_2d(Queue& q, int ni, int nj, F&& f) {
+    if (ni <= 0 || nj <= 0) return;
+    const auto snj = static_cast<std::size_t>(nj);
+    q.parallel_for(static_cast<std::size_t>(ni) * snj,
+                   [f = std::forward<F>(f), snj](std::size_t k) {
+                       f(static_cast<int>(k / snj), static_cast<int>(k % snj), k);
+                   });
+}
+
 // ---------------------------------------------------------- deep copies
 //
 // Explicit mirror movement, cudaMemcpyAsync-shaped: enqueue on a queue,
@@ -28,10 +42,29 @@ inline Queue& default_queue() {
 // the default queue and fence. Sizes must match exactly — a silent
 // partial copy is how mirror bugs hide.
 
+/// Process-wide tallies of host<->device mirror traffic. Tests use the
+/// deltas to prove a device-resident solver loop performs *zero* field
+/// copies across a steady-state step (the PCIe-traffic budget a real GPU
+/// run lives or dies by). Device->device copies are not counted — they
+/// never cross the bus.
+struct CopyStats {
+    std::atomic<std::uint64_t> h2d_copies{0};
+    std::atomic<std::uint64_t> h2d_bytes{0};
+    std::atomic<std::uint64_t> d2h_copies{0};
+    std::atomic<std::uint64_t> d2h_bytes{0};
+
+    static CopyStats& instance() {
+        static CopyStats s;
+        return s;
+    }
+};
+
 /// Host -> device.
 template <class T>
 void deep_copy(Queue& q, DeviceView<T> dst, std::span<const T> src) {
     BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (host -> device)");
+    CopyStats::instance().h2d_copies.fetch_add(1, std::memory_order_relaxed);
+    CopyStats::instance().h2d_bytes.fetch_add(src.size_bytes(), std::memory_order_relaxed);
     q.copy_bytes(dst.data(), src.data(), src.size_bytes());
 }
 
@@ -39,6 +72,8 @@ void deep_copy(Queue& q, DeviceView<T> dst, std::span<const T> src) {
 template <class T>
 void deep_copy(Queue& q, std::span<T> dst, DeviceView<const T> src) {
     BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (device -> host)");
+    CopyStats::instance().d2h_copies.fetch_add(1, std::memory_order_relaxed);
+    CopyStats::instance().d2h_bytes.fetch_add(src.size() * sizeof(T), std::memory_order_relaxed);
     q.copy_bytes(dst.data(), src.data(), src.size() * sizeof(T));
 }
 

@@ -179,20 +179,26 @@ public:
     /// Record a completion marker after everything currently enqueued.
     [[nodiscard]] Event record_event() {
         auto st = std::make_shared<detail::EventState>();
-        std::vector<std::shared_ptr<detail::EventState>> fire;
-        std::shared_ptr<detail::EventState> reg;
-        std::uint64_t gen = 0;
-        {
-            std::lock_guard lock(m_);
-            Op* op = acquire();
-            op->kind = Kind::event;
-            op->ev = st;
-            push(op);
-            dispatch(fire);
-            reg = take_pending_wait(gen);
-        }
-        finish_dispatch(fire, reg, gen);
+        enqueue_event(st);
         return Event(std::move(st));
+    }
+
+    /// Record a completion marker into \p e, reusing its completion state
+    /// when this queue's handle is the only reference left and the marker
+    /// has already fired — the allocation-free variant for steady-state
+    /// loops that re-record the same event every iteration (per-direction
+    /// halo overlap). Falls back to a fresh allocation otherwise.
+    void record_event_into(Event& e) {
+        auto& st = e.st_;
+        if (!st || st.use_count() != 1 || !st->is_done()) {
+            st = std::make_shared<detail::EventState>();
+        } else {
+            // Exclusively ours and fired: no waiter can exist, so the
+            // flag reset cannot race a wait().
+            std::lock_guard lock(st->m);
+            st->done = false;
+        }
+        enqueue_event(st);
     }
 
     /// Make every operation enqueued after this call wait until \p e
@@ -229,6 +235,34 @@ public:
 
 private:
     enum class Kind : std::uint8_t { kernel, event, wait };
+
+    void enqueue_event(const std::shared_ptr<detail::EventState>& st) {
+        std::vector<std::shared_ptr<detail::EventState>> fire;
+        std::shared_ptr<detail::EventState> reg;
+        std::uint64_t gen = 0;
+        bool enqueued = false;
+        {
+            std::lock_guard lock(m_);
+            // Idle queue: the marker is already satisfied. Completing it
+            // directly (outside the lock) keeps the steady-state
+            // record_event_into() path allocation-free — routing through
+            // an Op would push into `fire` and allocate.
+            if (running_ != nullptr || waiting_ != nullptr || head_ != tail_) {
+                Op* op = acquire();
+                op->kind = Kind::event;
+                op->ev = st;
+                push(op);
+                dispatch(fire);
+                reg = take_pending_wait(gen);
+                enqueued = true;
+            }
+        }
+        if (!enqueued) {
+            st->set();
+            return;
+        }
+        finish_dispatch(fire, reg, gen);
+    }
 
     struct Op {
         detail::Task task;

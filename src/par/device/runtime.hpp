@@ -60,7 +60,10 @@ inline thread_local bool t_device_context = false;
 /// each chunk. The final chunk to finish fires `on_done` — the owning
 /// queue's completion hook.
 struct Task {
-    static constexpr std::size_t kInlineBytes = 256;
+    /// Sized for the fattest steady-state kernel capture (the RK3 axpy:
+    /// six field views plus scalars, ~280 bytes) so the solver hot loop
+    /// never takes the heap fallback.
+    static constexpr std::size_t kInlineBytes = 512;
 
     alignas(std::max_align_t) std::byte storage[kInlineBytes];
     void* heap_fn = nullptr;                       ///< set when the callable spilled

@@ -164,6 +164,41 @@ TEST(DistributedFFT, AllConfigsProduceIdenticalSpectra) {
     }
 }
 
+TEST(Reshape, EnableDeviceAfterHostBindPinsTheExistingPlan) {
+    // Regression: enable_device() on a ReshapePlan whose p2p plan was
+    // already bound by host sweeps must pin the existing binding and
+    // size the per-slot event storage — bind()'s same-communicator early
+    // return used to skip both, leaving the device sweep indexing empty
+    // event vectors and packing into unpinned buffers.
+    run(4, [](bc::Communicator& comm) {
+        std::array<int, 2> global{16, 16};
+        auto dims = beatnik::grid::dims_create_2d(comm.size());
+        auto bricks = bf::brick_boxes(global, dims);
+        auto pencils = bf::pencil_boxes(global, comm.size(), /*long_axis=*/1);
+        bf::ReshapePlan plan(comm.rank(), bricks, pencils);
+        bf::Layout2D src{bricks[static_cast<std::size_t>(comm.rank())], 1};
+        bf::Layout2D dst{pencils[static_cast<std::size_t>(comm.rank())], 1};
+        std::vector<cplx> in(src.size());
+        for (std::size_t k = 0; k < in.size(); ++k) {
+            in[k] = {static_cast<double>(k % 13), static_cast<double>(comm.rank())};
+        }
+        std::vector<cplx> host_out;
+        plan.execute(comm, src, std::span<const cplx>(in), dst, host_out,
+                     /*use_alltoall=*/false);   // binds the p2p plan, host path
+
+        beatnik::par::device::Queue q;
+        beatnik::par::device::ScopedHostRegistration pin_in{std::span<const cplx>(in)};
+        plan.enable_device(q);
+        EXPECT_TRUE(plan.device_enabled());
+        std::vector<cplx> dev_out(dst.size());
+        beatnik::par::device::ScopedHostRegistration pin_out{std::span<const cplx>(
+            dev_out.data(), dev_out.size())};
+        plan.execute(comm, src, std::span<const cplx>(in), dst, dev_out,
+                     /*use_alltoall=*/false);
+        EXPECT_EQ(host_out, dev_out) << "rank " << comm.rank();
+    });
+}
+
 TEST(DistributedFFT, SignedModeMapping) {
     EXPECT_EQ(bf::DistributedFFT2D::signed_mode(0, 8), 0);
     EXPECT_EQ(bf::DistributedFFT2D::signed_mode(3, 8), 3);

@@ -265,6 +265,99 @@ TEST(DeviceHalo, RepeatedIterationsStayCoherent) {
     });
 }
 
+// --------------------------------------------- mixed residency & overlap
+
+/// Rank-threads of one run may independently choose device or host
+/// residency (enable_device is per-plan, per-rank): a mixed exchange must
+/// produce byte-identical fields to the all-host path, because the wire
+/// format (plan channels, tags, pack order) is residency-agnostic.
+void check_mixed_residency(int ranks, bool scatter, bool overlap) {
+    run(ranks, [&](bc::Communicator& comm) {
+        auto m = make_mesh(comm, 16, 2, true);
+        bg::NodeField<double, 3> field(*m.grid);
+        bg::NodeField<double, 3> ref(*m.grid);
+        field.fill(0.25);
+        fill_owned(field, *m.grid, comm.rank());
+        ref.storage() = field.storage();
+
+        // Odd ranks go device-resident, even ranks stay host.
+        const bool on_device = comm.rank() % 2 == 1;
+        bg::HaloPlan<double, 3> plan(comm, *m.topo, *m.grid);
+        bd::Queue q;
+        if (on_device) {
+            plan.enable_device(q, overlap);
+            field.enable_device_mirror();
+            field.sync_to_device(q);
+            q.fence();
+        }
+        bg::HaloPlan<double, 3> ref_plan(comm, *m.topo, *m.grid);
+
+        for (int it = 0; it < 3; ++it) {
+            if (scatter) {
+                plan.scatter_add(field);
+                ref_plan.scatter_add(ref);
+            } else {
+                plan.exchange(field);
+                ref_plan.exchange(ref);
+            }
+        }
+        if (on_device) {
+            field.sync_to_host(q);
+            q.fence();
+        }
+        EXPECT_EQ(field.storage(), ref.storage())
+            << "rank " << comm.rank() << " (device=" << on_device << ", scatter=" << scatter
+            << ", overlap=" << overlap << ")";
+    });
+}
+
+TEST(DeviceHalo, MixedResidencyExchangeMatchesAllHost) {
+    check_mixed_residency(4, /*scatter=*/false, /*overlap=*/true);
+}
+
+TEST(DeviceHalo, MixedResidencyScatterAddMatchesAllHost) {
+    check_mixed_residency(4, /*scatter=*/true, /*overlap=*/true);
+}
+
+TEST(DeviceHalo, MixedResidencyFencePathMatchesAllHost) {
+    check_mixed_residency(4, /*scatter=*/false, /*overlap=*/false);
+}
+
+/// The overlapped (per-direction event) schedule and the fence-everything
+/// schedule are different orderings of the same data movement — results
+/// must be identical.
+TEST(DeviceHalo, OverlapAndFenceSchedulesAgree) {
+    run(4, [](bc::Communicator& comm) {
+        auto m = make_mesh(comm, 24, 2, true);
+        bg::NodeField<double, 3> f_overlap(*m.grid);
+        bg::NodeField<double, 3> f_fence(*m.grid);
+        fill_owned(f_overlap, *m.grid, comm.rank());
+        f_fence.storage() = f_overlap.storage();
+
+        bd::Queue q1, q2;
+        bg::HaloPlan<double, 3> plan_overlap(comm, *m.topo, *m.grid);
+        plan_overlap.enable_device(q1, /*overlap=*/true);
+        bg::HaloPlan<double, 3> plan_fence(comm, *m.topo, *m.grid);
+        plan_fence.enable_device(q2, /*overlap=*/false);
+
+        f_overlap.enable_device_mirror();
+        f_overlap.sync_to_device(q1);
+        f_fence.enable_device_mirror();
+        f_fence.sync_to_device(q2);
+        q1.fence();
+        q2.fence();
+        for (int it = 0; it < 5; ++it) {
+            plan_overlap.exchange(f_overlap);
+            plan_fence.exchange(f_fence);
+        }
+        f_overlap.sync_to_host(q1);
+        f_fence.sync_to_host(q2);
+        q1.fence();
+        q2.fence();
+        EXPECT_EQ(f_overlap.storage(), f_fence.storage()) << "rank " << comm.rank();
+    });
+}
+
 // ------------------------------------------------ zero allocation (S0)
 
 TEST(DeviceHalo, SteadyStateDeviceIterationsAreAllocationFree) {

@@ -57,6 +57,28 @@ TEST(Simulator, IntraNodeIsCheaperThanInterNode) {
     EXPECT_LT(intra.makespan, inter.makespan);
 }
 
+TEST(Simulator, LocalCopyBytesDelayTheSender) {
+    // Algorithm-internal staging (Bruck rotations/pack staging) charges
+    // at memory bandwidth before the rank's sends issue.
+    auto m = bn::MachineModel::lassen();
+    bn::NetworkSimulator sim(m, 2);
+    auto ph = p2p_phase({{0, 1, 1 << 20}});
+    auto base = sim.simulate({ph});
+    ph.local_copy_bytes.assign(2, 1.0e9);
+    auto charged = sim.simulate({ph});
+    const double expected_extra = 1.0e9 / m.memory_bandwidth;
+    EXPECT_NEAR(charged.makespan - base.makespan, expected_extra, 1e-9);
+}
+
+TEST(Simulator, BruckLocalCopyBytesCountRotationsAndRoundStaging) {
+    // p = 4, block = 100 B: rotations move 2*4 blocks; round dist=1
+    // stages blocks {1,3}, round dist=2 stages {2,3} — 4 more. Total 12.
+    EXPECT_DOUBLE_EQ(bn::analytic::bruck_local_copy_bytes(4, 100), 1200.0);
+    // Non-power-of-two p = 3: rotations 6 blocks; round dist=1 stages
+    // {1}, round dist=2 stages {2}. Total 8.
+    EXPECT_DOUBLE_EQ(bn::analytic::bruck_local_copy_bytes(3, 100), 800.0);
+}
+
 TEST(Simulator, DeterministicAcrossRuns) {
     bn::NetworkSimulator sim(bn::MachineModel::lassen(), 16);
     std::vector<bn::Msg> msgs;
