@@ -155,6 +155,51 @@ inline double cutoff_eval_seconds(int p, const CutoffModelInput& in,
 }
 
 /// Printed row of a scaling table.
+/// Measured seconds/derivative-eval of a real device-backend cutoff run,
+/// once with the three-queue overlapped schedule and once fully fenced.
+/// The cutoff benches report the delta: overlap must never change the
+/// results (equivalence-tested in core.cutoff_device), only the time.
+struct OverlapDelta {
+    double fenced_s = 0.0;
+    double overlapped_s = 0.0;
+    [[nodiscard]] double gain() const {
+        return fenced_s > 0.0 ? (fenced_s - overlapped_s) / fenced_s : 0.0;
+    }
+};
+
+inline OverlapDelta measure_overlap_delta(int ranks, int mesh, double cutoff, int steps = 2) {
+    const bool saved_overlap = CutoffBRSolver::overlap();
+    const par::Backend saved_backend = par::default_backend().load();
+    par::set_default_backend(par::Backend::device);
+    auto timed = [&](bool overlap) {
+        CutoffBRSolver::set_overlap(overlap);
+        double seconds = 0.0;
+        comm::Context::run(ranks, [&](comm::Communicator& c) {
+            auto params = decks::multimode_highorder(mesh, cutoff);
+            Solver solver(c, params);
+            solver.step(); // warm-up: plans, staging, device mirrors
+            c.barrier();
+            Stopwatch watch;
+            solver.advance(steps);
+            c.barrier();
+            if (c.rank() == 0) seconds = watch.seconds() / (steps * 3.0);
+        });
+        return seconds;
+    };
+    OverlapDelta d;
+    d.fenced_s = timed(false);
+    d.overlapped_s = timed(true);
+    CutoffBRSolver::set_overlap(saved_overlap);
+    par::set_default_backend(saved_backend);
+    return d;
+}
+
+inline void print_overlap_delta(const OverlapDelta& d, int ranks, int mesh) {
+    std::printf("overlap-vs-fence (device backend, %d ranks, %d^2 mesh): fenced %.4f "
+                "s/eval, overlapped %.4f s/eval, gain %.1f%% (measured-host)\n",
+                ranks, mesh, d.fenced_s, d.overlapped_s, 100.0 * d.gain());
+}
+
 inline void print_row(const char* bench, int gpus, double seconds, const char* provenance,
                       double reference = 0.0) {
     if (reference > 0.0) {

@@ -43,15 +43,16 @@ run bench_fig08_cutoff_strong
 run bench_fig09_table1_fft_configs --scale=small
 run bench_model_validation
 
-# JSON-emitting collective microbench (always built). --quick keeps this a
+# JSON-emitting micro benches (always built). --quick keeps these a
 # wiring check; full regression-grade runs drop the flag and diff against
-# bench/results/baseline_micro_collectives.json with compare_benchmarks.py.
+# bench/results/baseline_micro_*.json with compare_benchmarks.py.
 mkdir -p bench/results
 run bench_micro_collectives --quick --out "$REPO_ROOT/bench/results/micro_collectives.json"
+run bench_micro_kernels --quick --out "$REPO_ROOT/bench/results/micro_kernels.json"
 
 # Google-Benchmark micro benches (built only when libbenchmark is present):
 # a minimal timed pass over every registered benchmark.
-for micro in micro_fft micro_kernels; do
+for micro in micro_fft; do
     if [[ -x "$BUILD_DIR/bench/bench_$micro" ]]; then
         # Plain-double seconds: the "0.01s" spelling needs benchmark >= 1.8.
         run "bench_$micro" --benchmark_min_time=0.01

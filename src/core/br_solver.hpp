@@ -35,6 +35,18 @@ public:
     virtual void compute_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma,
                                   grid::NodeField<double, 3>& velocity) = 0;
 
+    /// Optional overlap hook: begin the parts of the next
+    /// compute_velocity that depend only on \p pm and \p gamma (e.g. the
+    /// cutoff solver's particle pack/canonicalize staging on a side
+    /// queue) so they run concurrently with whatever the caller does
+    /// between begin and compute. Purely local (not collective), safe to
+    /// skip: compute_velocity must produce identical results with or
+    /// without a preceding begin. Default is a no-op.
+    virtual void begin_velocity(ProblemManager& pm, const grid::NodeField<double, 3>& gamma) {
+        (void)pm;
+        (void)gamma;
+    }
+
     /// Human-readable solver name for logs and benches.
     [[nodiscard]] virtual const char* name() const = 0;
 };

@@ -15,6 +15,12 @@
 /// images. In non-periodic mode positions outside the box are clamped for
 /// ownership purposes (the box is expected to contain the interface,
 /// paper §5.1).
+///
+/// The geometry itself — wrap/clamp, ownership, ghost-target visiting —
+/// lives in SpatialGeometry, a POD captured by value into device kernels
+/// (the canonicalize/owner and ghost-generation kernels of the
+/// device-resident cutoff pipeline). SpatialMesh is the host-facing
+/// wrapper that validates parameters and carries the topology pointer.
 #pragma once
 
 #include <vector>
@@ -24,43 +30,30 @@
 
 namespace beatnik {
 
-class SpatialMesh {
-public:
-    /// A ghost-copy destination: the receiving rank plus the periodic
-    /// image offset to add to the copy's position (zero when the copy
-    /// does not cross a periodic boundary).
-    struct GhostTarget {
-        int rank;
-        double dx, dy;
-    };
+/// A ghost-copy destination: the receiving rank plus the periodic image
+/// offset to add to the copy's position (zero when the copy does not
+/// cross a periodic boundary).
+struct GhostTarget {
+    int rank;
+    double dx, dy;
+};
 
-    SpatialMesh(const Params& params, const grid::CartTopology2D& topo)
-        : topo_(&topo), periodic_(params.boundary == Boundary::periodic),
-          low_{params.box_low[0], params.box_low[1]},
-          high_{params.box_high[0], params.box_high[1]} {
-        BEATNIK_REQUIRE(high_[0] > low_[0] && high_[1] > low_[1],
-                        "spatial box bounds must be increasing");
-        if (periodic_) {
-            // The periodic tile is the surface's initial x/y extent; the
-            // box must coincide with it for image offsets to be exact.
-            BEATNIK_REQUIRE(params.surface_low[0] == params.box_low[0] &&
-                                params.surface_high[0] == params.box_high[0] &&
-                                params.surface_low[1] == params.box_low[1] &&
-                                params.surface_high[1] == params.box_high[1],
-                            "periodic cutoff solves require the spatial box to equal the "
-                            "surface tile");
-        }
-    }
-
-    [[nodiscard]] bool periodic() const { return periodic_; }
+/// Kernel-safe spatial decomposition geometry: trivially copyable, no
+/// pointers, every method usable inside device kernels. Rank layout is
+/// the CartTopology2D row-major convention (rank = ci * dims[1] + cj).
+struct SpatialGeometry {
+    bool periodic = false;
+    double low[2] = {0.0, 0.0};
+    double high[2] = {1.0, 1.0};
+    int dims[2] = {1, 1};
 
     /// Wrap (periodic) or clamp (free) a coordinate into the box; also
     /// returns the applied wrap offset via \p shift.
     [[nodiscard]] double canonical(int d, double v, double* shift = nullptr) const {
-        const double lo = low_[static_cast<std::size_t>(d)];
-        const double hi = high_[static_cast<std::size_t>(d)];
+        const double lo = low[d];
+        const double hi = high[d];
         const double len = hi - lo;
-        if (periodic_) {
+        if (periodic) {
             double t = std::floor((v - lo) / len);
             if (shift) *shift = -t * len;
             return v - t * len;
@@ -69,34 +62,51 @@ public:
         return v;
     }
 
-    /// Rank owning physical location (x, y).
-    [[nodiscard]] int owner_rank(double x, double y) const {
-        return topo_->rank_of(block_index(0, canonical(0, x)),
-                              block_index(1, canonical(1, y)));
+    /// Block index without clamping (may be out of range; callers handle
+    /// wrap or reject).
+    [[nodiscard]] int raw_block_index(int d, double v) const {
+        const double lo = low[d];
+        const double hi = high[d];
+        const int n = dims[d];
+        return static_cast<int>(std::floor((v - lo) / (hi - lo) * n));
     }
 
-    /// Append every ghost-copy destination of a particle at (x, y): ranks
+    [[nodiscard]] int block_index(int d, double v) const {
+        int c = raw_block_index(d, v);
+        const int n = dims[d];
+        return c < 0 ? 0 : (c >= n ? n - 1 : c);
+    }
+
+    /// Rank owning physical location (x, y).
+    [[nodiscard]] int owner_rank(double x, double y) const {
+        return block_index(0, canonical(0, x)) * dims[1] + block_index(1, canonical(1, y));
+    }
+
+    /// Visit every ghost-copy destination of a particle at (x, y): ranks
     /// other than the owner whose block, expanded by \p cutoff, contains
-    /// the point or one of its periodic images. Image copies carry the
-    /// offset to apply to the copy's position.
-    void ghost_targets(double x, double y, double cutoff, std::vector<GhostTarget>& out) const {
+    /// the point or one of its periodic images. Calls f(rank, dx, dy)
+    /// where (dx, dy) is the image offset to apply to the copy's
+    /// position. Visit order is fixed (ci outer, cj inner), so streams
+    /// built from it are deterministic.
+    template <class F>
+    void ghost_targets(double x, double y, double cutoff, F&& f) const {
         const int owner = owner_rank(x, y);
         double base_sx = 0.0, base_sy = 0.0;
         const double cx = canonical(0, x, &base_sx);
         const double cy = canonical(1, y, &base_sy);
-        const int n0 = topo_->dims()[0];
-        const int n1 = topo_->dims()[1];
+        const int n0 = dims[0];
+        const int n1 = dims[1];
         const int ci_lo = raw_block_index(0, cx - cutoff);
         const int ci_hi = raw_block_index(0, cx + cutoff);
         const int cj_lo = raw_block_index(1, cy - cutoff);
         const int cj_hi = raw_block_index(1, cy + cutoff);
-        const double lenx = high_[0] - low_[0];
-        const double leny = high_[1] - low_[1];
+        const double lenx = high[0] - low[0];
+        const double leny = high[1] - low[1];
         for (int ci = ci_lo; ci <= ci_hi; ++ci) {
             for (int cj = cj_lo; cj <= cj_hi; ++cj) {
                 double dx = base_sx, dy = base_sy;
                 int wi = ci, wj = cj;
-                if (periodic_) {
+                if (periodic) {
                     // Wrapping the block index means the copy is an image:
                     // shift its position by the corresponding tile offset.
                     while (wi < 0) {
@@ -118,40 +128,70 @@ public:
                 } else {
                     if (wi < 0 || wi >= n0 || wj < 0 || wj >= n1) continue;
                 }
-                int r = topo_->rank_of(wi, wj);
+                int r = wi * n1 + wj;
                 if (r == owner && dx == base_sx && dy == base_sy) continue;
-                out.push_back({r, dx, dy});
+                f(r, dx, dy);
             }
         }
+    }
+};
+
+class SpatialMesh {
+public:
+    using GhostTarget = beatnik::GhostTarget;
+
+    SpatialMesh(const Params& params, const grid::CartTopology2D& topo) : topo_(&topo) {
+        geom_.periodic = params.boundary == Boundary::periodic;
+        geom_.low[0] = params.box_low[0];
+        geom_.low[1] = params.box_low[1];
+        geom_.high[0] = params.box_high[0];
+        geom_.high[1] = params.box_high[1];
+        geom_.dims[0] = topo.dims()[0];
+        geom_.dims[1] = topo.dims()[1];
+        BEATNIK_REQUIRE(geom_.high[0] > geom_.low[0] && geom_.high[1] > geom_.low[1],
+                        "spatial box bounds must be increasing");
+        if (geom_.periodic) {
+            // The periodic tile is the surface's initial x/y extent; the
+            // box must coincide with it for image offsets to be exact.
+            BEATNIK_REQUIRE(params.surface_low[0] == params.box_low[0] &&
+                                params.surface_high[0] == params.box_high[0] &&
+                                params.surface_low[1] == params.box_low[1] &&
+                                params.surface_high[1] == params.box_high[1],
+                            "periodic cutoff solves require the spatial box to equal the "
+                            "surface tile");
+        }
+    }
+
+    [[nodiscard]] bool periodic() const { return geom_.periodic; }
+
+    /// The kernel-safe geometry (capture by value into device kernels).
+    [[nodiscard]] const SpatialGeometry& geometry() const { return geom_; }
+
+    /// Wrap (periodic) or clamp (free) a coordinate into the box; also
+    /// returns the applied wrap offset via \p shift.
+    [[nodiscard]] double canonical(int d, double v, double* shift = nullptr) const {
+        return geom_.canonical(d, v, shift);
+    }
+
+    /// Rank owning physical location (x, y).
+    [[nodiscard]] int owner_rank(double x, double y) const { return geom_.owner_rank(x, y); }
+
+    /// Append every ghost-copy destination of a particle at (x, y) (see
+    /// SpatialGeometry::ghost_targets for the visiting form).
+    void ghost_targets(double x, double y, double cutoff, std::vector<GhostTarget>& out) const {
+        geom_.ghost_targets(x, y, cutoff,
+                            [&out](int r, double dx, double dy) { out.push_back({r, dx, dy}); });
     }
 
     /// Width of one block along axis d (the cutoff-to-block-size ratio
     /// controls ghost volume; see bench/micro_kernels).
     [[nodiscard]] double block_width(int d) const {
-        return (high_[static_cast<std::size_t>(d)] - low_[static_cast<std::size_t>(d)]) /
-               topo_->dims()[static_cast<std::size_t>(d)];
+        return (geom_.high[d] - geom_.low[d]) / geom_.dims[d];
     }
 
 private:
-    /// Block index without clamping (may be out of range; callers handle
-    /// wrap or reject).
-    [[nodiscard]] int raw_block_index(int d, double v) const {
-        const double lo = low_[static_cast<std::size_t>(d)];
-        const double hi = high_[static_cast<std::size_t>(d)];
-        const int n = topo_->dims()[static_cast<std::size_t>(d)];
-        return static_cast<int>(std::floor((v - lo) / (hi - lo) * n));
-    }
-
-    [[nodiscard]] int block_index(int d, double v) const {
-        int c = raw_block_index(d, v);
-        const int n = topo_->dims()[static_cast<std::size_t>(d)];
-        return c < 0 ? 0 : (c >= n ? n - 1 : c);
-    }
-
     const grid::CartTopology2D* topo_;
-    bool periodic_;
-    std::array<double, 2> low_;
-    std::array<double, 2> high_;
+    SpatialGeometry geom_;
 };
 
 } // namespace beatnik

@@ -202,43 +202,66 @@ private:
             });
         }
 
+        // Interface velocity W and the Bernoulli velocity Wb. The BR
+        // solver's begin hook starts its gamma-dependent staging (the
+        // cutoff solver's pack/canonicalize kernel) on a side queue,
+        // chained behind the gamma kernel by an event — it overlaps the
+        // FFT below. For medium order the whole Bernoulli chain (phi,
+        // its halo, wdot) depends only on the FFT velocity, so it is
+        // issued *before* the BR solve: under the overlapped schedule
+        // those main-queue kernels run concurrently with the cutoff
+        // solver's spatial pipeline on its own queues. Stage order of
+        // each individual output is unchanged, so results are bitwise
+        // identical to the fenced schedule (and to the host path).
+        if (order_ != Order::low) br_->begin_velocity(pm, gamma_);
         if (order_ != Order::high) fft_velocity_device(q);
         grid::NodeField<double, 3>* w_for_z = &w_fft_;
         grid::NodeField<double, 3>* w_for_bernoulli = &w_fft_;
-        if (order_ != Order::low) {
+        if (order_ == Order::high) {
             br_->compute_velocity(pm, gamma_, w_br_);
             w_for_z = &w_br_;
-            if (order_ == Order::high) w_for_bernoulli = &w_br_;
+            w_for_bernoulli = &w_br_;
         }
-        {
+        auto enqueue_zdot = [&] {
             auto src = std::as_const(*w_for_z).device_view();
             auto dst = zdot.device_view();
             par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
                 for (int c = 0; c < 3; ++c) dst(i, j, c) = src(i, j, c);
             });
-        }
-        {
-            auto wb = std::as_const(*w_for_bernoulli).device_view();
-            auto phi = phi_.device_view();
-            const double atwood = atwood_;
-            const double gravity = gravity_;
-            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
-                double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
-                                wb(i, j, 2) * wb(i, j, 2);
-                phi(i, j, 0) = -2.0 * atwood * gravity * z(i, j, 2) - atwood * speed2;
-            });
-        }
-        pm.gather_scratch_halo(phi_);
-        {
-            auto phi = std::as_const(phi_).device_view();
-            auto dst = wdot.device_view();
-            const double mu_eff = mu_eff_;
-            par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
-                dst(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
-                               mu_eff * operators::laplacian(w, i, j, 0, dx, dy);
-                dst(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
-                               mu_eff * operators::laplacian(w, i, j, 1, dx, dy);
-            });
+        };
+        auto enqueue_bernoulli = [&] {
+            {
+                auto wb = std::as_const(*w_for_bernoulli).device_view();
+                auto phi = phi_.device_view();
+                const double atwood = atwood_;
+                const double gravity = gravity_;
+                par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                    double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
+                                    wb(i, j, 2) * wb(i, j, 2);
+                    phi(i, j, 0) = -2.0 * atwood * gravity * z(i, j, 2) - atwood * speed2;
+                });
+            }
+            pm.gather_scratch_halo(phi_);
+            {
+                auto phi = std::as_const(phi_).device_view();
+                auto dst = wdot.device_view();
+                const double mu_eff = mu_eff_;
+                par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
+                    dst(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
+                                   mu_eff * operators::laplacian(w, i, j, 0, dx, dy);
+                    dst(i, j, 1) = operators::d2(phi, i, j, 0, dy) +
+                                   mu_eff * operators::laplacian(w, i, j, 1, dx, dy);
+                });
+            }
+        };
+        if (order_ == Order::medium) {
+            enqueue_bernoulli();
+            br_->compute_velocity(pm, gamma_, w_br_);
+            w_for_z = &w_br_;
+            enqueue_zdot();
+        } else {
+            enqueue_zdot();
+            enqueue_bernoulli();
         }
     }
 

@@ -59,14 +59,36 @@ public:
 
     /// Exchange particles so each lands on its destination rank. Returns
     /// the particles received by this rank, grouped by source rank in
-    /// ascending order (self-owned particles included).
+    /// ascending order (self-owned particles included). Allocates the
+    /// result vector each call — steady-state loops that keep persistent
+    /// receive staging should use execute_into().
     [[nodiscard]] std::vector<P> execute(std::span<const P> particles,
                                          std::span<const int> destinations) {
+        std::vector<P> result;
+        execute_into(particles, destinations, [&result](std::size_t total) {
+            result.resize(total);
+            return result.data();
+        });
+        return result;
+    }
+
+    /// Allocation-free variant of execute(): once the received total is
+    /// known, \p get_out(total) must return a P* with room for \p total
+    /// elements (callers hand out persistent grow-only staging, e.g. a
+    /// PinnedStore the device pipeline's kernels then read in place).
+    /// Returns the received count; layout is identical to execute().
+    template <class GetOut>
+    std::size_t execute_into(std::span<const P> particles, std::span<const int> destinations,
+                             GetOut&& get_out) {
         BEATNIK_REQUIRE(particles.size() == destinations.size(),
                         "migrate: one destination per particle required");
         const int p = comm_->size();
         const int rank = comm_->rank();
-        if (p == 1) return {particles.begin(), particles.end()};
+        if (p == 1) {
+            P* out = get_out(particles.size());
+            std::copy(particles.begin(), particles.end(), out);
+            return particles.size();
+        }
 
         std::fill(sendcounts_.begin(), sendcounts_.end(), std::size_t{0});
         for (int dst : destinations) {
@@ -104,18 +126,17 @@ public:
         for (int r : recv_peer_) {
             total += plan_.recv_view(slots_[static_cast<std::size_t>(r)].recv).size() / sizeof(P);
         }
-        std::vector<P> result;
-        result.reserve(total);
+        P* out = get_out(total);
         for (int r = 0; r < p; ++r) {
             if (r == rank) {
-                result.insert(result.end(), self_buf_.begin(), self_buf_.end());
+                out = std::copy(self_buf_.begin(), self_buf_.end(), out);
             } else {
                 auto in = plan_.recv_view_as<P>(slots_[static_cast<std::size_t>(r)].recv);
-                result.insert(result.end(), in.begin(), in.end());
+                out = std::copy(in.begin(), in.end(), out);
                 plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
             }
         }
-        return result;
+        return total;
     }
 
     /// Device-resident variant: \p particles live on the device; a device

@@ -11,8 +11,10 @@
 /// real GPU and a thrown assertion here.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "par/device/runtime.hpp"
 
@@ -142,6 +144,65 @@ public:
 private:
     const void* p_ = nullptr;
     std::size_t bytes_ = 0;
+};
+
+/// Grow-only pinned host array: a host vector whose storage stays
+/// registered with the device runtime across growth. ensure() keeps the
+/// registration in sync with the vector's actual storage — when a resize
+/// reallocates, the stale registration is dropped and the new range
+/// pinned, so kernels can never reach a dangling pin (the ensemble-mode
+/// hazard of re-sized staging buffers). Growth must happen with the
+/// owning queue quiescent (callers fence before ensure()); the steady
+/// state — ensure() with no growth — is allocation-free.
+template <class T>
+class PinnedStore {
+public:
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pinned staging holds trivially copyable elements");
+
+    PinnedStore() = default;
+
+    /// Make the store hold at least \p n elements (grow-only). Does not
+    /// touch the device runtime — host-only pipelines use the same
+    /// staging without ever instantiating the emulated device.
+    void ensure(std::size_t n) { grow(n); }
+
+    /// ensure(), plus guarantee the registration covers the current
+    /// storage — growth drops the stale pin and re-registers the new
+    /// range, so kernels can never reach a dangling registration.
+    void ensure_pinned(std::size_t n) {
+        grow(n);
+        if (!pinned_ && !data_.empty()) {
+            pin_ = ScopedHostRegistration(std::span<const T>(data_.data(), data_.size()));
+            pinned_ = true;
+        }
+    }
+
+    [[nodiscard]] bool pinned() const { return pinned_; }
+
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+    [[nodiscard]] T* data() { return data_.data(); }
+    [[nodiscard]] const T* data() const { return data_.data(); }
+    [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+    [[nodiscard]] std::span<T> span(std::size_t n) { return {data_.data(), n}; }
+    [[nodiscard]] std::span<const T> span(std::size_t n) const { return {data_.data(), n}; }
+
+private:
+    void grow(std::size_t n) {
+        if (n <= data_.size()) return;
+        pin_.release();
+        pinned_ = false;
+        // Geometric growth: repeated +1 growth re-pins O(log n) times,
+        // not O(n).
+        data_.resize(std::max(n, data_.capacity()));
+    }
+
+    std::vector<T> data_;
+    ScopedHostRegistration pin_;
+    bool pinned_ = false;
 };
 
 } // namespace beatnik::par::device

@@ -37,17 +37,24 @@ struct EventState {
     std::condition_variable cv;
     bool done = false;
     std::vector<std::function<void()>> callbacks;
+    /// set()'s fire scratch. A member (not a local) so the two vectors
+    /// ping-pong their capacity across reuse cycles: a steady-state loop
+    /// that re-records the same Event and re-registers one resume
+    /// callback per iteration (the multi-queue cutoff schedule) performs
+    /// no allocation after warm-up. Only touched by the single winning
+    /// set() call, which is serialized against on_done by `done`.
+    std::vector<std::function<void()>> firing;
 
     void set() {
-        std::vector<std::function<void()>> fire;
         {
             std::lock_guard lock(m);
             if (done) return;
             done = true;
-            fire.swap(callbacks);
+            callbacks.swap(firing);
         }
         cv.notify_all();
-        for (auto& cb : fire) cb();
+        for (auto& cb : firing) cb();
+        firing.clear();
     }
 
     [[nodiscard]] bool is_done() {

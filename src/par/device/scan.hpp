@@ -1,0 +1,91 @@
+/// \file scan.hpp
+/// \brief Deterministic exclusive prefix scan on the device backend.
+///
+/// The count–scan–fill idiom behind cell lists and ghost staging needs a
+/// prefix sum whose result does not depend on worker count. The scan is
+/// defined over fixed-size chunks (kScanChunk elements): a kernel folds
+/// each chunk left-to-right into a partial total, the host folds the
+/// chunk partials in chunk order (a handful of adds), and a second kernel
+/// rewrites each chunk as its local exclusive scan plus the chunk offset.
+/// The chunk layout depends only on n — never on worker count — so the
+/// result is identical on every backend, mirroring par::parallel_reduce's
+/// determinism contract. Integer addition is associative, so here the
+/// chunking is purely a parallelization shape, not a result-affecting
+/// choice; what matters for callers is the fixed layout the counts came
+/// from.
+///
+/// The caller owns the scratch (a grow-only partials array) so the
+/// steady-state path performs no allocation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "par/device/memory.hpp"
+#include "par/device/queue.hpp"
+
+namespace beatnik::par::device {
+
+/// Elements per scan chunk (matches the reduce chunk for familiarity).
+inline constexpr std::size_t kScanChunk = 1024;
+
+/// Scratch for exclusive_scan: chunk partials, grown once to the
+/// high-water mark and pinned while registered for kernel access.
+struct ScanScratch {
+    std::vector<std::uint32_t> partials;
+    ScopedHostRegistration pin;
+
+    /// Ensure capacity for scanning \p n elements; (re)pins on growth.
+    /// Callers must not have a scan in flight when this grows.
+    void reserve_for(std::size_t n) {
+        const std::size_t nchunks = n == 0 ? 1 : (n + kScanChunk - 1) / kScanChunk;
+        if (partials.size() >= nchunks) return;
+        pin.release();
+        partials.resize(nchunks);
+        pin = ScopedHostRegistration(
+            std::span<const std::uint32_t>(partials.data(), partials.size()));
+    }
+};
+
+/// Exclusive prefix scan of \p data (in place, n elements) enqueued on
+/// \p q; returns the total. \p data must be device-accessible (device
+/// heap or registered host range). Synchronizes the queue: the total is
+/// needed on the host (it sizes the next pipeline stage).
+inline std::uint32_t exclusive_scan(Queue& q, std::uint32_t* data, std::size_t n,
+                                    ScanScratch& scratch) {
+    if (n == 0) return 0;
+    scratch.reserve_for(n);
+    const std::size_t nchunks = (n + kScanChunk - 1) / kScanChunk;
+    std::uint32_t* parts = scratch.partials.data();
+    q.parallel_for(nchunks, [data, parts, n](std::size_t c) {
+        const std::size_t b = c * kScanChunk;
+        const std::size_t e = b + kScanChunk < n ? b + kScanChunk : n;
+        std::uint32_t sum = 0;
+        for (std::size_t i = b; i < e; ++i) sum += data[i];
+        parts[c] = sum;
+    });
+    q.fence();
+    // Host fold over the chunk partials, rewriting each as its chunk's
+    // exclusive offset.
+    std::uint32_t total = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::uint32_t s = parts[c];
+        parts[c] = total;
+        total += s;
+    }
+    q.parallel_for(nchunks, [data, parts, n](std::size_t c) {
+        const std::size_t b = c * kScanChunk;
+        const std::size_t e = b + kScanChunk < n ? b + kScanChunk : n;
+        std::uint32_t run = parts[c];
+        for (std::size_t i = b; i < e; ++i) {
+            const std::uint32_t v = data[i];
+            data[i] = run;
+            run += v;
+        }
+    });
+    q.fence();
+    return total;
+}
+
+} // namespace beatnik::par::device

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -58,13 +59,23 @@ public:
     [[nodiscard]] std::size_t size() const { return points_.size() / 3; }
     [[nodiscard]] double radius() const { return radius_; }
 
-    /// Neighbor lists for every query point. Set \p exclude_identical to
-    /// skip the source point with the same index as the query (the
-    /// self-interaction exclusion when querying the source set itself).
+    /// Pass as \p self_offset when the query set is unrelated to the
+    /// source set (no self-pair to exclude).
+    static constexpr std::size_t kNoSelf = static_cast<std::size_t>(-1);
+
+    /// Neighbor lists for every query point. \p self_offset makes the
+    /// self-interaction exclusion explicit: query q corresponds to
+    /// source q + self_offset, and that one source is skipped. The old
+    /// boolean flag silently assumed the queries were an index-aligned
+    /// *prefix* of the sources (self_offset == 0); any other caller got
+    /// wrong-neighbor exclusion with no diagnostic, so the mapping is
+    /// now a checked parameter (kNoSelf = no exclusion).
     [[nodiscard]] NeighborList query(std::span<const double> queries,
-                                     bool exclude_identical) const {
+                                     std::size_t self_offset) const {
         BEATNIK_REQUIRE(queries.size() % 3 == 0, "queries must be N x 3 coordinates");
         const std::size_t nq = queries.size() / 3;
+        BEATNIK_REQUIRE(self_offset == kNoSelf || self_offset + nq <= size(),
+                        "self_offset must map every query onto a source index");
         const double r2 = radius_ * radius_;
         NeighborList list;
         list.offsets.resize(nq + 1, 0);
@@ -74,6 +85,7 @@ public:
             for (std::size_t q = 0; q < nq; ++q) {
                 const double* qp = &queries[3 * q];
                 auto qc = cell_of(qp);
+                const std::size_t self = self_offset == kNoSelf ? kNoSelf : q + self_offset;
                 std::uint32_t written = 0;
                 for (int dz = -1; dz <= 1; ++dz) {
                     for (int dy = -1; dy <= 1; ++dy) {
@@ -82,7 +94,7 @@ public:
                                 {qc[0] + dx, qc[1] + dy, qc[2] + dz});
                             if (it == bins_.end()) continue;
                             for (std::uint32_t s : it->second) {
-                                if (exclude_identical && s == q) continue;
+                                if (s == self) continue;
                                 const double* sp = &points_[3 * s];
                                 double d2 = sq(qp[0] - sp[0]) + sq(qp[1] - sp[1]) +
                                             sq(qp[2] - sp[2]);
@@ -105,6 +117,13 @@ public:
         }
         return list;
     }
+
+    /// The pre-contract boolean form is a compile error: `true` would
+    /// silently convert to self_offset == 1 and exclude the *wrong*
+    /// source. (A deduced template so integer literals still bind to the
+    /// std::size_t overload above.)
+    template <class B, std::enable_if_t<std::is_same_v<B, bool>, int> = 0>
+    NeighborList query(std::span<const double>, B) const = delete;
 
 private:
     using Cell = std::array<int, 3>;
@@ -132,18 +151,25 @@ private:
     std::unordered_map<Cell, std::vector<std::uint32_t>, CellHash> bins_;
 };
 
-/// O(N*M) reference used by tests and accuracy studies.
+/// O(N*M) reference used by tests and accuracy studies. \p self_offset
+/// follows the BinGrid3D::query contract (BinGrid3D::kNoSelf disables
+/// self-pair exclusion).
 [[nodiscard]] inline NeighborList brute_force_neighbors(std::span<const double> points,
                                                         std::span<const double> queries,
-                                                        double radius, bool exclude_identical) {
+                                                        double radius,
+                                                        std::size_t self_offset) {
     const std::size_t n = points.size() / 3;
     const std::size_t nq = queries.size() / 3;
+    BEATNIK_REQUIRE(self_offset == BinGrid3D::kNoSelf || self_offset + nq <= n,
+                    "self_offset must map every query onto a source index");
     const double r2 = radius * radius;
     NeighborList list;
     list.offsets.resize(nq + 1, 0);
     for (std::size_t q = 0; q < nq; ++q) {
+        const std::size_t self = self_offset == BinGrid3D::kNoSelf ? BinGrid3D::kNoSelf
+                                                                   : q + self_offset;
         for (std::size_t s = 0; s < n; ++s) {
-            if (exclude_identical && s == q) continue;
+            if (s == self) continue;
             double d2 = 0.0;
             for (int d = 0; d < 3; ++d) {
                 double diff = queries[3 * q + static_cast<std::size_t>(d)] -

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
 
 #include "core/beatnik.hpp"
+#include "search/neighbor_search.hpp"
 
 namespace b = beatnik;
 namespace bc = beatnik::comm;
@@ -181,6 +185,88 @@ TEST(BRSolvers, DesingularizationBoundsTheKernel) {
     auto close = b::br_kernel({1e-8, 0.0, 0.0}, {0.0, 0.0, 0.0}, g, eps2);
     EXPECT_LT(b::norm(close), 1.0 / eps2);
     EXPECT_TRUE(std::isfinite(close.y));
+}
+
+// Regression: the very first compute_velocity on a fresh cutoff solver
+// must write the velocity field. The first call also builds the
+// persistent migrate/ghost plans; an early return after that setup
+// (shipped by upstream Beatnik variants of this pipeline) silently
+// leaves the first derivative of every run unwritten — and the
+// integrator then advances the surface with garbage. Single rank, free
+// boundary: no ghosts, so an O(N^2) brute-force neighbor reference
+// predicts every velocity exactly (modulo summation order).
+TEST(BRSolvers, FirstEvaluationWritesVelocity) {
+    run(1, [](bc::Communicator& comm) {
+        auto params = br_params(12, b::BRSolverKind::cutoff, 0.7);
+        b::SurfaceMesh mesh(comm, params);
+        b::ProblemManager pm(comm, mesh, params);
+        b::CutoffBRSolver solver(mesh, params);
+
+        const auto& local = mesh.local();
+        const int ni = local.owned_extent(0);
+        const int nj = local.owned_extent(1);
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                double x = mesh.coordinate(0, i), y = mesh.coordinate(1, j);
+                pm.vorticity()(i, j, 0) = std::sin(2.0 * x) * std::cos(y);
+                pm.vorticity()(i, j, 1) = std::cos(x) * std::sin(2.0 * y);
+            }
+        }
+        pm.gather_halos();
+        const double dx = mesh.global().spacing(0), dy = mesh.global().spacing(1);
+        bg::NodeField<double, 3> gamma(local);
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                auto g = b::operators::gamma_vector(pm.position(), pm.vorticity(), i, j, dx, dy);
+                gamma(i, j, 0) = g.x;
+                gamma(i, j, 1) = g.y;
+                gamma(i, j, 2) = g.z;
+            }
+        }
+
+        // Poison the output so "solver never wrote it" cannot pass.
+        bg::NodeField<double, 3> vel(local);
+        for (double& v : vel.storage()) v = 1.0e300;
+        solver.compute_velocity(pm, gamma, vel); // the FIRST call
+
+        // Brute-force reference over the same point set.
+        const std::size_t n = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+        std::vector<double> pts(3 * n), gam(3 * n);
+        for (int i = 0; i < ni; ++i) {
+            for (int j = 0; j < nj; ++j) {
+                const std::size_t k = static_cast<std::size_t>(i * nj + j);
+                for (int d = 0; d < 3; ++d) {
+                    pts[3 * k + static_cast<std::size_t>(d)] = pm.position()(i, j, d);
+                    gam[3 * k + static_cast<std::size_t>(d)] = gamma(i, j, d);
+                }
+            }
+        }
+        auto nbrs = beatnik::search::brute_force_neighbors(pts, pts, params.cutoff_distance, 0);
+        const double eps = mesh.effective_epsilon(params.epsilon);
+        const double prefactor = mesh.cell_area() / (4.0 * std::numbers::pi);
+        std::size_t nonzero = 0;
+        for (std::size_t q = 0; q < n; ++q) {
+            b::Vec3 qp{pts[3 * q], pts[3 * q + 1], pts[3 * q + 2]};
+            b::Vec3 sum{0.0, 0.0, 0.0};
+            for (std::uint32_t s : nbrs.neighbors(q)) {
+                b::Vec3 sp{pts[3 * s], pts[3 * s + 1], pts[3 * s + 2]};
+                b::Vec3 sg{gam[3 * s], gam[3 * s + 1], gam[3 * s + 2]};
+                sum += b::br_kernel(qp, sp, sg, eps * eps);
+            }
+            const int i = static_cast<int>(q) / nj, j = static_cast<int>(q) % nj;
+            const double ref[3] = {sum.x * prefactor, sum.y * prefactor, sum.z * prefactor};
+            for (int d = 0; d < 3; ++d) {
+                ASSERT_LT(std::abs(vel(i, j, d)), 1.0e299)
+                    << "first compute_velocity left node (" << i << "," << j << ") unwritten";
+                EXPECT_NEAR(vel(i, j, d), ref[d],
+                            1e-12 * std::max(1.0, std::abs(ref[d])))
+                    << "node (" << i << "," << j << ") component " << d;
+            }
+            if (ref[0] != 0.0 || ref[1] != 0.0 || ref[2] != 0.0) ++nonzero;
+        }
+        // Sanity: the deck actually produces nontrivial velocities.
+        EXPECT_GT(nonzero, n / 2);
+    });
 }
 
 TEST(CutoffBookkeeping, SpatialCensusSumsToAllPoints) {

@@ -1,0 +1,346 @@
+// Device-resident cutoff BR pipeline: the acceptance gate for the
+// multi-queue spatial pipeline (binning, neighbor search, ghost-target
+// generation and kernel accumulation as device kernels).
+//
+//  * bitwise equivalence — with the *cutoff* solver engaged, a
+//    device-backend run produces exactly the bytes of the all-host run
+//    at every model order (same canonicalization, same ghost visit
+//    order, same cell-list layout, same per-query accumulation order);
+//  * schedule equivalence — the three-queue overlapped schedule (pack /
+//    spatial / main queues joined by Events) is bitwise identical to
+//    the fenced single-queue schedule;
+//  * seam correctness — canonicalization of points exactly on the
+//    periodic boundary (v == high wraps to low, never an out-of-range
+//    block index);
+//  * degenerate topologies — 1 rank and 1xN rank grids, where every
+//    ghost target is a periodic self-image;
+//  * steady-state budget — a cutoff step under Backend::device performs
+//    ZERO host<->device field copies and ZERO rank-thread heap
+//    allocations (per-thread counting global allocator, same TU idiom
+//    as test_device_residency.cpp);
+//  * pinned-staging lifecycle — PinnedStore re-pins after regrowth so
+//    kernels never reach a dangling registration.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <vector>
+
+#include "core/beatnik.hpp"
+#include "par/device/memory.hpp"
+#include "par/device/queue.hpp"
+
+namespace b = beatnik;
+namespace bc = beatnik::comm;
+namespace bd = beatnik::par::device;
+namespace bg = beatnik::grid;
+
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+/// Allocations performed by the current thread since start-up. The
+/// steady-state cutoff step must not advance this on the rank threads.
+thread_local std::uint64_t t_allocs = 0;
+} // namespace
+
+void* operator new(std::size_t n) {
+    ++t_allocs;
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+    ++t_allocs;
+    const std::size_t a = static_cast<std::size_t>(al);
+    const std::size_t rounded = (n + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+void run(int nranks, const std::function<void(bc::Communicator&)>& fn) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 180.0;
+    bc::Context::run(nranks, fn, cfg);
+}
+
+/// RAII process-default backend override (rank threads read the default
+/// at spawn inside Context::run).
+struct ScopedDefaultBackend {
+    b::par::Backend saved;
+    explicit ScopedDefaultBackend(b::par::Backend bk)
+        : saved(b::par::default_backend().load()) {
+        b::par::set_default_backend(bk);
+    }
+    ~ScopedDefaultBackend() { b::par::set_default_backend(saved); }
+};
+
+/// RAII override of the cutoff solver's schedule (overlapped multi-queue
+/// vs fenced single-queue).
+struct ScopedOverlap {
+    bool saved;
+    explicit ScopedOverlap(bool on) : saved(b::CutoffBRSolver::overlap()) {
+        b::CutoffBRSolver::set_overlap(on);
+    }
+    ~ScopedOverlap() { b::CutoffBRSolver::set_overlap(saved); }
+};
+
+/// Like test_device_residency's deck, but with the *cutoff* solver
+/// engaged at every BR-solving order (the residency test uses exact for
+/// medium; here the spatial pipeline itself is under test).
+b::Params cutoff_params(b::Order order) {
+    b::Params p;
+    p.num_nodes = {32, 32};
+    p.boundary = b::Boundary::periodic;
+    p.order = order;
+    p.br_solver = b::BRSolverKind::cutoff;
+    p.cutoff_distance = 1.0;
+    p.surface_low = {-1.0, -1.0};
+    p.surface_high = {1.0, 1.0};
+    p.box_low = {-1.0, -1.0, -2.0};
+    p.box_high = {1.0, 1.0, 2.0};
+    p.initial.kind = b::InitialCondition::Kind::multimode;
+    p.initial.magnitude = 0.1;
+    p.fft = b::fft::FFTConfig::from_table1_index(3);
+    return p;
+}
+
+struct StateBytes {
+    std::vector<double> z;
+    std::vector<double> w;
+};
+
+std::vector<StateBytes> run_case(b::par::Backend backend, const b::Params& params, int nranks,
+                                 int steps) {
+    ScopedDefaultBackend scoped(backend);
+    std::vector<StateBytes> out(static_cast<std::size_t>(nranks));
+    run(nranks, [&](bc::Communicator& comm) {
+        b::Solver solver(comm, params);
+        solver.advance(steps);
+        auto& pm = solver.state();
+        auto r = static_cast<std::size_t>(comm.rank());
+        out[r].z = std::as_const(pm).position().storage();
+        out[r].w = std::as_const(pm).vorticity().storage();
+    });
+    return out;
+}
+
+void expect_bitwise_equal(const std::vector<StateBytes>& a, const std::vector<StateBytes>& b,
+                          const char* what) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        EXPECT_EQ(a[r].z, b[r].z) << what << ": position diverged, rank " << r;
+        EXPECT_EQ(a[r].w, b[r].w) << what << ": vorticity diverged, rank " << r;
+    }
+}
+
+TEST(CutoffDevice, StepsAreBitwiseIdenticalToHostForAllOrders) {
+    for (auto order : {b::Order::low, b::Order::medium, b::Order::high}) {
+        auto params = cutoff_params(order);
+        auto host = run_case(b::par::Backend::serial, params, 4, 3);
+        auto device = run_case(b::par::Backend::device, params, 4, 3);
+        SCOPED_TRACE("order " + std::to_string(static_cast<int>(order)));
+        expect_bitwise_equal(host, device, "device vs host");
+    }
+}
+
+// The overlapped schedule (gamma-pack on the pack queue, spatial
+// pipeline on the spatial queue, Event-published back to the main
+// queue) must be bitwise identical to the fenced single-queue schedule
+// — overlap changes *when* work runs, never *what* it computes.
+TEST(CutoffDevice, OverlappedScheduleMatchesFencedSchedule) {
+    for (auto order : {b::Order::medium, b::Order::high}) {
+        auto params = cutoff_params(order);
+        std::vector<StateBytes> fenced, overlapped;
+        {
+            ScopedOverlap scoped(false);
+            fenced = run_case(b::par::Backend::device, params, 4, 3);
+        }
+        {
+            ScopedOverlap scoped(true);
+            overlapped = run_case(b::par::Backend::device, params, 4, 3);
+        }
+        SCOPED_TRACE("order " + std::to_string(static_cast<int>(order)));
+        expect_bitwise_equal(fenced, overlapped, "overlapped vs fenced");
+    }
+}
+
+// Points exactly on the periodic seam: canonical(v == high) must wrap
+// to low (floor((high-low)/len) == 1), yielding an in-range block
+// index, a valid owner rank, and an exact -L image shift.
+TEST(CutoffDevice, SeamCoordinatesWrapExactly) {
+    b::SpatialGeometry g;
+    g.periodic = true;
+    g.low[0] = -1.0;
+    g.low[1] = -1.0;
+    g.high[0] = 1.0;
+    g.high[1] = 1.0;
+    g.dims[0] = 2;
+    g.dims[1] = 2;
+    for (int d = 0; d < 2; ++d) {
+        double shift = 0.0;
+        EXPECT_EQ(g.canonical(d, 1.0, &shift), -1.0) << "v == high must wrap to low";
+        EXPECT_EQ(shift, -2.0);
+        EXPECT_EQ(g.canonical(d, -1.0, &shift), -1.0) << "v == low must stay put";
+        EXPECT_EQ(shift, 0.0);
+        EXPECT_EQ(g.canonical(d, 3.0, &shift), -1.0) << "one full tile beyond the seam";
+        EXPECT_EQ(shift, -4.0);
+        // The canonical result always lands in a valid block.
+        for (double v : {1.0, -1.0, 3.0, -3.0, 0.999999999, 1.000000001}) {
+            int c = g.raw_block_index(d, g.canonical(d, v));
+            EXPECT_GE(c, 0) << "v = " << v;
+            EXPECT_LT(c, g.dims[d]) << "v = " << v;
+        }
+    }
+    // A particle exactly on the corner seam is owned by the low-corner
+    // rank, identically to the particle at the low corner itself.
+    EXPECT_EQ(g.owner_rank(1.0, 1.0), g.owner_rank(-1.0, -1.0));
+    EXPECT_EQ(g.owner_rank(1.0, 1.0), 0);
+    // Its ghost copies carry exact tile-length image offsets.
+    g.ghost_targets(1.0, 1.0, 0.25, [&](int rank, double dx, double dy) {
+        EXPECT_GE(rank, 0);
+        EXPECT_LT(rank, 4);
+        for (double off : {dx, dy}) {
+            EXPECT_TRUE(off == -2.0 || off == 0.0 || off == 2.0)
+                << "seam ghost offset must be a whole tile: " << off;
+        }
+    });
+}
+
+// Degenerate rank grids: a single rank (every ghost is a periodic
+// self-image) and 1xN / Nx1 strips (ghost traffic in one axis only).
+// Each decomposition must still match its own host run bitwise.
+TEST(CutoffDevice, DegenerateTopologiesMatchHostBitwise) {
+    struct Case {
+        int nranks;
+        std::array<int, 2> dims;
+    };
+    for (auto order : {b::Order::medium, b::Order::high}) {
+        for (const Case& c : {Case{1, {1, 1}}, Case{4, {1, 4}}, Case{4, {4, 1}}}) {
+            auto params = cutoff_params(order);
+            params.topo_dims = c.dims;
+            auto host = run_case(b::par::Backend::serial, params, c.nranks, 2);
+            auto device = run_case(b::par::Backend::device, params, c.nranks, 2);
+            SCOPED_TRACE("order " + std::to_string(static_cast<int>(order)) + " dims " +
+                         std::to_string(c.dims[0]) + "x" + std::to_string(c.dims[1]));
+            expect_bitwise_equal(host, device, "device vs host");
+        }
+    }
+}
+
+// The acceptance bar for the device-resident spatial pipeline: a
+// steady-state cutoff derivative eval runs binning, neighbor search,
+// ghost generation and kernel accumulation as device kernels over
+// persistent pinned staging — zero rank-thread heap allocations.
+// (Worker-pool threads may allocate; the rank thread is the
+// latency-critical path this guards.) The eval is repeated on a
+// *frozen* state: an advancing surface legitimately grows staging and
+// channel buffers whenever its ghost/migration counts reach a new
+// high-water mark, so the allocation-free contract is per-eval, not
+// per-trajectory.
+TEST(CutoffDevice, SteadyStateCutoffEvalHasZeroRankThreadAllocations) {
+    constexpr int kRanks = 4;
+    ScopedDefaultBackend scoped(b::par::Backend::device);
+    std::array<std::uint64_t, kRanks> alloc_deltas{};
+    run(kRanks, [&](bc::Communicator& comm) {
+        b::Solver solver(comm, cutoff_params(b::Order::high));
+        ASSERT_TRUE(solver.state().device_resident());
+        auto& pm = solver.state();
+        // Warm-up: device setup, migrate/ghost plan binding, staging and
+        // channel growth to this state's high-water mark.
+        solver.advance(2);
+        bg::NodeField<double, 3> zdot(solver.mesh().local());
+        bg::NodeField<double, 2> wdot(solver.mesh().local());
+        solver.zmodel().derivatives(pm, zdot, wdot);
+        solver.zmodel().derivatives(pm, zdot, wdot);
+        comm.barrier();
+        const std::uint64_t allocs_before = t_allocs;
+        for (int i = 0; i < 3; ++i) solver.zmodel().derivatives(pm, zdot, wdot);
+        // Read the thread counter before the barrier — the collective
+        // itself allocates (mailbox path) and is not under test.
+        alloc_deltas[static_cast<std::size_t>(comm.rank())] = t_allocs - allocs_before;
+        comm.barrier();
+    });
+    for (int r = 0; r < kRanks; ++r) {
+        EXPECT_EQ(alloc_deltas[static_cast<std::size_t>(r)], 0u)
+            << "rank " << r << " allocated on the steady-state cutoff eval path";
+    }
+}
+
+// Device-resident cutoff *stepping* must not move fields across the
+// host/device boundary: only the migrate exchanges touch host-visible
+// (pinned) staging, never a mirror copy.
+TEST(CutoffDevice, SteadyStateCutoffStepHasZeroFieldCopies) {
+    constexpr int kRanks = 4;
+    ScopedDefaultBackend scoped(b::par::Backend::device);
+    std::atomic<std::uint64_t> copy_delta{0};
+    run(kRanks, [&](bc::Communicator& comm) {
+        b::Solver solver(comm, cutoff_params(b::Order::high));
+        ASSERT_TRUE(solver.state().device_resident());
+        solver.advance(3);
+        comm.barrier();
+        auto& stats = bd::CopyStats::instance();
+        const std::uint64_t copies_before =
+            stats.h2d_copies.load() + stats.d2h_copies.load();
+        solver.advance(3);
+        comm.barrier();
+        if (comm.rank() == 0) {
+            copy_delta = stats.h2d_copies.load() + stats.d2h_copies.load() - copies_before;
+        }
+        comm.barrier();
+    });
+    EXPECT_EQ(copy_delta.load(), 0u)
+        << "steady-state cutoff steps performed host<->device field copies";
+}
+
+// Satellite audit: PinnedStore must survive regrowth — growth drops the
+// stale registration and ensure_pinned() re-pins the new storage, so a
+// kernel launched after regrowth reads the fresh range, never a
+// dangling pin.
+TEST(CutoffDevice, PinnedStagingRegrowthRepinsBeforeKernelUse) {
+    bd::PinnedStore<double> store;
+    store.ensure_pinned(16);
+    ASSERT_TRUE(store.pinned());
+    double* before = store.data();
+    for (std::size_t i = 0; i < 16; ++i) store[i] = static_cast<double>(i);
+
+    // Force a reallocation-scale regrowth.
+    store.ensure_pinned(1 << 14);
+    EXPECT_TRUE(store.pinned()) << "regrowth must re-register the new storage";
+    double* after = store.data();
+    EXPECT_NE(before, after) << "test needs a real reallocation to exercise re-pinning";
+    const std::size_t n = store.size();
+    for (std::size_t i = 0; i < n; ++i) store[i] = 1.0;
+
+    // The regrown range must be kernel-reachable: square it on-device.
+    bd::Queue q;
+    double* p = store.data();
+    q.parallel_for(n, [p](std::size_t i) { p[i] = p[i] * 2.0 + 1.0; });
+    q.fence();
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(store[i], 3.0) << "kernel did not see the re-pinned storage at " << i;
+    }
+
+    // Steady state: ensure_pinned at or below size is pointer-stable and
+    // keeps the registration.
+    store.ensure_pinned(n);
+    store.ensure_pinned(4);
+    EXPECT_EQ(store.data(), after);
+    EXPECT_TRUE(store.pinned());
+}
+
+} // namespace

@@ -184,6 +184,53 @@ TEST(MigratePlan, HotspotAndEmptyIterationsOnOnePlan) {
     });
 }
 
+// execute_into is the allocation-free variant the cutoff solver's
+// device pipeline stages through (caller-provided grow-only storage):
+// it must produce exactly the bytes of execute(), report the same
+// total, and keep the caller's pointer/capacity once warm.
+TEST_P(MigrateP, ExecuteIntoMatchesExecuteBitwise) {
+    run(GetParam(), [](bc::Communicator& comm) {
+        const int p = comm.size();
+        bg::MigratePlan<Particle> plan_a(comm);
+        bg::MigratePlan<Particle> plan_b(comm);
+        std::vector<Particle> sink;
+        for (int iter = 0; iter < 12; ++iter) {
+            const int n = 5 + ((comm.rank() * 5 + iter * 17) % 30);
+            std::vector<Particle> mine;
+            std::vector<int> dest;
+            for (int k = 0; k < n; ++k) {
+                std::uint64_t gid = static_cast<std::uint64_t>(comm.rank()) * 10'000 +
+                                    static_cast<std::uint64_t>(iter) * 100 +
+                                    static_cast<std::uint64_t>(k);
+                mine.push_back({gid * 0.25, iter * 1.0, -1.0, gid, comm.rank()});
+                dest.push_back(static_cast<int>(beatnik::hash_mix(23, gid) %
+                                                static_cast<std::uint64_t>(p)));
+            }
+            auto via_execute = plan_a.execute(std::span<const Particle>(mine),
+                                              std::span<const int>(dest));
+            std::size_t reported = 0;
+            const std::size_t cap_before = sink.capacity();
+            const std::size_t got =
+                plan_b.execute_into(std::span<const Particle>(mine),
+                                    std::span<const int>(dest), [&](std::size_t total) {
+                                        reported = total;
+                                        if (total > sink.size()) sink.resize(total);
+                                        return sink.data();
+                                    });
+            ASSERT_EQ(reported, via_execute.size()) << "iteration " << iter;
+            ASSERT_EQ(got, reported);
+            EXPECT_TRUE(std::memcmp(sink.data(), via_execute.data(),
+                                    reported * sizeof(Particle)) == 0)
+                << "iteration " << iter << " rank " << comm.rank();
+            // Grow-only caller storage: once past the high-water mark the
+            // callback must not need to reallocate.
+            if (iter > 0 && reported <= sink.size() && cap_before >= reported) {
+                EXPECT_EQ(sink.capacity(), cap_before) << "iteration " << iter;
+            }
+        }
+    });
+}
+
 TEST(Distribute, ParticleCanReachMultipleRanks) {
     run(4, [](bc::Communicator& comm) {
         // Rank 0 owns one particle ghosted to ranks {1,2}; everyone else

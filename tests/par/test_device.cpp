@@ -11,6 +11,7 @@
 #include <numeric>
 #include <vector>
 
+#include "par/device/scan.hpp"
 #include "par/par.hpp"
 
 namespace bp = beatnik::par;
@@ -287,6 +288,90 @@ TEST(ReduceDeterminism, DeviceReduceIsReproducibleAcrossRuns) {
     for (int run = 0; run < 5; ++run) {
         EXPECT_EQ(std::bit_cast<std::uint64_t>(first),
                   std::bit_cast<std::uint64_t>(sum_with_backend(bp::Backend::device, n)));
+    }
+}
+
+// ------------------------------------------- scan and pinned staging
+
+// exclusive_scan backs the count–scan–fill idiom of the cutoff solver's
+// cell-list build and ghost staging: it must match a serial exclusive
+// prefix sum exactly at every size (chunk boundaries included), be
+// reproducible, and reuse caller scratch without reallocating.
+TEST(DeviceScan, ExclusiveScanMatchesSerialReferenceAtAllSizes) {
+    bd::Queue q;
+    bd::ScanScratch scratch;
+    for (std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, bd::kScanChunk - 1, bd::kScanChunk,
+          bd::kScanChunk + 1, 3 * bd::kScanChunk + 41, std::size_t{100000}}) {
+        bd::PinnedStore<std::uint32_t> data;
+        data.ensure_pinned(n == 0 ? 1 : n);
+        std::vector<std::uint32_t> ref(n);
+        std::uint32_t expect_total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto v = static_cast<std::uint32_t>((i * 2654435761u) % 17);
+            data[i] = v;
+            ref[i] = expect_total;
+            expect_total += v;
+        }
+        const std::uint32_t total = bd::exclusive_scan(q, data.data(), n, scratch);
+        EXPECT_EQ(total, expect_total) << "n=" << n;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(data[i], ref[i]) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(DeviceScan, ScratchIsReusedWithoutReallocation) {
+    bd::Queue q;
+    bd::ScanScratch scratch;
+    constexpr std::size_t n = 4 * bd::kScanChunk;
+    bd::PinnedStore<std::uint32_t> data;
+    data.ensure_pinned(n);
+    scratch.reserve_for(n);
+    const std::uint32_t* parts_before = scratch.partials.data();
+    const std::size_t cap_before = scratch.partials.capacity();
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = 0; i < n; ++i) data[i] = 1;
+        EXPECT_EQ(bd::exclusive_scan(q, data.data(), n, scratch), n);
+        EXPECT_EQ(scratch.partials.data(), parts_before);
+        EXPECT_EQ(scratch.partials.capacity(), cap_before);
+    }
+    // Smaller scans ride on the same scratch.
+    for (std::size_t i = 0; i < 10; ++i) data[i] = 2;
+    EXPECT_EQ(bd::exclusive_scan(q, data.data(), 10, scratch), 20u);
+    EXPECT_EQ(data[9], 18u);
+    EXPECT_EQ(scratch.partials.data(), parts_before);
+}
+
+// PinnedStore is the persistent staging behind the device-resident
+// cutoff pipeline: grow-only, re-pins on reallocation, pointer-stable
+// in the steady state. ensure() (host-only flavor) must never touch
+// the device runtime.
+TEST(DevicePinnedStore, EnsureDoesNotTouchRuntimeAndEnsurePinnedDoes) {
+    bd::PinnedStore<int> host_only;
+    host_only.ensure(100);
+    EXPECT_FALSE(host_only.pinned());
+    EXPECT_EQ(host_only.size(), 100u);
+
+    bd::PinnedStore<int> pinned;
+    pinned.ensure_pinned(100);
+    EXPECT_TRUE(pinned.pinned());
+    int* p0 = pinned.data();
+    // No-growth calls are pointer-stable and keep the pin.
+    pinned.ensure_pinned(50);
+    pinned.ensure_pinned(100);
+    EXPECT_EQ(pinned.data(), p0);
+    EXPECT_TRUE(pinned.pinned());
+    // Growth re-pins the new storage (audited by a kernel touching it).
+    pinned.ensure_pinned(1 << 12);
+    EXPECT_TRUE(pinned.pinned());
+    int* p = pinned.data();
+    const std::size_t n = pinned.size();
+    bd::Queue q;
+    q.parallel_for(n, [p](std::size_t i) { p[i] = static_cast<int>(i % 97); });
+    q.fence();
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(pinned[i], static_cast<int>(i % 97));
     }
 }
 

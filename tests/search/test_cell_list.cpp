@@ -1,0 +1,125 @@
+// Cell-list tests: the dense count–scan–fill structure must reproduce
+// BinGrid3D exactly — same neighbors in the same enumeration order (the
+// cutoff solver's bitwise-determinism contract) — and the device build
+// must be byte-identical to the host build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "par/device/device.hpp"
+#include "search/cell_list.hpp"
+#include "search/neighbor_search.hpp"
+#include "test_env.hpp"
+
+namespace bs = beatnik::search;
+namespace bpd = beatnik::par::device;
+
+namespace {
+
+std::vector<double> random_cloud(std::size_t n, std::uint64_t seed, double extent = 2.0) {
+    std::vector<double> pts(3 * n);
+    beatnik::SplitMix64 rng(beatnik::test::seed() + seed);
+    for (auto& v : pts) v = rng.uniform(-extent, extent);
+    return pts;
+}
+
+/// Flattened (offsets, indices) for exact order-sensitive comparison.
+struct FlatList {
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> indices;
+    bool operator==(const FlatList&) const = default;
+};
+
+FlatList flatten(const bs::NeighborList& l) { return {l.offsets, l.indices}; }
+
+class CellListP : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CellListP,
+                         ::testing::Combine(::testing::Values<std::size_t>(0, 1, 10, 100, 500),
+                                            ::testing::Values(0.1, 0.5, 1.5)));
+
+TEST_P(CellListP, HostBuildMatchesBinGridIncludingOrder) {
+    auto [n, radius] = GetParam();
+    auto pts = random_cloud(n, 1500 + n);
+    bs::BinGrid3D grid(pts, radius);
+    bs::CellList3D cells;
+    cells.build_host(pts, radius);
+    // Order-sensitive equality: the cell list exists to reproduce the
+    // bin grid's enumeration order, not just its pair set.
+    EXPECT_EQ(flatten(cells.query(pts, pts, 0)), flatten(grid.query(pts, 0)));
+    auto queries = random_cloud(n / 2 + 1, 2500 + n);
+    EXPECT_EQ(flatten(cells.query(pts, queries, bs::CellList3D::kNoSelf)),
+              flatten(grid.query(queries, bs::BinGrid3D::kNoSelf)));
+}
+
+TEST_P(CellListP, DeviceBuildIsByteIdenticalToHostBuild) {
+    auto [n, radius] = GetParam();
+    auto pts = random_cloud(n, 3500 + n);
+    bs::CellList3D host_cells;
+    host_cells.build_host(pts, radius);
+
+    bpd::ScopedHostRegistration pin{std::span<const double>(pts.data(), pts.size())};
+    bpd::Queue q;
+    bs::CellList3D dev_cells;
+    dev_cells.build_device(q, pts.data(), pts.size(), radius);
+
+    ASSERT_EQ(dev_cells.size(), host_cells.size());
+    const auto& hg = host_cells.grid();
+    const auto& dg = dev_cells.grid();
+    EXPECT_EQ(dg.lo, hg.lo);
+    EXPECT_EQ(dg.n, hg.n);
+    const std::size_t ncells = hg.num_cells();
+    for (std::size_t c = 0; c <= ncells; ++c) {
+        ASSERT_EQ(dev_cells.cell_offsets()[c], host_cells.cell_offsets()[c]) << "cell " << c;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(dev_cells.cell_points()[k], host_cells.cell_points()[k]) << "slot " << k;
+    }
+}
+
+TEST(CellList, DeviceRebuildSteadyStateAllocatesNothingNew) {
+    // Grow-only staging: a second build over a same-size cloud must reuse
+    // every buffer (the cutoff solver rebuilds per derivative eval).
+    auto pts = random_cloud(400, 47);
+    bpd::ScopedHostRegistration pin{std::span<const double>(pts.data(), pts.size())};
+    bpd::Queue q;
+    bs::CellList3D cells;
+    cells.build_device(q, pts.data(), pts.size(), 0.5);
+    const auto* offsets = cells.cell_offsets();
+    const auto* points = cells.cell_points();
+    cells.build_device(q, pts.data(), pts.size(), 0.5);
+    EXPECT_EQ(cells.cell_offsets(), offsets);
+    EXPECT_EQ(cells.cell_points(), points);
+}
+
+TEST(CellList, VisitNeighborsEnumeratesInBinGridOrder) {
+    // The fused-kernel entry point: visiting must produce the same hit
+    // stream the materialized query would.
+    auto pts = random_cloud(120, 48);
+    bs::CellList3D cells;
+    cells.build_host(pts, 0.7);
+    auto list = cells.query(pts, pts, bs::CellList3D::kNoSelf);
+    const double r2 = 0.7 * 0.7;
+    for (std::size_t qi = 0; qi < 120; ++qi) {
+        std::vector<std::uint32_t> seen;
+        bs::visit_neighbors(cells.grid(), cells.cell_offsets(), cells.cell_points(), pts.data(),
+                            pts.data() + 3 * qi, r2,
+                            [&](std::uint32_t s) { seen.push_back(s); });
+        auto expect = list.neighbors(qi);
+        ASSERT_EQ(seen.size(), expect.size()) << "query " << qi;
+        EXPECT_TRUE(std::equal(seen.begin(), seen.end(), expect.begin()));
+    }
+}
+
+TEST(CellList, RejectsBadInput) {
+    bs::CellList3D cells;
+    std::vector<double> bad{1.0, 2.0};
+    EXPECT_THROW(cells.build_host(bad, 1.0), beatnik::Error);
+    std::vector<double> ok{1.0, 2.0, 3.0};
+    EXPECT_THROW(cells.build_host(ok, 0.0), beatnik::Error);
+    EXPECT_THROW(cells.build_host(ok, -1.0), beatnik::Error);
+}
+
+} // namespace

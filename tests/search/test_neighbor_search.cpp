@@ -39,8 +39,8 @@ TEST_P(BinGridP, MatchesBruteForceSelfQuery) {
     auto [n, radius] = GetParam();
     auto pts = random_cloud(n, 1000 + n);
     bs::BinGrid3D grid(pts, radius);
-    auto fast = grid.query(pts, /*exclude_identical=*/true);
-    auto slow = bs::brute_force_neighbors(pts, pts, radius, /*exclude_identical=*/true);
+    auto fast = grid.query(pts, /*self_offset=*/0);
+    auto slow = bs::brute_force_neighbors(pts, pts, radius, /*self_offset=*/0);
     EXPECT_EQ(as_pairs(fast), as_pairs(slow));
 }
 
@@ -49,15 +49,15 @@ TEST_P(BinGridP, MatchesBruteForceCrossQuery) {
     auto pts = random_cloud(n, 2000 + n);
     auto queries = random_cloud(n / 2 + 1, 3000 + n);
     bs::BinGrid3D grid(pts, radius);
-    auto fast = grid.query(queries, /*exclude_identical=*/false);
-    auto slow = bs::brute_force_neighbors(pts, queries, radius, /*exclude_identical=*/false);
+    auto fast = grid.query(queries, bs::BinGrid3D::kNoSelf);
+    auto slow = bs::brute_force_neighbors(pts, queries, radius, bs::BinGrid3D::kNoSelf);
     EXPECT_EQ(as_pairs(fast), as_pairs(slow));
 }
 
 TEST(BinGrid, SelfQueryNeighborhoodIsSymmetric) {
     auto pts = random_cloud(200, 42);
     bs::BinGrid3D grid(pts, 0.8);
-    auto list = grid.query(pts, true);
+    auto list = grid.query(pts, 0);
     auto pairs = as_pairs(list);
     for (const auto& [q, s] : pairs) {
         EXPECT_TRUE(pairs.count({s, q}) == 1) << "pair (" << q << "," << s << ") not symmetric";
@@ -68,8 +68,8 @@ TEST(BinGrid, LargerRadiusFindsSuperset) {
     auto pts = random_cloud(150, 77);
     bs::BinGrid3D small(pts, 0.4);
     bs::BinGrid3D large(pts, 0.9);
-    auto small_pairs = as_pairs(small.query(pts, true));
-    auto large_pairs = as_pairs(large.query(pts, true));
+    auto small_pairs = as_pairs(small.query(pts, 0));
+    auto large_pairs = as_pairs(large.query(pts, 0));
     EXPECT_TRUE(std::includes(large_pairs.begin(), large_pairs.end(), small_pairs.begin(),
                               small_pairs.end()));
     EXPECT_GT(large_pairs.size(), small_pairs.size());
@@ -79,11 +79,11 @@ TEST(BinGrid, ExactBoundaryIsExcluded) {
     // Distance exactly == radius must not count (strict inequality).
     std::vector<double> pts{0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
     bs::BinGrid3D grid(pts, 1.0);
-    auto list = grid.query(pts, true);
+    auto list = grid.query(pts, 0);
     EXPECT_EQ(list.count(0), 0u);
     EXPECT_EQ(list.count(1), 0u);
     bs::BinGrid3D grid2(pts, 1.0001);
-    auto list2 = grid2.query(pts, true);
+    auto list2 = grid2.query(pts, 0);
     EXPECT_EQ(list2.count(0), 1u);
 }
 
@@ -92,7 +92,7 @@ TEST(BinGrid, DenseClusterAllPairs) {
     constexpr std::size_t n = 40;
     auto pts = random_cloud(n, 5, /*extent=*/0.01);
     bs::BinGrid3D grid(pts, 1.0);
-    auto list = grid.query(pts, true);
+    auto list = grid.query(pts, 0);
     for (std::size_t q = 0; q < n; ++q) EXPECT_EQ(list.count(q), n - 1);
 }
 
@@ -100,9 +100,44 @@ TEST(BinGrid, NegativeCoordinatesBinnedCorrectly) {
     // Regression guard: floor (not truncation) for negative coordinates.
     std::vector<double> pts{-0.05, 0.0, 0.0, 0.05, 0.0, 0.0};
     bs::BinGrid3D grid(pts, 0.2);
-    auto list = grid.query(pts, true);
+    auto list = grid.query(pts, 0);
     EXPECT_EQ(list.count(0), 1u);
     EXPECT_EQ(list.count(1), 1u);
+}
+
+TEST(BinGrid, SelfOffsetMapsQueriesIntoSourceSuffix) {
+    // The self-exclusion contract: query q excludes source q + self_offset,
+    // nothing else — queries need not be an index-aligned prefix of the
+    // sources. Sources = [extras ++ queries], so each query's own copy
+    // lives at offset n_extra.
+    auto extras = random_cloud(60, 91);
+    auto queries = random_cloud(40, 92);
+    std::vector<double> sources = extras;
+    sources.insert(sources.end(), queries.begin(), queries.end());
+    bs::BinGrid3D grid(sources, 0.8);
+    auto list = grid.query(queries, /*self_offset=*/extras.size() / 3);
+    auto all = grid.query(queries, bs::BinGrid3D::kNoSelf);
+    for (std::size_t q = 0; q < 40; ++q) {
+        const auto self = static_cast<std::uint32_t>(extras.size() / 3 + q);
+        auto with = all.neighbors(q);
+        auto without = list.neighbors(q);
+        EXPECT_EQ(with.size(), without.size() + 1) << "query " << q;
+        EXPECT_TRUE(std::find(with.begin(), with.end(), self) != with.end());
+        EXPECT_TRUE(std::find(without.begin(), without.end(), self) == without.end());
+    }
+}
+
+TEST(BinGrid, SelfOffsetOutOfRangeIsRejected) {
+    // A self_offset that maps any query past the last source is a caller
+    // bug (the old bool flag silently assumed an aligned prefix) — it
+    // must fail loudly, not mis-exclude.
+    auto pts = random_cloud(10, 93);
+    bs::BinGrid3D grid(pts, 0.5);
+    EXPECT_THROW((void)grid.query(pts, 1), beatnik::Error);
+    EXPECT_THROW((void)bs::brute_force_neighbors(pts, pts, 0.5, 1), beatnik::Error);
+    auto some = random_cloud(4, 94);
+    (void)grid.query(some, 6);                                      // 4 + 6 == 10: legal
+    EXPECT_THROW((void)grid.query(some, 7), beatnik::Error);        // maps past the end
 }
 
 TEST(BinGrid, RejectsBadInput) {
