@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Repo-specific lint over src/ (and headers' include hygiene).
+
+Three rule families, each encoding an invariant the compiler cannot see:
+
+  header-hygiene   every header uses `#pragma once` (no macro guards, which
+                   drift when files move) and quoted project includes must
+                   resolve to a real file under src/ (catches stale paths
+                   that only break downstream consumers).
+
+  naked-fence      in the steady-state solver layers (src/core, src/grid,
+                   src/fft, src/search) every `.fence()` call must carry a
+                   `devcheck: fenced` justification on the same or the
+                   immediately preceding line. A fence is a full pipeline
+                   stall; the annotation forces each one to say why the
+                   host must block there (and makes unjustified stalls a
+                   review item instead of an accident). The runtime layer
+                   (src/par) is exempt: fences there *implement* the
+                   synchronization vocabulary.
+
+  tag-band         the MPI-style tag space is partitioned in
+                   src/comm/types.hpp (comm::tags); its band boundaries
+                   (1 << 24, 1 << 25 and their decimal spellings) must not
+                   be re-derived anywhere else. Everything goes through the
+                   pinned constants so the static_asserts there guard every
+                   use.
+
+Exit status 1 when any violation is found. --report FILE additionally
+writes the findings to FILE (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+FENCE_SCOPES = ("core", "grid", "fft", "search")
+FENCE_CALL = re.compile(r"(\.|->)\s*fence\s*\(")
+FENCE_TOKEN = "devcheck: fenced"
+
+TAG_BAND = re.compile(r"1\s*<<\s*2[45]\b|\b(16777216|33554432)\b")
+TAG_HOME = SRC / "comm" / "types.hpp"
+
+INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+GUARD = re.compile(r"^\s*#\s*ifndef\s+\w*_(HPP|H|HH|HXX)\w*\b")
+
+
+def code_part(line: str) -> str:
+    """The portion of a line before any // comment (no string handling:
+    the rules below never match inside this repo's string literals)."""
+    return line.split("//", 1)[0]
+
+
+def check_file(path: Path, findings: list[str]) -> None:
+    rel = path.relative_to(REPO)
+    lines = path.read_text(encoding="utf-8").splitlines()
+
+    if path.suffix == ".hpp":
+        if not any("#pragma once" in l for l in lines):
+            findings.append(f"{rel}:1: [header-hygiene] missing `#pragma once`")
+        for i, line in enumerate(lines, 1):
+            if GUARD.match(line):
+                findings.append(
+                    f"{rel}:{i}: [header-hygiene] macro header guard — use `#pragma once`"
+                )
+
+    for i, line in enumerate(lines, 1):
+        m = INCLUDE.match(line)
+        if m:
+            inc = m.group(1)
+            if not (SRC / inc).exists() and not (path.parent / inc).exists():
+                findings.append(
+                    f"{rel}:{i}: [header-hygiene] quoted include \"{inc}\" resolves to "
+                    "no file under src/ — stale path or missing header"
+                )
+
+    in_fence_scope = path.is_relative_to(SRC) and path.relative_to(SRC).parts[0] in FENCE_SCOPES
+    for i, line in enumerate(lines, 1):
+        if in_fence_scope and FENCE_CALL.search(code_part(line)):
+            prev = lines[i - 2] if i >= 2 else ""
+            if FENCE_TOKEN not in line and FENCE_TOKEN not in prev:
+                findings.append(
+                    f"{rel}:{i}: [naked-fence] `.fence()` in a steady-state solver layer "
+                    f"without a `// {FENCE_TOKEN} — <why>` justification (same or "
+                    "preceding line)"
+                )
+        if path != TAG_HOME and TAG_BAND.search(code_part(line)):
+            findings.append(
+                f"{rel}:{i}: [tag-band] tag-band boundary literal — use the pinned "
+                "constants in comm::tags (src/comm/types.hpp)"
+            )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--report", type=Path, help="also write findings to this file")
+    args = ap.parse_args()
+
+    findings: list[str] = []
+    files = sorted(SRC.rglob("*.hpp")) + sorted(SRC.rglob("*.cpp"))
+    for path in files:
+        check_file(path, findings)
+
+    out = "\n".join(findings)
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            (out + "\n") if out else "lint: clean (%d files)\n" % len(files),
+            encoding="utf-8",
+        )
+    if findings:
+        print(out)
+        print(f"lint: {len(findings)} violation(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,20 @@ REPO_ROOT=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
 cd "$REPO_ROOT"
 
 cmake -B "$BUILD_DIR" -S .
+
+# Instrumented builds time the instrumentation, not the code: refuse to
+# run (and especially to emit bench/results JSON that could be promoted
+# to a committed baseline) when the cache shows sanitizer or devcheck
+# flags. Point the script at a clean build dir instead.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+if grep -Eq '^BEATNIK_SANITIZE:[^=]*=.+$' "$CACHE" \
+   || grep -Eq '^BEATNIK_DEVCHECK:[^=]*=(ON|TRUE|YES|1)$' "$CACHE"; then
+    echo "error: '$BUILD_DIR' is an instrumented build (BEATNIK_SANITIZE and/or" >&2
+    echo "       BEATNIK_DEVCHECK set) — benchmark numbers from it are meaningless" >&2
+    echo "       and must never become baselines. Use an uninstrumented build dir." >&2
+    exit 2
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 run() {

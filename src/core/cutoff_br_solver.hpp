@@ -72,9 +72,9 @@ public:
 
     /// Drain in-flight kernels before the pinned staging dies.
     ~CutoffBRSolver() override {
-        if (pack_q_) pack_q_->fence();
-        if (spatial_q_) spatial_q_->fence();
-        if (queue_ != nullptr) queue_->fence();
+        if (pack_q_) pack_q_->fence();          // devcheck: fenced — teardown drain
+        if (spatial_q_) spatial_q_->fence();     // devcheck: fenced — teardown drain
+        if (queue_ != nullptr) queue_->fence();  // devcheck: fenced — teardown drain
     }
 
     [[nodiscard]] const char* name() const override { return "cutoff"; }
@@ -147,19 +147,19 @@ public:
             if (began_device_) {
                 // Pack already in flight on the pack queue; make the
                 // staging host-visible for the migrate below.
-                pack_q_->fence();
+                pack_q_->fence(); // devcheck: fenced — migrate packs staging on the host
                 began_device_ = false;
             } else {
                 auto& q = pm.device_queue();
                 enqueue_pack(q, pm, gamma, ni, nj);
-                q.fence();
+                q.fence(); // devcheck: fenced — migrate packs staging on the host
             }
         } else {
             if (began_device_) {
                 // A begin was issued but this evaluation fell back to the
                 // host path (unmirrored velocity): drain the staged pack
                 // before overwriting the staging from the host.
-                pack_q_->fence();
+                pack_q_->fence(); // devcheck: fenced — host path overwrites the staging
                 began_device_ = false;
             }
             particles_.ensure(n_own);
@@ -204,6 +204,10 @@ public:
                 const SpatialParticle* own = owned_.data();
                 std::uint32_t* counts = ghost_counts_.data();
                 const double cutoff = cutoff_;
+                namespace dc = par::device::devcheck;
+                dc::declare(sq, "cutoff ghost count",
+                            {dc::read(own, n_owned * sizeof(SpatialParticle)),
+                             dc::write(counts, n_owned * sizeof(std::uint32_t))});
                 sq.parallel_for(n_owned, [own, counts, geom, cutoff](std::size_t k) {
                     std::uint32_t c = 0;
                     geom.ghost_targets(own[k].pos.x, own[k].pos.y, cutoff,
@@ -222,6 +226,12 @@ public:
                 SpatialParticle* sends = ghost_sends_.data();
                 int* dests = ghost_dests_.data();
                 const double cutoff = cutoff_;
+                namespace dc = par::device::devcheck;
+                dc::declare(sq, "cutoff ghost fill",
+                            {dc::read(own, n_owned * sizeof(SpatialParticle)),
+                             dc::read(counts, n_owned * sizeof(std::uint32_t)),
+                             dc::write(sends, n_ghost_sends * sizeof(SpatialParticle)),
+                             dc::write(dests, n_ghost_sends * sizeof(int))});
                 sq.parallel_for(n_owned, [=](std::size_t k) {
                     std::uint32_t off = counts[k];
                     geom.ghost_targets(own[k].pos.x, own[k].pos.y, cutoff,
@@ -235,7 +245,7 @@ public:
                                        });
                 });
             }
-            sq.fence(); // the migrate packs the sends from the host
+            sq.fence(); // devcheck: fenced — the migrate packs the sends from the host
         } else {
             ghost_counts_.ensure(n_owned + 1);
             std::uint32_t total = 0;
@@ -285,6 +295,11 @@ public:
                 const SpatialParticle* own = owned_.data();
                 const SpatialParticle* gho = ghosts_.data();
                 double* crd = coords_.data();
+                namespace dc = par::device::devcheck;
+                dc::declare(sq, "cutoff coords gather",
+                            {dc::read(own, n_owned * sizeof(SpatialParticle)),
+                             dc::read(gho, n_ghosts * sizeof(SpatialParticle)),
+                             dc::write(crd, 3 * n_src * sizeof(double))});
                 sq.parallel_for(n_src, [own, gho, crd, n_owned](std::size_t s) {
                     const Vec3& p = s < n_owned ? own[s].pos : gho[s - n_owned].pos;
                     crd[3 * s + 0] = p.x;
@@ -346,8 +361,19 @@ public:
             };
             if (device) {
                 par::device::Queue& sq = overlap() ? *spatial_q_ : pm.device_queue();
+                namespace dc = par::device::devcheck;
+                dc::declare(sq, "cutoff BR accumulate",
+                            {dc::read(crd, 3 * n_src * sizeof(double)),
+                             dc::read(own, n_owned * sizeof(SpatialParticle)),
+                             dc::read(gho, n_ghosts * sizeof(SpatialParticle)),
+                             dc::read(cell_offsets, (g.num_cells() + 1) * sizeof(std::uint32_t)),
+                             dc::read(cell_points, n_src * sizeof(std::uint32_t)),
+                             dc::write(res, n_owned * sizeof(VelocityResult)),
+                             dc::write(pairs, n_owned * sizeof(std::uint32_t)),
+                             dc::write(home, n_owned * sizeof(int))});
                 sq.parallel_for(n_owned, accumulate);
-                sq.fence(); // the return migrate reads results_ on the host
+                // devcheck: fenced — the return migrate reads results_ on the host
+                sq.fence();
             } else {
                 par::parallel_for(n_owned, accumulate);
             }
@@ -379,6 +405,9 @@ public:
             par::device::Queue& xq = overlap() ? *pack_q_ : main_q;
             const VelocityResult* rp = returned_.data();
             auto v = velocity.device_view();
+            namespace dc = par::device::devcheck;
+            dc::declare(xq, "cutoff velocity scatter",
+                        {dc::read(rp, n_own * sizeof(VelocityResult)), dc::write(v.raw())});
             xq.parallel_for(n_own, [=](std::size_t k) {
                 const VelocityResult& vr = rp[k];
                 const int i = vr.home_index / nj;
@@ -391,7 +420,7 @@ public:
                 pack_q_->record_event_into(ready_ev_);
                 main_q.wait_event(ready_ev_);
             } else {
-                main_q.fence();
+                main_q.fence(); // devcheck: fenced — non-overlap reference schedule
             }
         } else {
             for (std::size_t k = 0; k < n_own; ++k) {
@@ -434,8 +463,8 @@ private:
     /// dangling pin.
     void ensure_device_staging(ProblemManager& pm, std::size_t n_own) {
         queue_ = &pm.device_queue();
-        if (!pack_q_) pack_q_.emplace();
-        if (!spatial_q_) spatial_q_.emplace();
+        if (!pack_q_) pack_q_.emplace("cutoff-pack");
+        if (!spatial_q_) spatial_q_.emplace("cutoff-spatial");
         particles_.ensure_pinned(n_own);
         dest_.ensure_pinned(n_own);
     }
@@ -449,6 +478,12 @@ private:
         int* dst = dest_.data();
         const int rank = pm.comm().rank();
         const SpatialGeometry geom = spatial_.geometry();
+        const auto n = static_cast<std::size_t>(ni) * static_cast<std::size_t>(nj);
+        namespace dc = par::device::devcheck;
+        dc::declare(q, "cutoff pack/canonicalize",
+                    {dc::read(z.raw()), dc::read(g.raw()),
+                     dc::write(pp, n * sizeof(SpatialParticle)),
+                     dc::write(dst, n * sizeof(int))});
         par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
             SpatialParticle& sp = pp[k];
             sp.pos = {geom.canonical(0, z(i, j, 0)), geom.canonical(1, z(i, j, 1)),

@@ -30,7 +30,7 @@ public:
 
     /// Drain in-flight kernels before the pinned staging dies.
     ~ExactBRSolver() override {
-        if (queue_ != nullptr) queue_->fence();
+        if (queue_ != nullptr) queue_->fence(); // devcheck: fenced — teardown drain
     }
 
     [[nodiscard]] const char* name() const override { return "exact"; }
@@ -59,6 +59,12 @@ public:
             SourcePoint* bp = block_.data();
             Vec3* tp = targets_.data();
             Vec3* ap = accum_.data();
+            namespace dc = par::device::devcheck;
+            dc::declare(q, "exact BR pack",
+                        {dc::read(z.raw()), dc::read(g.raw()),
+                         dc::write(bp, n_own * sizeof(SourcePoint)),
+                         dc::write(tp, n_own * sizeof(Vec3)),
+                         dc::write(ap, n_own * sizeof(Vec3))});
             par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
                 Vec3 pos{z(i, j, 0), z(i, j, 1), z(i, j, 2)};
                 tp[k] = pos;
@@ -66,7 +72,7 @@ public:
                 ap[k] = Vec3{};
             });
             // The ring sends read the pinned block from host code next.
-            q.fence();
+            q.fence(); // devcheck: fenced — ring sends read the block on the host
         } else {
             std::size_t k = 0;
             for (int i = 0; i < ni; ++i) {
@@ -116,6 +122,9 @@ public:
             auto& q = pm.device_queue();
             auto v = velocity.device_view();
             const Vec3* ap = accum_.data();
+            namespace dc = par::device::devcheck;
+            dc::declare(q, "exact BR velocity write",
+                        {dc::read(ap, n_own * sizeof(Vec3)), dc::write(v.raw())});
             par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t k) {
                 v(i, j, 0) = prefactor * ap[k].x;
                 v(i, j, 1) = prefactor * ap[k].y;

@@ -59,7 +59,7 @@ public:
     /// Kernels and halo unpacks touching the mirrors may still be in
     /// flight on the queue; drain it before the buffers die.
     ~ProblemManager() {
-        if (resident_) queue_->fence();
+        if (resident_) queue_->fence(); // devcheck: fenced — teardown drain
     }
     ProblemManager(const ProblemManager&) = delete;
     ProblemManager& operator=(const ProblemManager&) = delete;
@@ -133,7 +133,7 @@ public:
         scratch_halo_.enable_device(*queue_);
         z_.sync_to_device(*queue_);
         w_.sync_to_device(*queue_);
-        queue_->fence();
+        queue_->fence(); // devcheck: fenced — one-time residency upload
         resident_ = true;
         host_current_ = true;
         device_current_ = true;
@@ -146,7 +146,7 @@ public:
         if (!resident_ || device_current_) return;
         z_.sync_to_device(*queue_);
         w_.sync_to_device(*queue_);
-        queue_->fence();
+        queue_->fence(); // devcheck: fenced — re-upload after host writes
         device_current_ = true;
     }
 
@@ -163,7 +163,7 @@ public:
         if (!resident_ || host_current_) return;
         z_.sync_to_host(*queue_);
         w_.sync_to_host(*queue_);
-        queue_->fence();
+        queue_->fence(); // devcheck: fenced — I/O boundary reads the host copies
         host_current_ = true;
     }
 

@@ -23,7 +23,7 @@ public:
 
     /// Drain in-flight kernels before the stage mirrors die.
     ~TimeIntegrator() {
-        if (device_) queue_->fence();
+        if (device_) queue_->fence(); // devcheck: fenced — teardown drain
     }
     TimeIntegrator(const TimeIntegrator&) = delete;
     TimeIntegrator& operator=(const TimeIntegrator&) = delete;
@@ -72,6 +72,10 @@ private:
             auto w = std::as_const(pm.vorticity_raw()).device_view();
             auto z0 = z0_.device_view();
             auto w0 = w0_.device_view();
+            namespace dc = par::device::devcheck;
+            dc::declare(*queue_, "rk3 stage save",
+                        {dc::read(z.raw()), dc::read(w.raw()), dc::write(z0.raw()),
+                         dc::write(w0.raw())});
             par::device::parallel_for_2d(*queue_, ni, nj, [=](int i, int j, std::size_t) {
                 for (int c = 0; c < 3; ++c) z0(i, j, c) = z(i, j, c);
                 for (int c = 0; c < 2; ++c) w0(i, j, c) = w(i, j, c);
@@ -97,6 +101,10 @@ private:
             auto w0 = std::as_const(w0_).device_view();
             auto zd = std::as_const(zdot_).device_view();
             auto wd = std::as_const(wdot_).device_view();
+            namespace dc = par::device::devcheck;
+            dc::declare(*queue_, "rk3 axpy",
+                        {dc::read(z0.raw()), dc::read(w0.raw()), dc::read(zd.raw()),
+                         dc::read(wd.raw()), dc::write(z.raw()), dc::write(w.raw())});
             par::device::parallel_for_2d(*queue_, ni, nj, [=](int i, int j, std::size_t) {
                 for (int c = 0; c < 3; ++c) {
                     z(i, j, c) = b * z0(i, j, c) + a * z(i, j, c) + a_dt * zd(i, j, c);

@@ -60,7 +60,7 @@ public:
     /// Drain in-flight kernels before the scratch mirrors and pinned
     /// spectral buffers die.
     ~ZModel() {
-        if (device_) queue_->fence();
+        if (device_) queue_->fence(); // devcheck: fenced — teardown drain
     }
     ZModel(const ZModel&) = delete;
     ZModel& operator=(const ZModel&) = delete;
@@ -94,7 +94,7 @@ public:
         derivatives_device(pm, zdot_dev_, wdot_dev_);
         zdot_dev_.sync_to_host(*queue_);
         wdot_dev_.sync_to_host(*queue_);
-        queue_->fence();
+        queue_->fence(); // devcheck: fenced — host loop downloads the mirrors
         const auto& local = mesh_->local();
         grid::for_each(local.own_space(), [&](int i, int j) {
             for (int c = 0; c < 3; ++c) zdot(i, j, c) = zdot_dev_(i, j, c);
@@ -191,9 +191,12 @@ private:
 
         auto z = std::as_const(pm.position_raw()).device_view();
         auto w = std::as_const(pm.vorticity_raw()).device_view();
+        namespace dc = par::device::devcheck;
 
         {
             auto g = gamma_.device_view();
+            dc::declare(q, "zmodel gamma",
+                        {dc::read(z.raw()), dc::read(w.raw()), dc::write(g.raw())});
             par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
                 Vec3 gv = operators::gamma_vector(z, w, i, j, dx, dy);
                 g(i, j, 0) = gv.x;
@@ -225,6 +228,7 @@ private:
         auto enqueue_zdot = [&] {
             auto src = std::as_const(*w_for_z).device_view();
             auto dst = zdot.device_view();
+            dc::declare(q, "zmodel zdot copy", {dc::read(src.raw()), dc::write(dst.raw())});
             par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
                 for (int c = 0; c < 3; ++c) dst(i, j, c) = src(i, j, c);
             });
@@ -235,6 +239,8 @@ private:
                 auto phi = phi_.device_view();
                 const double atwood = atwood_;
                 const double gravity = gravity_;
+                dc::declare(q, "zmodel bernoulli phi",
+                            {dc::read(wb.raw()), dc::read(z.raw()), dc::write(phi.raw())});
                 par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
                     double speed2 = wb(i, j, 0) * wb(i, j, 0) + wb(i, j, 1) * wb(i, j, 1) +
                                     wb(i, j, 2) * wb(i, j, 2);
@@ -246,6 +252,8 @@ private:
                 auto phi = std::as_const(phi_).device_view();
                 auto dst = wdot.device_view();
                 const double mu_eff = mu_eff_;
+                dc::declare(q, "zmodel wdot",
+                            {dc::read(phi.raw()), dc::read(w.raw()), dc::write(dst.raw())});
                 par::device::parallel_for_2d(q, ni, nj, [=](int i, int j, std::size_t) {
                     dst(i, j, 0) = operators::d1(phi, i, j, 0, dx) +
                                    mu_eff * operators::laplacian(w, i, j, 0, dx, dy);
@@ -282,7 +290,7 @@ private:
         // bytes are defined.
         zdot_dev_.sync_to_device(*queue_);
         wdot_dev_.sync_to_device(*queue_);
-        queue_->fence();
+        queue_->fence(); // devcheck: fenced — one-time mirror seed
         if (fft_) {
             const auto n = fft_->local_box().size();
             for (auto& s : spectral_) {
@@ -335,9 +343,13 @@ private:
         const auto& box = fft_->local_box();
         const int nib = box.i.extent();
         const int njb = box.j.extent();
+        namespace dc = par::device::devcheck;
+        const std::size_t nbox = box.size();
         for (int c = 0; c < 3; ++c) {
             fft::cplx* sp = spectral_[static_cast<std::size_t>(c)].data();
             auto g = std::as_const(gamma_).device_view();
+            dc::declare(q, "zmodel gamma -> spectral",
+                        {dc::read(g.raw()), dc::write(sp, nbox * sizeof(fft::cplx))});
             par::device::parallel_for_2d(q, nib, njb, [=](int i, int j, std::size_t k) {
                 sp[k] = {g(i, j, c), 0.0};
             });
@@ -345,13 +357,15 @@ private:
         // The transforms read the spectral lines from host code (the
         // butterflies); the reshapes inside enqueue their own kernels on
         // the same queue and fence before host compute.
-        q.fence();
+        q.fence(); // devcheck: fenced — host butterflies read the spectral lines
         for (auto& s : spectral_) fft_->forward(s);
         apply_multiplier();
         for (auto& s : spectral_) fft_->inverse(s);
         for (int c = 0; c < 3; ++c) {
             const fft::cplx* sp = spectral_[static_cast<std::size_t>(c)].data();
             auto v = w_fft_.device_view();
+            dc::declare(q, "zmodel spectral -> velocity",
+                        {dc::read(sp, nbox * sizeof(fft::cplx)), dc::write(v.raw())});
             par::device::parallel_for_2d(q, nib, njb, [=](int i, int j, std::size_t k) {
                 v(i, j, c) = sp[k].real();
             });

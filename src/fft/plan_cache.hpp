@@ -37,6 +37,10 @@ struct P2PPlanCache {
     std::vector<par::device::Event> send_events;
     std::vector<par::device::Event> recv_events;
     std::vector<int> arrived;   ///< per-sweep scratch (capacity reused)
+    /// devcheck channel keys captured at acquire time (publish/release
+    /// run in later loops); capacity reused per sweep.
+    std::vector<const void*> send_keys;
+    std::vector<const void*> recv_keys;
 
     /// Bind (or rebind after a communicator change). The plan tag comes
     /// from the communicator's collective plan sequence, so every rank
@@ -96,12 +100,15 @@ struct P2PPlanCache {
     void execute(comm::Communicator& c, const std::vector<Transfer>& sends,
                  const std::vector<Transfer>& recvs, PackInto&& pack_into,
                  PackSelf&& pack_self, Unpack&& unpack, const char* size_error) {
+        namespace dc = par::device::devcheck;
         bind(c, sends, recvs);
         plan->start();
         for (const auto& [slot, t] : send_slots) {
             const auto& box = sends[t].box;
             auto buf = plan->send_buffer(slot, box.size() * sizeof(cplx));
+            dc::channel_send_acquire(buf.data());
             pack_into(box, reinterpret_cast<cplx*>(buf.data()));
+            dc::channel_publish(buf.data(), "ReshapePlan host publish");
             plan->publish(slot);
         }
         // Self rectangle never leaves the rank.
@@ -117,7 +124,9 @@ struct P2PPlanCache {
             const auto& box = recvs[recv_slots[static_cast<std::size_t>(s)].second].box;
             auto incoming = plan->recv_view_as<cplx>(s);
             BEATNIK_REQUIRE(incoming.size() == box.size(), size_error);
+            dc::channel_recv_acquire(incoming.data(), "ReshapePlan host recv");
             unpack(box, incoming);
+            dc::channel_release(incoming.data(), "ReshapePlan host release");
             plan->release_recv(s);
         }
     }

@@ -177,6 +177,16 @@ private:
             "reshape: unexpected p2p block size");
     }
 
+    /// devcheck footprint of \p box inside layout \p l at \p base: the
+    /// bounding byte range (offset() is monotone in both indices).
+    static par::device::devcheck::Region box_region(const Layout2D& l, const cplx* base,
+                                                    const Box2D& box, bool is_write) {
+        if (box.size() == 0) return {nullptr, 0, is_write};
+        const std::size_t first = l.offset(box.i.begin, box.j.begin);
+        const std::size_t last = l.offset(box.i.end - 1, box.j.end - 1);
+        return {base + first, (last - first + 1) * sizeof(cplx), is_write};
+    }
+
     /// Device-kernel copy of a box from layout \p src in \p in to the
     /// canonical i-major wire order at \p slot.
     static void device_pack_box(par::device::Queue& q, const Layout2D& src, const cplx* in,
@@ -185,6 +195,10 @@ private:
         const int jb = box.j.begin;
         const int rowlen = box.j.extent();
         const Layout2D layout = src;
+        namespace dc = par::device::devcheck;
+        dc::declare(q, "ReshapePlan device pack",
+                    {box_region(src, in, box, false),
+                     dc::write(slot, box.size() * sizeof(cplx))});
         q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
             const int i = ib + static_cast<int>(r);
             cplx* dst = slot + r * static_cast<std::size_t>(rowlen);
@@ -199,6 +213,10 @@ private:
         const int jb = box.j.begin;
         const int rowlen = box.j.extent();
         const Layout2D layout = dst;
+        namespace dc = par::device::devcheck;
+        dc::declare(q, "ReshapePlan device unpack",
+                    {dc::read(data, box.size() * sizeof(cplx)),
+                     box_region(dst, out, box, true)});
         q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
             const int i = ib + static_cast<int>(r);
             const cplx* s = data + r * static_cast<std::size_t>(rowlen);
@@ -223,16 +241,22 @@ private:
                         "device reshape: source array is not device-accessible — pin it first");
         BEATNIK_REQUIRE(rt.device_accessible(out.data(), out.size() * sizeof(cplx)),
                         "device reshape: output array is not device-accessible — pin it first");
+        namespace dc = par::device::devcheck;
         c.plan->start();
+        c.send_keys.assign(c.send_slots.size(), nullptr);
+        c.recv_keys.assign(c.recv_slots.size(), nullptr);
         for (std::size_t s = 0; s < c.send_slots.size(); ++s) {
             const auto& [slot, t] = c.send_slots[s];
             const Box2D& box = sends_[t].box;
             auto buf = c.plan->send_buffer(slot, box.size() * sizeof(cplx));
+            c.send_keys[s] = buf.data();
+            dc::channel_send_acquire(buf.data());
             device_pack_box(q, src, in.data(), box, reinterpret_cast<cplx*>(buf.data()));
             q.record_event_into(c.send_events[s]);
         }
         for (std::size_t s = 0; s < c.send_slots.size(); ++s) {
             c.send_events[s].wait();
+            dc::channel_publish(c.send_keys[s], "ReshapePlan device publish");
             c.plan->publish(c.send_slots[s].first);
         }
         // Self rectangle: one direct device copy, no staging.
@@ -246,6 +270,8 @@ private:
             const Layout2D ldst = dst;
             const cplx* ip = in.data();
             cplx* op = out.data();
+            dc::declare(q, "ReshapePlan self rectangle",
+                        {box_region(lsrc, ip, box, false), box_region(ldst, op, box, true)});
             q.parallel_for(static_cast<std::size_t>(box.i.extent()), [=](std::size_t r) {
                 const int i = ib + static_cast<int>(r);
                 for (int j = jb; j < jb + rowlen; ++j) {
@@ -260,15 +286,19 @@ private:
             const Box2D& box = recvs_[c.recv_slots[static_cast<std::size_t>(s)].second].box;
             auto incoming = c.plan->recv_view_as<cplx>(s);
             BEATNIK_REQUIRE(incoming.size() == box.size(), "reshape: unexpected p2p block size");
+            c.recv_keys[static_cast<std::size_t>(s)] = incoming.data();
+            dc::channel_recv_acquire(incoming.data(), "ReshapePlan device recv");
             device_unpack_box(q, dst, out.data(), box, incoming.data());
             q.record_event_into(c.recv_events[static_cast<std::size_t>(s)]);
             c.arrived.push_back(s);
         }
         for (int s : c.arrived) {
             c.recv_events[static_cast<std::size_t>(s)].wait();
+            dc::channel_release(c.recv_keys[static_cast<std::size_t>(s)],
+                                "ReshapePlan device release");
             c.plan->release_recv(s);
         }
-        q.fence();
+        q.fence(); // devcheck: fenced — caller's host FFT reads `out` next
     }
 
     std::vector<Transfer> sends_;

@@ -34,6 +34,10 @@ public:
     [[nodiscard]] int extent(int d) const { return d == 0 ? ni_ : nj_; }
     static constexpr int components() { return C; }
 
+    /// Underlying flat view of the whole ghosted rectangle — the footprint
+    /// handle kernel call sites hand to devcheck::read()/write().
+    [[nodiscard]] par::device::DeviceView<T> raw() const { return data_; }
+
 private:
     [[nodiscard]] std::size_t index(int i, int j, int c) const {
         return static_cast<std::size_t>((i + halo_) * stride_i_ + (j + halo_) * C + c);
@@ -81,8 +85,15 @@ public:
     }
 
     /// Raw storage (ghosted rectangle, row-major, component-fastest).
+    /// The const overload counts as a host *read* for the hazard detector
+    /// (stale-mirror checks); the mutable overload is the initial-fill /
+    /// overwrite path and is not flagged.
     [[nodiscard]] std::vector<T>& storage() { return data_; }
-    [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+    [[nodiscard]] const std::vector<T>& storage() const {
+        par::device::devcheck::host_reads(data_.data(), data_.size() * sizeof(T),
+                                          "NodeField::storage");
+        return data_;
+    }
 
     /// Set every entry (ghosts included).
     void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
@@ -115,6 +126,8 @@ public:
     void pack_into(const IndexSpace2D& space, std::span<T> out) const {
         BEATNIK_REQUIRE(out.size() == space.size() * C, "pack_into: buffer size mismatch");
         if (space.size() == 0) return;
+        par::device::devcheck::host_reads(data_.data(), data_.size() * sizeof(T),
+                                          "NodeField::pack_into");
         const std::size_t row = row_elems(space);
         std::size_t k = 0;
         for (int i = space.i.begin; i < space.i.end; ++i, k += row) {
@@ -151,7 +164,11 @@ public:
     /// Allocate the device-resident mirror of the ghosted rectangle
     /// (uninitialized — sync_to_device() fills it). Idempotent.
     void enable_device_mirror() {
-        if (!dev_) dev_ = par::device::DeviceBuffer<T>(data_.size());
+        if (!dev_) {
+            dev_ = par::device::DeviceBuffer<T>(data_.size());
+            par::device::devcheck::note_mirror(data_.data(), data_.size() * sizeof(T),
+                                               dev_.view().data());
+        }
     }
 
     [[nodiscard]] bool device_mirrored() const { return static_cast<bool>(dev_); }
@@ -160,11 +177,15 @@ public:
     void sync_to_device(par::device::Queue& q) {
         require_mirror();
         par::device::deep_copy(q, dev_.view(), std::span<const T>(data_.data(), data_.size()));
+        // Either direction leaves host and device copies in agreement at
+        // the copy's position in the stream order.
+        par::device::devcheck::note_mirror_sync(q, data_.data(), /*to_host=*/false);
     }
     void sync_to_host(par::device::Queue& q) {
         require_mirror();
         par::device::deep_copy(q, std::span<T>(data_.data(), data_.size()),
                                std::as_const(dev_).view());
+        par::device::devcheck::note_mirror_sync(q, data_.data(), /*to_host=*/true);
     }
 
     /// Device-side (i, j, c) view of the mirror for kernels.
@@ -195,10 +216,17 @@ public:
         T* dst = out.data();
         const std::size_t base = index(space.i.begin, space.j.begin, 0);
         const auto stride = static_cast<std::size_t>(stride_i_);
-        q.parallel_for(static_cast<std::size_t>(space.i.end - space.i.begin),
-                       [src, dst, base, stride, row](std::size_t r) {
-                           std::copy_n(src + base + r * stride, row, dst + r * row);
-                       });
+        const auto rows = static_cast<std::size_t>(space.i.end - space.i.begin);
+        namespace dc = par::device::devcheck;
+        // Footprint: the bounding range of the packed rows in the mirror
+        // (tight enough that disjoint halo bands stay disjoint), plus the
+        // staging target.
+        dc::declare(q, "NodeField::device_pack_into",
+                    {dc::read(src + base, ((rows - 1) * stride + row) * sizeof(T)),
+                     dc::write(out)});
+        q.parallel_for(rows, [src, dst, base, stride, row](std::size_t r) {
+            std::copy_n(src + base + r * stride, row, dst + r * row);
+        });
     }
 
     /// Device-kernel unpack: the inverse of device_pack_into. \p in must
@@ -233,8 +261,13 @@ private:
         const T* src = in.data();
         const std::size_t base = index(space.i.begin, space.j.begin, 0);
         const auto stride = static_cast<std::size_t>(stride_i_);
-        q.parallel_for(static_cast<std::size_t>(space.i.end - space.i.begin),
-                       [src, dst, base, stride, row, accumulate](std::size_t r) {
+        const auto rows = static_cast<std::size_t>(space.i.end - space.i.begin);
+        namespace dc = par::device::devcheck;
+        dc::declare(q, accumulate ? "NodeField::device_accumulate_from"
+                                  : "NodeField::device_unpack_from",
+                    {dc::read(in),
+                     dc::write(dst + base, ((rows - 1) * stride + row) * sizeof(T))});
+        q.parallel_for(rows, [src, dst, base, stride, row, accumulate](std::size_t r) {
                            T* d = dst + base + r * stride;
                            const T* s = src + r * row;
                            if (accumulate) {

@@ -179,8 +179,11 @@ private:
             // band we accumulated into.
             auto space = scatter ? grid_.halo_space(di, dj) : grid_.shared_space(di, dj);
             auto buf = plan_.send_buffer(d.send_slot, space.size() * C * sizeof(T));
+            namespace dc = par::device::devcheck;
+            dc::channel_send_acquire(buf.data());
             field.pack_into(space, std::span<T>(reinterpret_cast<T*>(buf.data()),
                                                 space.size() * C));
+            dc::channel_publish(buf.data(), "HaloPlan host publish");
             plan_.publish(d.send_slot);
         }
         // Unpack in arrival order; release each slot as soon as it is
@@ -192,11 +195,14 @@ private:
             const Dir& d = slot_dir(s);
             auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
             auto in = plan_.recv_view_as<T>(s);
+            namespace dc = par::device::devcheck;
+            dc::channel_recv_acquire(in.data(), "HaloPlan host recv");
             if (scatter) {
                 field.accumulate_from(grid_.shared_space(di, dj), in);
             } else {
                 field.unpack_from(grid_.halo_space(di, dj), in);
             }
+            dc::channel_release(in.data(), "HaloPlan host release");
             plan_.release_recv(s);
         }
         BEATNIK_ASSERT(plan_.wait_any_recv() == -1);
@@ -213,13 +219,18 @@ private:
     void run_device(grid::NodeField<T, C>& field, bool scatter) {
         BEATNIK_REQUIRE(field.device_mirrored(),
                         "device halo exchange needs a device-mirrored field");
+        namespace dc = par::device::devcheck;
         par::device::Queue& q = *device_queue_;
         plan_.start();
+        send_keys_.assign(dirs_.size(), nullptr);
+        recv_keys_.assign(dirs_.size(), nullptr);
         for (std::size_t n = 0; n < dirs_.size(); ++n) {
             const Dir& d = dirs_[n];
             auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
             auto space = scatter ? grid_.halo_space(di, dj) : grid_.shared_space(di, dj);
             auto buf = plan_.send_buffer(d.send_slot, space.size() * C * sizeof(T));
+            send_keys_[n] = buf.data();
+            dc::channel_send_acquire(buf.data());
             field.device_pack_into(q, space,
                                    std::span<T>(reinterpret_cast<T*>(buf.data()),
                                                 space.size() * C));
@@ -229,11 +240,15 @@ private:
             // Publish in pack-completion order (packs run in queue order).
             for (std::size_t n = 0; n < dirs_.size(); ++n) {
                 send_events_[n].wait();
+                dc::channel_publish(send_keys_[n], "HaloPlan overlapped publish");
                 plan_.publish(dirs_[n].send_slot);
             }
         } else {
-            q.fence();
-            for (const Dir& d : dirs_) plan_.publish(d.send_slot);
+            q.fence(); // devcheck: fenced — non-overlap reference schedule
+            for (std::size_t n = 0; n < dirs_.size(); ++n) {
+                dc::channel_publish(send_keys_[n], "HaloPlan fenced publish");
+                plan_.publish(dirs_[n].send_slot);
+            }
         }
         // Unpack in arrival order; the kernels read the pinned recv
         // buffers in place, so each slot is released only once its unpack
@@ -245,6 +260,8 @@ private:
             const Dir& d = slot_dir(s);
             auto [di, dj] = kNeighborDirs2D[static_cast<std::size_t>(d.k)];
             auto in = plan_.recv_view_as<T>(s);
+            recv_keys_[static_cast<std::size_t>(s)] = in.data();
+            dc::channel_recv_acquire(in.data(), "HaloPlan device recv");
             if (scatter) {
                 field.device_accumulate_from(q, grid_.shared_space(di, dj), in);
             } else {
@@ -257,11 +274,17 @@ private:
         if (overlap_) {
             for (int s : arrived_) {
                 recv_events_[static_cast<std::size_t>(s)].wait();
+                dc::channel_release(recv_keys_[static_cast<std::size_t>(s)],
+                                    "HaloPlan overlapped release");
                 plan_.release_recv(s);
             }
         } else {
-            q.fence();
-            for (int s : arrived_) plan_.release_recv(s);
+            q.fence(); // devcheck: fenced — non-overlap reference schedule
+            for (int s : arrived_) {
+                dc::channel_release(recv_keys_[static_cast<std::size_t>(s)],
+                                    "HaloPlan fenced release");
+                plan_.release_recv(s);
+            }
         }
     }
 
@@ -282,6 +305,10 @@ private:
     /// (allocation-free via record_event_into).
     std::vector<par::device::Event> send_events_;
     std::vector<par::device::Event> recv_events_;
+    /// devcheck channel keys captured at acquire time: publish/release
+    /// happen in later loops where the buffer spans are out of scope.
+    std::vector<const void*> send_keys_;
+    std::vector<const void*> recv_keys_;
 };
 
 /// Deprecated: exchange ghost layers of \p field with all existing

@@ -98,13 +98,17 @@ public:
 
         // Acquire every transport buffer, then pack all particles in one
         // pass, writing each straight into its destination slot.
+        namespace dc = par::device::devcheck;
         plan_.start();
         self_buf_.clear();
         self_buf_.reserve(sendcounts_[static_cast<std::size_t>(rank)]);
+        chan_keys_.assign(static_cast<std::size_t>(p), nullptr);
         for (int r = 0; r < p; ++r) {
             if (r == rank) continue;
             auto buf = plan_.send_buffer(slots_[static_cast<std::size_t>(r)].send,
                                          sendcounts_[static_cast<std::size_t>(r)] * sizeof(P));
+            chan_keys_[static_cast<std::size_t>(r)] = buf.data();
+            dc::channel_send_acquire(buf.data());
             cursors_[static_cast<std::size_t>(r)] = reinterpret_cast<P*>(buf.data());
         }
         for (std::size_t k = 0; k < particles.size(); ++k) {
@@ -116,7 +120,10 @@ public:
             }
         }
         for (int r = 0; r < p; ++r) {
-            if (r != rank) plan_.publish(slots_[static_cast<std::size_t>(r)].send);
+            if (r == rank) continue;
+            dc::channel_publish(chan_keys_[static_cast<std::size_t>(r)],
+                                "MigratePlan host publish");
+            plan_.publish(slots_[static_cast<std::size_t>(r)].send);
         }
 
         // Drain every arrival (sizes are implicit in the messages), then
@@ -132,7 +139,9 @@ public:
                 out = std::copy(self_buf_.begin(), self_buf_.end(), out);
             } else {
                 auto in = plan_.recv_view_as<P>(slots_[static_cast<std::size_t>(r)].recv);
+                dc::channel_recv_acquire(in.data(), "MigratePlan host recv");
                 out = std::copy(in.begin(), in.end(), out);
+                dc::channel_release(in.data(), "MigratePlan host release");
                 plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
             }
         }
@@ -160,7 +169,7 @@ public:
         if (p == 1) {
             if (out.size() < particles.size()) out = par::device::DeviceBuffer<P>(particles.size());
             par::device::deep_copy(q, out.view().subview(0, particles.size()), particles);
-            q.fence();
+            q.fence(); // devcheck: fenced — single-rank result is consumed immediately
             return particles.size();
         }
 
@@ -176,29 +185,40 @@ public:
             slot_of_[k] = sendcounts_[static_cast<std::size_t>(dst)]++;
         }
 
+        namespace dc = par::device::devcheck;
         plan_.start();
         pinned_.clear();
         std::fill(cursors_.begin(), cursors_.end(), nullptr);
+        chan_keys_.assign(static_cast<std::size_t>(p), nullptr);
+        dc_regions_.clear();
+        dc_regions_.push_back(dc::read(particles.data(), particles.size() * sizeof(P)));
         for (int r = 0; r < p; ++r) {
             if (r == rank) continue;
             auto buf = plan_.send_buffer(slots_[static_cast<std::size_t>(r)].send,
                                          sendcounts_[static_cast<std::size_t>(r)] * sizeof(P));
+            chan_keys_[static_cast<std::size_t>(r)] = buf.data();
+            dc::channel_send_acquire(buf.data());
             pinned_.emplace_back(std::span<const std::byte>(buf.data(), buf.size()));
             cursors_[static_cast<std::size_t>(r)] = reinterpret_cast<P*>(buf.data());
+            dc_regions_.push_back(dc::write(buf.data(), buf.size()));
         }
         {
             const P* src = particles.data();
             const int* dest = destinations.data();
             const std::size_t* slot = slot_of_.data();
             P* const* cur = cursors_.data();
+            dc::declare(q, "MigratePlan scatter", dc_regions_);
             q.parallel_for(particles.size(), [src, dest, slot, cur, rank](std::size_t k) {
                 const int dst = dest[k];
                 if (dst != rank) cur[dst][slot[k]] = src[k];
             });
         }
-        q.fence();
+        q.fence(); // devcheck: fenced — scatter must land before publish
         for (int r = 0; r < p; ++r) {
-            if (r != rank) plan_.publish(slots_[static_cast<std::size_t>(r)].send);
+            if (r == rank) continue;
+            dc::channel_publish(chan_keys_[static_cast<std::size_t>(r)],
+                                "MigratePlan device publish");
+            plan_.publish(slots_[static_cast<std::size_t>(r)].send);
         }
 
         // Drain arrivals, size the output, then unpack with device
@@ -218,25 +238,34 @@ public:
                 const int* dest = destinations.data();
                 const std::size_t* slot = slot_of_.data();
                 P* dst = out.view().data() + off;
+                dc::declare(q, "MigratePlan self-gather",
+                            {dc::read(src, particles.size() * sizeof(P)),
+                             dc::write(dst, self_count * sizeof(P))});
                 q.parallel_for(particles.size(), [src, dest, slot, dst, rank](std::size_t k) {
                     if (dest[k] == rank) dst[slot[k]] = src[k];
                 });
                 off += self_count;
             } else {
                 auto in = plan_.recv_view_as<P>(slots_[static_cast<std::size_t>(r)].recv);
+                chan_keys_[static_cast<std::size_t>(r)] = in.data();
+                dc::channel_recv_acquire(in.data(), "MigratePlan device recv");
                 pinned_.emplace_back(std::span<const std::byte>(
                     reinterpret_cast<const std::byte*>(in.data()), in.size_bytes()));
                 q.copy_bytes(out.view().data() + off, in.data(), in.size_bytes());
                 off += in.size();
             }
         }
-        q.fence();
+        q.fence(); // devcheck: fenced — unpack copies must retire before unpin
         // Unregister before releasing the slots: a released peer may
         // immediately re-pin the same (reused) channel buffer with a
         // different message size, which the registry rejects while our
         // old registration is still live.
         pinned_.clear();
-        for (int r : recv_peer_) plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
+        for (int r : recv_peer_) {
+            dc::channel_release(chan_keys_[static_cast<std::size_t>(r)],
+                                "MigratePlan device release");
+            plan_.release_recv(slots_[static_cast<std::size_t>(r)].recv);
+        }
         return total;
     }
 
@@ -255,6 +284,10 @@ private:
     std::vector<P> self_buf_;
     std::vector<std::size_t> slot_of_;                       ///< device path scratch
     std::vector<par::device::ScopedHostRegistration> pinned_;
+    /// devcheck scratch (capacity reused): per-rank channel keys captured
+    /// at acquire time, and the scatter kernel's per-peer footprint.
+    std::vector<const void*> chan_keys_;
+    std::vector<par::device::devcheck::Region> dc_regions_;
 };
 
 /// Legacy path: exchange particles via the alltoallv collective.

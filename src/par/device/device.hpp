@@ -17,7 +17,7 @@ namespace beatnik::par::device {
 /// thread exit). Synchronous par::parallel_for dispatch and the sync
 /// deep_copy overloads run on it.
 inline Queue& default_queue() {
-    thread_local Queue q;
+    thread_local Queue q("default");
     return q;
 }
 

@@ -205,4 +205,29 @@ private:
     bool pinned_ = false;
 };
 
+namespace devcheck {
+
+// Footprint builders over the typed memory abstractions, so kernel call
+// sites can declare footprints as devcheck::read(view) / write(span)
+// without spelling out byte ranges (see devcheck.hpp::declare).
+
+template <class T>
+[[nodiscard]] inline Region read(DeviceView<T> v) {
+    return read(v.data(), v.size() * sizeof(T));
+}
+template <class T>
+[[nodiscard]] inline Region write(DeviceView<T> v) {
+    return write(v.data(), v.size() * sizeof(T));
+}
+template <class T>
+[[nodiscard]] inline Region read(std::span<T> s) {
+    return read(s.data(), s.size_bytes());
+}
+template <class T>
+[[nodiscard]] inline Region write(std::span<T> s) {
+    return write(s.data(), s.size_bytes());
+}
+
+} // namespace devcheck
+
 } // namespace beatnik::par::device

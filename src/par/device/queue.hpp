@@ -14,10 +14,14 @@
 ///
 /// Steady-state enqueue/fence cycles are allocation-free: operation slots
 /// are pooled and reused, the pending ring reuses its capacity, and small
-/// kernel captures are stored inline in the task (runtime.hpp). Only
-/// record_event() allocates (a shared completion state handed to the
-/// caller), which keeps the hot pack/unpack paths of the communication
-/// plans clean — mirroring the plan API's own zero-allocation contract.
+/// kernel captures are stored inline in the task (runtime.hpp). Events
+/// pool too: record_event() allocates a fresh completion state each call,
+/// but the steady-state loops use record_event_into(), which re-arms the
+/// caller's existing Event in place whenever this queue holds the only
+/// reference and the previous marker already fired — so the hot
+/// pack/unpack paths of the communication plans re-record the same
+/// per-direction Events every iteration without touching the heap,
+/// mirroring the plan API's own zero-allocation contract.
 #pragma once
 
 #include <cstring>
@@ -36,6 +40,10 @@ struct EventState {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
+    /// Hazard-detector half: the recording queue's clock snapshot (see
+    /// devcheck.hpp). Written at record and read at wait, always under
+    /// the checker's own mutex — never under m.
+    devcheck::EventClock dc;
     std::vector<std::function<void()>> callbacks;
     /// set()'s fire scratch. A member (not a local) so the two vectors
     /// ping-pong their capacity across reuse cycles: a steady-state loop
@@ -92,9 +100,18 @@ public:
 
     [[nodiscard]] bool ready() const { return !st_ || st_->is_done(); }
 
-    /// Host-side block until the marker completes.
+    /// Host-side block until the marker completes. Under devcheck, waiting
+    /// on a default-constructed (never-recorded) Event is flagged: the
+    /// "edge" such a wait creates does not exist.
     void wait() const {
-        if (st_) st_->wait();
+        if (!st_) {
+            if (devcheck::enabled()) {
+                devcheck::Checker::instance().on_wait_never_recorded(nullptr);
+            }
+            return;
+        }
+        st_->wait();
+        if (devcheck::enabled()) devcheck::Checker::instance().on_host_event_wait(st_->dc);
     }
 
 private:
@@ -112,7 +129,8 @@ public:
     /// (deeper pipelines still grow once, then reuse).
     static constexpr std::size_t kInitialOps = 32;
 
-    explicit Queue(Runtime& rt = Runtime::instance()) : rt_(&rt) {
+    explicit Queue(Runtime& rt = Runtime::instance(), const char* name = "queue") : rt_(&rt) {
+        if (devcheck::enabled()) dc_ = devcheck::Checker::instance().make_queue(name);
         ring_.resize(2 * kInitialOps, nullptr);
         pool_.reserve(kInitialOps);
         free_.reserve(kInitialOps);
@@ -122,8 +140,15 @@ public:
         }
     }
 
+    /// Named queue for hazard diagnostics (\p name must have static
+    /// storage duration; it outlives the queue inside access records).
+    explicit Queue(const char* name) : Queue(Runtime::instance(), name) {}
+
     Queue(const Queue&) = delete;
     Queue& operator=(const Queue&) = delete;
+
+    /// Detector state, null unless devcheck is active (see devcheck.hpp).
+    [[nodiscard]] devcheck::QueueState* devcheck_state() const { return dc_.get(); }
 
     ~Queue() {
         fence();
@@ -148,6 +173,11 @@ public:
     template <class R>
     void parallel_for_range(std::size_t n, std::size_t chunk, R&& range_fn) {
         BEATNIK_REQUIRE(chunk > 0, "device kernel chunk size must be positive");
+        // Hazard bookkeeping happens at enqueue (the logical stream order
+        // is fixed here), before m_ so the checker's mutex never nests
+        // inside the queue's. A flagged conflict throws before the kernel
+        // is ever enqueued.
+        if (dc_) devcheck::Checker::instance().on_task(dc_.get());
         std::vector<std::shared_ptr<detail::EventState>> fire;
         std::shared_ptr<detail::EventState> reg;
         std::uint64_t gen = 0;
@@ -176,6 +206,10 @@ public:
     /// cudaMemcpy, pageable host memory is legal here, while *kernels*
     /// writing host memory require registration (runtime.hpp).
     void copy_bytes(void* dst, const void* src, std::size_t bytes) {
+        // Copies self-declare their footprint; untracked (pageable host)
+        // endpoints are legal for the DMA engine and skipped by the
+        // checker, unlike kernel footprints.
+        if (dc_) devcheck::Checker::instance().set_pending_copy(dc_.get(), dst, src, bytes);
         auto* d = static_cast<std::byte*>(dst);
         const auto* s = static_cast<const std::byte*>(src);
         parallel_for_range(bytes, kCopyChunkBytes, [d, s](std::size_t b, std::size_t e) {
@@ -212,7 +246,11 @@ public:
     /// completes (cross-queue dependency). An empty/completed event is a
     /// no-op barrier.
     void wait_event(const Event& e) {
-        if (!e.st_) return;
+        if (!e.st_) {
+            if (dc_) devcheck::Checker::instance().on_wait_never_recorded(dc_.get());
+            return;
+        }
+        if (dc_) devcheck::Checker::instance().on_wait_event(dc_.get(), e.st_->dc);
         std::vector<std::shared_ptr<detail::EventState>> fire;
         std::shared_ptr<detail::EventState> reg;
         std::uint64_t gen = 0;
@@ -230,20 +268,33 @@ public:
 
     /// Block the host until every enqueued operation has completed.
     void fence() {
-        std::unique_lock lock(m_);
-        cv_.wait(lock, [&] { return running_ == nullptr && head_ == tail_ && waiting_ == nullptr; });
+        {
+            std::unique_lock lock(m_);
+            cv_.wait(lock,
+                     [&] { return running_ == nullptr && head_ == tail_ && waiting_ == nullptr; });
+        }
+        if (dc_) devcheck::Checker::instance().on_fence(dc_.get());
     }
 
     /// True when nothing is running or pending (nonblocking fence probe).
+    /// A true probe is an observed synchronization, like a fence.
     [[nodiscard]] bool idle() {
-        std::lock_guard lock(m_);
-        return running_ == nullptr && head_ == tail_ && waiting_ == nullptr;
+        bool drained;
+        {
+            std::lock_guard lock(m_);
+            drained = running_ == nullptr && head_ == tail_ && waiting_ == nullptr;
+        }
+        if (drained && dc_) devcheck::Checker::instance().on_fence(dc_.get());
+        return drained;
     }
 
 private:
     enum class Kind : std::uint8_t { kernel, event, wait };
 
     void enqueue_event(const std::shared_ptr<detail::EventState>& st) {
+        // Snapshot the queue clock into the event (both the Op path and
+        // the idle-queue direct completion mark the same logical point).
+        if (dc_) devcheck::Checker::instance().on_record(dc_.get(), st->dc);
         std::vector<std::shared_ptr<detail::EventState>> fire;
         std::shared_ptr<detail::EventState> reg;
         std::uint64_t gen = 0;
@@ -418,6 +469,9 @@ private:
     }
 
     Runtime* rt_;
+    /// Hazard-detector state; null unless devcheck is active, so every
+    /// hook above is a dead branch in ordinary runs.
+    std::unique_ptr<devcheck::QueueState> dc_;
     std::mutex m_;
     std::condition_variable cv_;
     std::vector<std::unique_ptr<Op>> pool_;

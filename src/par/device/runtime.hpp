@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "par/device/devcheck.hpp"
 
 namespace beatnik::par::device {
 
@@ -140,15 +141,21 @@ public:
     /// host-dereference debug assert can tell device memory apart.
     [[nodiscard]] void* device_malloc(std::size_t bytes) {
         void* p = ::operator new(bytes != 0 ? bytes : 1);
-        std::lock_guard lock(mem_m_);
-        heap_blocks_[p] = bytes;
-        ++device_allocs_;
-        device_bytes_ += bytes;
+        {
+            std::lock_guard lock(mem_m_);
+            heap_blocks_[p] = bytes;
+            ++device_allocs_;
+            device_bytes_ += bytes;
+        }
+        if (devcheck::enabled()) devcheck::Checker::instance().on_device_malloc(p, bytes);
         return p;
     }
 
     void device_free(void* p) noexcept {
         if (p == nullptr) return;
+        // The shadow check runs before the block leaves the heap map so a
+        // flagged early destruction still names a tracked allocation.
+        if (devcheck::enabled()) devcheck::Checker::instance().on_device_free(p);
         {
             std::lock_guard lock(mem_m_);
             auto it = heap_blocks_.find(p);
@@ -185,16 +192,20 @@ public:
     /// an in-process channel may pin the same buffer.
     void register_host_range(const void* p, std::size_t bytes) {
         if (bytes == 0) return;
-        std::lock_guard lock(mem_m_);
-        auto [it, inserted] = host_ranges_.try_emplace(p, RangeRef{bytes, 1});
-        if (!inserted) {
-            BEATNIK_REQUIRE(it->second.bytes == bytes,
-                            "register_host_range: same pointer registered with another size");
-            ++it->second.refs;
+        {
+            std::lock_guard lock(mem_m_);
+            auto [it, inserted] = host_ranges_.try_emplace(p, RangeRef{bytes, 1});
+            if (!inserted) {
+                BEATNIK_REQUIRE(it->second.bytes == bytes,
+                                "register_host_range: same pointer registered with another size");
+                ++it->second.refs;
+            }
         }
+        if (devcheck::enabled()) devcheck::Checker::instance().on_register_host(p, bytes);
     }
 
     void unregister_host_range(const void* p) noexcept {
+        if (devcheck::enabled()) devcheck::Checker::instance().on_unregister_host(p);
         std::lock_guard lock(mem_m_);
         auto it = host_ranges_.find(p);
         if (it != host_ranges_.end() && --it->second.refs == 0) host_ranges_.erase(it);

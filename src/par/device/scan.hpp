@@ -58,6 +58,9 @@ inline std::uint32_t exclusive_scan(Queue& q, std::uint32_t* data, std::size_t n
     scratch.reserve_for(n);
     const std::size_t nchunks = (n + kScanChunk - 1) / kScanChunk;
     std::uint32_t* parts = scratch.partials.data();
+    devcheck::declare(q, "exclusive_scan partials",
+                      {devcheck::read(data, n * sizeof(std::uint32_t)),
+                       devcheck::write(parts, nchunks * sizeof(std::uint32_t))});
     q.parallel_for(nchunks, [data, parts, n](std::size_t c) {
         const std::size_t b = c * kScanChunk;
         const std::size_t e = b + kScanChunk < n ? b + kScanChunk : n;
@@ -65,7 +68,7 @@ inline std::uint32_t exclusive_scan(Queue& q, std::uint32_t* data, std::size_t n
         for (std::size_t i = b; i < e; ++i) sum += data[i];
         parts[c] = sum;
     });
-    q.fence();
+    q.fence(); // devcheck: fenced — host folds the chunk partials
     // Host fold over the chunk partials, rewriting each as its chunk's
     // exclusive offset.
     std::uint32_t total = 0;
@@ -74,6 +77,9 @@ inline std::uint32_t exclusive_scan(Queue& q, std::uint32_t* data, std::size_t n
         parts[c] = total;
         total += s;
     }
+    devcheck::declare(q, "exclusive_scan rewrite",
+                      {devcheck::read(parts, nchunks * sizeof(std::uint32_t)),
+                       devcheck::write(data, n * sizeof(std::uint32_t))});
     q.parallel_for(nchunks, [data, parts, n](std::size_t c) {
         const std::size_t b = c * kScanChunk;
         const std::size_t e = b + kScanChunk < n ? b + kScanChunk : n;
@@ -84,7 +90,7 @@ inline std::uint32_t exclusive_scan(Queue& q, std::uint32_t* data, std::size_t n
             run += v;
         }
     });
-    q.fence();
+    q.fence(); // devcheck: fenced — the caller sizes the next stage from the total
     return total;
 }
 

@@ -187,10 +187,14 @@ public:
         const std::size_t nchunks = (n_ + kBoundsChunk - 1) / kBoundsChunk;
         bounds_.ensure_pinned(nchunks);
         // 1. bounds: per-chunk min/max cell coordinates, host fold.
+        namespace dc = par::device::devcheck;
         {
             Bounds* parts = bounds_.data();
             const double* pts = points;
             const std::size_t n = n_;
+            dc::declare(q, "cell-list bounds",
+                        {dc::read(pts, 3 * n * sizeof(double)),
+                         dc::write(parts, nchunks * sizeof(Bounds))});
             q.parallel_for(nchunks, [parts, pts, n, cell](std::size_t c) {
                 const std::size_t b = c * kBoundsChunk;
                 const std::size_t e = b + kBoundsChunk < n ? b + kBoundsChunk : n;
@@ -209,7 +213,7 @@ public:
                 }
                 parts[c] = bd;
             });
-            q.fence();
+            q.fence(); // devcheck: fenced — host folds the bounds partials
         }
         int mn[3], mx[3];
         for (int d = 0; d < 3; ++d) {
@@ -231,7 +235,13 @@ public:
         const CellGrid g = grid_;
         const double* pts = points;
         // 2. count (+ remember each point's cell for the fill).
+        dc::declare(q, "cell-list zero counts",
+                    {dc::write(counts, (ncells + 1) * sizeof(std::uint32_t))});
         q.parallel_for(ncells + 1, [counts](std::size_t c) { counts[c] = 0; });
+        dc::declare(q, "cell-list count",
+                    {dc::read(pts, 3 * n_ * sizeof(double)),
+                     dc::write(cell_of, n_ * sizeof(std::uint32_t)),
+                     dc::write(counts, ncells * sizeof(std::uint32_t))});
         q.parallel_for(n_, [counts, cell_of, pts, g](std::size_t k) {
             const double* p = pts + 3 * k;
             const std::size_t c = g.index(CellGrid::coord(p[0], g.cell),
@@ -245,7 +255,14 @@ public:
         BEATNIK_ASSERT(total == n_);
         offsets_[ncells] = total;
         // 4. fill through atomic per-cell cursors (racy within a cell).
+        dc::declare(q, "cell-list cursor init",
+                    {dc::read(counts, ncells * sizeof(std::uint32_t)),
+                     dc::write(cursors, ncells * sizeof(std::uint32_t))});
         q.parallel_for(ncells, [cursors, counts](std::size_t c) { cursors[c] = counts[c]; });
+        dc::declare(q, "cell-list fill",
+                    {dc::read(cell_of, n_ * sizeof(std::uint32_t)),
+                     dc::write(cursors, ncells * sizeof(std::uint32_t)),
+                     dc::write(by_cell, n_ * sizeof(std::uint32_t))});
         q.parallel_for(n_, [cursors, cell_of, by_cell](std::size_t k) {
             const std::uint32_t slot = std::atomic_ref<std::uint32_t>(cursors[cell_of[k]])
                                            .fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +270,9 @@ public:
         });
         // 5. per-cell ascending insertion sort: erases the fill races and
         // reproduces the serial fill-in-index-order layout bit for bit.
+        dc::declare(q, "cell-list sort",
+                    {dc::read(counts, (ncells + 1) * sizeof(std::uint32_t)),
+                     dc::write(by_cell, n_ * sizeof(std::uint32_t))});
         q.parallel_for(ncells, [counts, by_cell](std::size_t c) {
             const std::uint32_t b = counts[c];
             const std::uint32_t e = counts[c + 1];
@@ -266,7 +286,7 @@ public:
                 by_cell[j] = v;
             }
         });
-        q.fence();
+        q.fence(); // devcheck: fenced — callers consume the CSR on the host
     }
 
     /// Neighbor lists for every query point, BinGrid3D-compatible (host

@@ -275,6 +275,14 @@ TEST(CutoffDevice, SteadyStateCutoffEvalHasZeroRankThreadAllocations) {
         alloc_deltas[static_cast<std::size_t>(comm.rank())] = t_allocs - allocs_before;
         comm.barrier();
     });
+    // The zero-allocation contract is on the production runtime. An
+    // *armed* devcheck allocates by design (shadow access records track
+    // the varying per-step migrate/ghost ranges); compiled-in-but-
+    // disabled must still be allocation-free, which this test proves in
+    // CI's devcheck job first pass.
+    if (b::par::device::devcheck::enabled()) {
+        GTEST_SKIP() << "allocation counting not meaningful with devcheck armed";
+    }
     for (int r = 0; r < kRanks; ++r) {
         EXPECT_EQ(alloc_deltas[static_cast<std::size_t>(r)], 0u)
             << "rank " << r << " allocated on the steady-state cutoff eval path";

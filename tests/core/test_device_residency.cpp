@@ -188,6 +188,14 @@ TEST(DeviceResidency, SteadyStateStepHasZeroFieldCopiesAndZeroAllocations) {
     });
     EXPECT_EQ(copy_delta.load(), 0u)
         << "steady-state device steps performed host<->device field copies";
+    // The zero-allocation contract is on the production runtime. An
+    // *armed* devcheck allocates by design (shadow access records track
+    // the varying per-step halo/migrate ranges); compiled-in-but-disabled
+    // must still be allocation-free, which CI's devcheck job proves in
+    // its first (unarmed) pass.
+    if (b::par::device::devcheck::enabled()) {
+        GTEST_SKIP() << "allocation counting not meaningful with devcheck armed";
+    }
     for (int r = 0; r < kRanks; ++r) {
         EXPECT_EQ(alloc_deltas[static_cast<std::size_t>(r)], 0u)
             << "rank " << r << " allocated on the steady-state device step path";

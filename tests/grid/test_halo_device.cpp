@@ -380,6 +380,14 @@ TEST(DeviceHalo, SteadyStateDeviceIterationsAreAllocationFree) {
         deltas[static_cast<std::size_t>(comm.rank())] = t_allocs - before;
         comm.barrier();
     });
+    // The zero-allocation contract is on the production runtime. An
+    // *armed* devcheck allocates by design (shadow records and clock
+    // snapshots per exchange); compiled-in-but-disabled must still be
+    // allocation-free, which CI's devcheck job proves in its first
+    // (unarmed) pass.
+    if (beatnik::par::device::devcheck::enabled()) {
+        GTEST_SKIP() << "allocation counting not meaningful with devcheck armed";
+    }
     for (int r = 0; r < kRanks; ++r) {
         EXPECT_EQ(deltas[static_cast<std::size_t>(r)], 0u)
             << "rank " << r << " allocated on the device halo hot path";

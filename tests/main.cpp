@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "par/device/devcheck.hpp"
 #include "test_env.hpp"
 
 int main(int argc, char** argv) {
@@ -19,5 +20,14 @@ int main(int argc, char** argv) {
                 "BEATNIK_TEST_BACKEND=%s\n",
                 static_cast<unsigned long long>(beatnik::test::seed()),
                 beatnik::test::thread_count(), beatnik::test::backend_name());
-    return RUN_ALL_TESTS();
+    const int rc = RUN_ALL_TESTS();
+    // Under BEATNIK_DEVCHECK=1 any hazard a test did not consume (via
+    // take_hazard_count, as the seeded-hazard tests do) fails the binary:
+    // the full suite must run devcheck-clean.
+    if (const auto hazards = beatnik::par::device::devcheck::hazard_count(); hazards != 0) {
+        std::fprintf(stderr, "[beatnik] devcheck: %llu unconsumed hazard(s)\n",
+                     static_cast<unsigned long long>(hazards));
+        return rc == 0 ? 1 : rc;
+    }
+    return rc;
 }
