@@ -14,29 +14,20 @@
 /// --quick shrinks iteration counts to a wiring-check level (used by
 /// scripts/run_benchmarks.sh); timing noise makes quick numbers unsuitable
 /// for regression comparison.
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "measure.hpp"
 
 namespace bc = beatnik::comm;
+using beatnik::bench::Result;
 
 namespace {
-
-struct Result {
-    std::string op;
-    std::string algo;     // "-" when the op has no algorithm knob
-    int ranks = 0;
-    std::size_t bytes = 0; // payload bytes of one p2p message in the pattern
-    int iters = 0;
-    double ns_per_op = 0.0;
-};
 
 /// Run a collective `iters` times on every rank (after a warmup) inside a
 /// single Context::run so neither thread spawn nor per-rank buffer setup
@@ -136,23 +127,6 @@ Result bench_alltoallv(int ranks, bc::AlltoallAlgo algo, std::size_t base_double
     return {"alltoallv", algo_name(algo), ranks, base_doubles * sizeof(double), iters, ns};
 }
 
-void write_json(const std::vector<Result>& results, const std::string& path) {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-        std::exit(1);
-    }
-    out << "{\n  \"bench\": \"micro_collectives\",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result& r = results[i];
-        out << "    {\"op\": \"" << r.op << "\", \"algo\": \"" << r.algo
-            << "\", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
-            << ", \"iters\": " << r.iters << ", \"ns_per_op\": " << r.ns_per_op << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -170,7 +144,7 @@ int main(int argc, char** argv) {
     }
     // Iteration counts tuned so the full suite runs in tens of seconds on a
     // laptop core; --quick is a smoke pass only.
-    auto n = [quick](int full) { return quick ? std::max(2, full / 50) : full; };
+    auto n = [quick](int full) { return beatnik::bench::scaled_iters(quick, full); };
 
     std::vector<Result> results;
     results.push_back(bench_barrier(2, n(2000)));
@@ -196,7 +170,7 @@ int main(int argc, char** argv) {
                     r.bytes, r.iters, r.ns_per_op);
     }
     if (!out_path.empty()) {
-        write_json(results, out_path);
+        beatnik::bench::write_json("micro_collectives", results, out_path);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return 0;

@@ -29,28 +29,20 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fft/partition.hpp"
 #include "fft/reshape.hpp"
 #include "grid/halo.hpp"
+#include "measure.hpp"
 
 namespace bc = beatnik::comm;
 namespace bg = beatnik::grid;
 namespace bf = beatnik::fft;
+using beatnik::bench::Result;
 
 namespace {
-
-struct Result {
-    std::string op;
-    std::string algo;
-    int ranks = 0;
-    std::size_t bytes = 0;
-    int iters = 0;
-    double ns_per_op = 0.0;
-};
 
 /// Time `iters` runs of op() per rank inside one Context::run (setup and
 /// thread spawn excluded); returns rank 0's wall time per iteration.
@@ -224,23 +216,6 @@ Result bench_reshape(int ranks, int n, bool plan_path, int iters) {
             ns};
 }
 
-void write_json(const std::vector<Result>& results, const std::string& path) {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-        std::exit(1);
-    }
-    out << "{\n  \"bench\": \"micro_halo\",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result& r = results[i];
-        out << "    {\"op\": \"" << r.op << "\", \"algo\": \"" << r.algo
-            << "\", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
-            << ", \"iters\": " << r.iters << ", \"ns_per_op\": " << r.ns_per_op << "}"
-            << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -256,7 +231,7 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
-    auto n = [quick](int full) { return quick ? std::max(2, full / 50) : full; };
+    auto n = [quick](int full) { return beatnik::bench::scaled_iters(quick, full); };
 
     std::vector<Result> results;
     for (auto algo :
@@ -276,7 +251,7 @@ int main(int argc, char** argv) {
                     r.bytes, r.iters, r.ns_per_op);
     }
     if (!out_path.empty()) {
-        write_json(results, out_path);
+        beatnik::bench::write_json("micro_halo", results, out_path);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return 0;

@@ -20,9 +20,22 @@
 /// against reality—in the only regime where we *have* reality—backs the
 /// modeled scaling claims. Absolute times are not compared (the host is
 /// a shared-memory machine, not a cluster); winners are.
+///
+/// Usage:
+///   bench_model_validation                      # winner/crossover gate
+///   bench_model_validation --profile <file>     # host model from a
+///       bench_patterns --calibrate machine profile instead of the
+///       hand-tuned constants below
+///   bench_model_validation --loopback-gate      # absolute-time gate: a
+///       ring plan over the loopback transport (known injected latency/
+///       bandwidth) must land where a netsim model built from those same
+///       parameters predicts — the one regime where even *absolute*
+///       seconds are checkable, because the "network" is synthetic
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <numeric>
 #include <string>
@@ -31,6 +44,9 @@
 
 #include "base/timer.hpp"
 #include "comm/communicator.hpp"
+#include "comm/plan.hpp"
+#include "measure.hpp"
+#include "netsim/profile.hpp"
 #include "netsim/simulator.hpp"
 
 namespace bc = beatnik::comm;
@@ -99,10 +115,8 @@ double measure_alltoall(bc::AlltoallAlgo algo, std::size_t block_doubles,
 /// the occasional descheduled outlier run.
 double measure_alltoall_median(bc::AlltoallAlgo algo, std::size_t block_doubles,
                                std::vector<bn::Msg>& trace_out) {
-    std::array<double, 3> reps{};
-    for (auto& r : reps) r = measure_alltoall(algo, block_doubles, trace_out);
-    std::sort(reps.begin(), reps.end());
-    return reps[1];
+    return beatnik::bench::median_of(
+        3, [&] { return measure_alltoall(algo, block_doubles, trace_out); });
 }
 
 double model_trace(const std::vector<bn::Msg>& trace, const bn::MachineModel& host,
@@ -117,9 +131,109 @@ double model_trace(const std::vector<bn::Msg>& trace, const bn::MachineModel& ho
     return sim.simulate({phase}).makespan;
 }
 
+/// Absolute-time gate against the loopback transport. The transport
+/// injects a known cost model (delivery strictly no earlier than
+/// latency + bytes/bandwidth after publish), a ring plan is timed over
+/// it, and netsim — fed a CalibratedProfile carrying exactly those
+/// injected parameters — must predict the measured time. The lower
+/// bound is hard (loopback cannot deliver early); the upper bound is
+/// generous, covering the ~50 us polling granularity of non-push
+/// transports plus host scheduling.
+int run_loopback_gate() {
+    bc::LoopbackConfig lb;
+    lb.latency_seconds = 2.0e-3;               // dwarfs poll granularity
+    lb.bandwidth_bytes_per_second = 100.0e6;
+    lb.jitter_seconds = 0.0;                   // deterministic gate
+    constexpr int kGateRanks = 4;
+    constexpr std::size_t kBytes = 400u * 1024; // 4 ms serialization time
+    constexpr int kIters = 8;
+
+    bc::ContextConfig cfg;
+    cfg.transport = "loopback";
+    cfg.loopback = lb;
+
+    std::mutex m;
+    double measured = beatnik::bench::median_of(3, [&] {
+        double seconds = 0.0;
+        bc::Context::run(
+            kGateRanks,
+            [&](bc::Communicator& comm) {
+                const int next = (comm.rank() + 1) % comm.size();
+                const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+                const int tag = comm.new_plan_tag();
+                auto builder = bc::Plan::builder(comm);
+                int s = builder.add_send(next, tag, kBytes);
+                int r = builder.add_recv(prev, tag, kBytes);
+                auto plan = builder.build();
+                auto step = [&] {
+                    plan.start();
+                    auto buf = plan.send_buffer(s, kBytes);
+                    std::memset(buf.data(), comm.rank() + 1, buf.size());
+                    plan.publish(s);
+                    plan.wait();
+                    plan.release_recv(r);
+                };
+                step(); // warmup
+                comm.barrier();
+                auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < kIters; ++i) step();
+                comm.barrier();
+                auto t1 = std::chrono::steady_clock::now();
+                if (comm.rank() == 0) {
+                    std::lock_guard lock(m);
+                    seconds = std::chrono::duration<double>(t1 - t0).count() / kIters;
+                }
+            },
+            cfg);
+        return seconds;
+    });
+
+    // netsim prediction through a calibrated profile carrying exactly the
+    // injected transport parameters (the same path a bench_patterns
+    // --calibrate profile takes through netsim::machine_from_profile).
+    bn::CalibratedProfile prof;
+    prof.transport = "loopback";
+    prof.latency_seconds = lb.latency_seconds;
+    prof.bandwidth_bytes_per_second = lb.bandwidth_bytes_per_second;
+    bn::MachineModel model = bn::machine_from_profile(prof);
+    bn::Phase phase;
+    phase.label = "loopback ring";
+    for (int r = 0; r < kGateRanks; ++r) {
+        phase.messages.push_back({r, (r + 1) % kGateRanks, kBytes});
+    }
+    double predicted = bn::NetworkSimulator(model, kGateRanks).simulate({phase}).makespan;
+
+    const double lower = 0.9 * predicted;
+    const double upper = 3.0 * predicted + 2.0e-3;
+    const bool ok = measured >= lower && measured <= upper;
+    std::printf("=== netsim model validation: loopback transport absolute-time gate ===\n");
+    std::printf("injected: latency %.3f ms, bandwidth %.0f MB/s, %zu B ring on %d ranks\n",
+                lb.latency_seconds * 1e3, lb.bandwidth_bytes_per_second / 1e6, kBytes,
+                kGateRanks);
+    std::printf("predicted %.3f ms, measured %.3f ms (accepted band [%.3f, %.3f] ms) -> %s\n",
+                predicted * 1e3, measured * 1e3, lower * 1e3, upper * 1e3,
+                ok ? "inside" : "OUTSIDE");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string profile_path;
+    bool loopback_gate = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--loopback-gate") == 0) {
+            loopback_gate = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+            profile_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--profile <machine.json>] [--loopback-gate]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (loopback_gate) return run_loopback_gate();
+
     std::printf("=== netsim model validation: algorithm winner, measured vs modeled ===\n");
     std::printf("%d thread-ranks; pairwise vs Bruck alltoall across block sizes\n\n", kRanks);
 
@@ -138,6 +252,19 @@ int main() {
     // memcpy as the "wire" on a shared-memory host — not the GPU-node
     // streaming bandwidth of the default model.
     host.memory_bandwidth = 8.0e9;
+    if (!profile_path.empty()) {
+        // Measured parameters for *this* machine (bench_patterns
+        // --calibrate) replace the hand-tuned constants above. The fitted
+        // latency already folds in per-message software overheads, so the
+        // model's explicit overhead terms are zeroed by the projection.
+        bn::CalibratedProfile prof = bn::load_profile(profile_path);
+        host = bn::machine_from_profile(prof);
+        std::printf("host model from profile %s (transport %s: latency %.2f us, "
+                    "bandwidth %.2f GB/s)\n\n",
+                    profile_path.c_str(), prof.transport.c_str(),
+                    prof.latency_seconds * 1e6,
+                    prof.bandwidth_bytes_per_second / 1e9);
+    }
 
     struct Regime {
         const char* name;

@@ -25,6 +25,13 @@ Three rule families, each encoding an invariant the compiler cannot see:
                    pinned constants so the static_asserts there guard every
                    use.
 
+  transport-syscalls  raw shared-memory / futex plumbing (shm_open,
+                   mmap, SYS_futex, ...) is confined to
+                   src/comm/transport/. Everything else talks to peers
+                   through the Transport interface, so cross-process
+                   hazards (segment lifetime, futex wakeups, abort
+                   propagation) stay auditable in one directory.
+
 Exit status 1 when any violation is found. --report FILE additionally
 writes the findings to FILE (uploaded as a CI artifact).
 """
@@ -45,6 +52,11 @@ FENCE_TOKEN = "devcheck: fenced"
 
 TAG_BAND = re.compile(r"1\s*<<\s*2[45]\b|\b(16777216|33554432)\b")
 TAG_HOME = SRC / "comm" / "types.hpp"
+
+TRANSPORT_SYSCALL = re.compile(
+    r"\b(shm_open|shm_unlink|memfd_create|SYS_futex|FUTEX_\w+|mmap|munmap|ftruncate)\b"
+)
+TRANSPORT_DIR = SRC / "comm" / "transport"
 
 INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 GUARD = re.compile(r"^\s*#\s*ifndef\s+\w*_(HPP|H|HH|HXX)\w*\b")
@@ -94,6 +106,14 @@ def check_file(path: Path, findings: list[str]) -> None:
                 f"{rel}:{i}: [tag-band] tag-band boundary literal — use the pinned "
                 "constants in comm::tags (src/comm/types.hpp)"
             )
+        if not path.is_relative_to(TRANSPORT_DIR):
+            m = TRANSPORT_SYSCALL.search(code_part(line))
+            if m:
+                findings.append(
+                    f"{rel}:{i}: [transport-syscalls] raw `{m.group(1)}` outside "
+                    "src/comm/transport/ — cross-process plumbing goes through the "
+                    "Transport seam"
+                )
 
 
 def main() -> int:

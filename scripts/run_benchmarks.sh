@@ -64,6 +64,15 @@ mkdir -p bench/results
 run bench_micro_collectives --quick --out "$REPO_ROOT/bench/results/micro_collectives.json"
 run bench_micro_kernels --quick --out "$REPO_ROOT/bench/results/micro_kernels.json"
 
+# Plan-schedule patterns over each transport, plus a calibrated machine
+# profile that bench_model_validation --profile / netsim can replay.
+for transport in inproc shm loopback; do
+    run bench_patterns --schedule halo --transport "$transport" --quick \
+        --out "$REPO_ROOT/bench/results/patterns_halo_${transport}.json"
+done
+run bench_patterns --calibrate --quick \
+    --out "$REPO_ROOT/bench/results/profile_inproc.json"
+
 # Google-Benchmark micro benches (built only when libbenchmark is present):
 # a minimal timed pass over every registered benchmark.
 for micro in micro_fft; do

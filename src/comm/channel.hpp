@@ -30,6 +30,8 @@
 
 namespace beatnik::comm {
 
+class Transport;   // comm/transport/transport.hpp
+
 /// One planned transfer in world-rank coordinates. Plans export their
 /// message schedule in this form so the netsim machine model can replay
 /// it without executing anything.
@@ -78,10 +80,24 @@ struct ReadyRing {
     }
 };
 
+/// Per-channel state owned by the channel's transport (a shm segment
+/// mapping, a loopback delivery deadline, ...). The in-process transport
+/// needs none and leaves PlanChannel::tslot null.
+struct TransportSlot {
+    virtual ~TransportSlot() = default;
+};
+
 /// Shared state of one persistent channel. Created on first use by either
 /// endpoint (sender or receiver) via ChannelRegistry::get_or_create; both
 /// plans then hold a shared_ptr, and the registry keeps it alive for the
 /// context lifetime so rebuilt plans reattach to the same object.
+///
+/// How the slot's bytes physically move is delegated to `transport`
+/// (comm/transport/): `buf` backs the in-process transports, a shm
+/// channel's bytes live in the segment mapping carried by `tslot`.
+/// `full` is this endpoint's latest view of "a message is in flight" —
+/// exact for in-process transports, a conservative local cache for
+/// cross-process ones — maintained by the transport under `mutex`.
 struct PlanChannel {
     std::mutex mutex;
     std::condition_variable cv;       ///< sender waits here for EMPTY
@@ -94,6 +110,8 @@ struct PlanChannel {
     // detaching receiver (plan destruction) can never race the push.
     ReadyRing* ready = nullptr;
     int recv_slot = -1;
+    std::shared_ptr<Transport> transport;   ///< set once at bind, immutable after
+    std::unique_ptr<TransportSlot> tslot;   ///< transport-private per-channel state
 };
 
 /// One CPU-relax step for spin-then-block waits: cheap enough to sit in a
@@ -124,13 +142,19 @@ struct ChannelKey {
 /// resolve the same shared object here at build time.
 class ChannelRegistry {
 public:
+    /// \p bind attaches a transport to a freshly created channel (it runs
+    /// under the registry lock, exactly once per channel, so the losing
+    /// endpoint of a concurrent build can never observe an unbound
+    /// channel). It is a callback — not a Transport& — purely to keep
+    /// this header free of the transport headers (which include it).
+    template <class BindFn>
     [[nodiscard]] std::shared_ptr<detail::PlanChannel> get_or_create(const ChannelKey& key,
-                                                                     std::size_t max_bytes) {
+                                                                     BindFn&& bind) {
         std::lock_guard lock(mutex_);
         auto& slot = channels_[key];
         if (!slot) {
             slot = std::make_shared<detail::PlanChannel>();
-            slot->buf.resize(max_bytes);
+            bind(*slot);
         }
         return slot;
     }

@@ -7,13 +7,15 @@
 
 namespace beatnik::comm {
 
-Context::Context(int size, ContextConfig config) : size_(size), config_(config) {
+Context::Context(int size, ContextConfig config) : size_(size), config_(std::move(config)) {
     BEATNIK_REQUIRE(size >= 1, "context size must be >= 1");
     mailboxes_.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
         mailboxes_.push_back(
             std::make_unique<Mailbox>(abort_, config_.recv_timeout_seconds));
     }
+    transports_ = std::make_shared<TransportRegistry>(TransportRegistry::Config{
+        config_.transport, config_.loopback, config_.shm_session});
 }
 
 Context::~Context() = default;
@@ -21,6 +23,9 @@ Context::~Context() = default;
 void Context::abort() {
     abort_.store(true, std::memory_order_release);
     for (auto& box : mailboxes_) box->interrupt();
+    // Transport-level fan-out: wake futex waiters, including — for the
+    // shm transport — peer *processes* sharing our segments.
+    transports_->abort_all();
 }
 
 void Context::run(int nranks, const std::function<void(Communicator&)>& fn,

@@ -17,6 +17,7 @@
 #include "comm/channel.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/trace.hpp"
+#include "comm/transport/registry.hpp"
 #include "comm/types.hpp"
 
 namespace beatnik::comm {
@@ -37,6 +38,16 @@ struct ContextConfig {
     /// rendezvous path: receivers read the sender's buffer in place and a
     /// closing barrier holds every rank until all reads have finished.
     std::size_t rendezvous_threshold_bytes = 32 * 1024;
+    /// Default transport for plan channels ("inproc", "shm", "loopback").
+    /// Empty falls back to $BEATNIK_TRANSPORT, then "inproc". Per-pair
+    /// overrides go through Context::transports().set_pair.
+    std::string transport;
+    /// Cost model of the loopback transport (when selected).
+    LoopbackConfig loopback;
+    /// Session string scoping shm segment names. Cooperating processes
+    /// must pass the same value; empty falls back to $BEATNIK_SHM_SESSION,
+    /// then a per-context unique default.
+    std::string shm_session;
 };
 
 /// Shared state for one group of rank-threads.
@@ -66,6 +77,13 @@ public:
     [[nodiscard]] ChannelRegistry& plan_channels() { return *plan_channels_; }
     [[nodiscard]] std::shared_ptr<ChannelRegistry> plan_channels_ptr() { return plan_channels_; }
 
+    /// Per-context transport selection for plan channels (see
+    /// comm/transport/registry.hpp). Plans resolve each slot's transport
+    /// here at build time; tests and benches install per-pair rules
+    /// before building mixed-transport plans.
+    [[nodiscard]] TransportRegistry& transports() { return *transports_; }
+    [[nodiscard]] std::shared_ptr<TransportRegistry> transports_ptr() { return transports_; }
+
     /// The context-wide abort flag, observed by blocking plan waits so a
     /// failing rank wakes every other rank instead of deadlocking it.
     [[nodiscard]] const std::atomic<bool>& abort_flag() const { return abort_; }
@@ -90,6 +108,7 @@ private:
     std::atomic<int> next_comm_id_{1};   // id 0 is the world communicator
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::shared_ptr<ChannelRegistry> plan_channels_ = std::make_shared<ChannelRegistry>();
+    std::shared_ptr<TransportRegistry> transports_;
     Trace trace_;
 };
 

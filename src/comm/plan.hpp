@@ -51,6 +51,7 @@
 
 #include "base/error.hpp"
 #include "comm/communicator.hpp"
+#include "comm/transport/transport.hpp"
 
 namespace beatnik::comm {
 
@@ -149,36 +150,13 @@ public:
 
     /// Acquire send slot \p s for this iteration: blocks until the peer
     /// has released the previous message, then returns the transport
-    /// buffer to pack into (exactly \p bytes long; capacity grows only
-    /// here, while the channel is empty).
+    /// buffer to pack into (exactly \p bytes long).
     [[nodiscard]] std::span<std::byte> send_buffer(int s, std::size_t bytes) {
         State& st = state();
         auto& slot = st.sends[check_send(s)];
-        auto& ch = *slot.channel;
-        {
-            std::unique_lock lock(ch.mutex);
-            // Spin briefly before blocking: the receiver usually releases
-            // the slot within microseconds, far below a futex round-trip.
-            // (Spinning is disabled when rank-threads are oversubscribed
-            // on the machine — there it only steals the peer's timeslice.)
-            for (int spin = st.spin_iters; ch.full && spin > 0; --spin) {
-                lock.unlock();
-                detail::cpu_relax();
-                lock.lock();
-            }
-            if (ch.full) {
-                ch.sender_waiting = true;
-                wait_until(lock, ch.cv, [&] { return !ch.full; },
-                           "Plan::send_buffer: peer never released the previous message");
-                ch.sender_waiting = false;
-            }
-            if (ch.buf.size() < bytes) ch.buf.resize(bytes);
-            ch.bytes = bytes;
-        }
-        // Channel is EMPTY and this thread is its only writer until
-        // publish(); packing outside the lock is safe.
+        auto buf = slot.channel->transport->acquire_send(*slot.channel, bytes, st.wait);
         st.send_acquired[static_cast<std::size_t>(s)] = true;
-        return {ch.buf.data(), bytes};
+        return buf;
     }
 
     /// Hand the packed bytes of slot \p s to the receiver.
@@ -192,18 +170,7 @@ public:
         if (Trace* t = st.comm->context().trace()) {
             t->record(st.self_world, slot.peer_world, ch.bytes, slot.tag);
         }
-        std::lock_guard lock(ch.mutex);
-        BEATNIK_ASSERT(!ch.full, "publish on a full channel");
-        ch.full = true;
-        if (ch.ready != nullptr) {
-            // Completion hook: enqueue into the receiving plan's ready
-            // ring. Taken under the channel mutex (see channel.hpp lock
-            // ordering) so detach can never race this push. Only pay the
-            // futex wake when the receiver is actually blocked.
-            std::lock_guard ring_lock(ch.ready->mutex);
-            ch.ready->push_locked(ch.recv_slot);
-            if (ch.ready->waiting) ch.ready->cv.notify_one();
-        }
+        ch.transport->publish(ch);
     }
 
     /// Convenience: acquire, copy \p data in, publish.
@@ -223,26 +190,30 @@ public:
         for (;;) {
             if (st.consumed == st.recvs.size()) return -1;
             int s;
-            {
+            if (st.needs_poll) {
+                s = wait_any_polled(st);
+            } else {
                 std::unique_lock lock(st.ready.mutex);
                 // Spin briefly before blocking — arrivals are usually a
                 // few hundred nanoseconds out, far below a futex sleep.
-                for (int spin = st.spin_iters; st.ready.count == 0 && spin > 0; --spin) {
+                for (int spin = st.wait.spin_iters; st.ready.count == 0 && spin > 0; --spin) {
                     lock.unlock();
                     detail::cpu_relax();
                     lock.lock();
                 }
                 // Oversubscribed (no spin budget): hand the core to the
                 // producer a few times before paying a futex sleep+wake.
-                for (int y = 0; st.spin_iters == 0 && st.ready.count == 0 && y < 16; ++y) {
+                for (int y = 0; st.wait.spin_iters == 0 && st.ready.count == 0 && y < 16; ++y) {
                     lock.unlock();
                     std::this_thread::yield();
                     lock.lock();
                 }
                 if (st.ready.count == 0) {
                     st.ready.waiting = true;
-                    wait_until(lock, st.ready.cv, [&] { return st.ready.count > 0; },
-                               "Plan::wait_any_recv: message never arrived");
+                    detail::transport_wait_until(lock, st.ready.cv,
+                                                 [&] { return st.ready.count > 0; },
+                                                 "Plan::wait_any_recv: message never arrived",
+                                                 st.wait);
                     st.ready.waiting = false;
                 }
                 s = st.ready.pop_locked();
@@ -264,6 +235,7 @@ public:
     /// receives have completed.
     bool test() {
         State& st = state();
+        if (st.needs_poll) poll_recvs(st);
         for (;;) {
             int s;
             {
@@ -294,7 +266,7 @@ public:
         BEATNIK_REQUIRE(st.recv_state[static_cast<std::size_t>(s)] == RecvState::arrived,
                         "Plan::recv_view: slot has not completed (or was released)");
         const auto& ch = *st.recvs[static_cast<std::size_t>(s)].channel;
-        return {ch.buf.data(), ch.bytes};
+        return ch.transport->recv_view(ch);
     }
 
     /// Typed view of a completed recv slot.
@@ -338,12 +310,7 @@ public:
         auto pin = [&](Slot& slot) {
             if (slot.max_bytes == 0) return;
             auto& ch = *slot.channel;
-            std::lock_guard lock(ch.mutex);
-            // Grow-only: a published-but-unconsumed message survives the
-            // resize (vector growth copies), and the registered pointer
-            // is the post-growth one.
-            if (ch.buf.size() < slot.max_bytes) ch.buf.resize(slot.max_bytes);
-            on_buffer(std::span<std::byte>(ch.buf.data(), ch.buf.size()));
+            on_buffer(ch.transport->pin(ch, slot.max_bytes));
         };
         for (auto& slot : st.sends) pin(slot);
         for (auto& slot : st.recvs) pin(slot);
@@ -395,11 +362,14 @@ private:
         /// next start(). reserve()d to nrecvs at build — at most one early
         /// arrival per slot can exist, so pushes never allocate.
         std::vector<int> deferred;
-        double timeout_seconds = 0.0;
-        const std::atomic<bool>* abort = nullptr;
+        TransportWait wait;              ///< abort/timeout/spin policy for blocking ops
         std::shared_ptr<ChannelRegistry> registry;   ///< keeps detach safe past context death
         bool has_seq_channels = false;   ///< any slot on a sequence-band tag
-        int spin_iters = 0;              ///< try-lock spins before a cv sleep
+        /// Any recv slot rides a transport that cannot push into our
+        /// ready ring (shm: the publisher may be another process;
+        /// loopback: delivery happens at a modeled deadline) — the wait
+        /// loops must interleave poll() calls.
+        bool needs_poll = false;
 
         State(std::size_t nrecvs) : ready(nrecvs == 0 ? 1 : nrecvs) {
             deferred.reserve(nrecvs);
@@ -412,16 +382,17 @@ private:
         State& st = *st_;
         st.comm = &comm;
         st.self_world = comm.world_rank();
-        st.timeout_seconds = comm.context().config().recv_timeout_seconds;
-        st.abort = &comm.context().abort_flag();
+        st.wait.timeout_seconds = comm.context().config().recv_timeout_seconds;
+        st.wait.abort = &comm.context().abort_flag();
         // Spin-then-block only pays when every rank-thread can run at
         // once; oversubscribed, a spinner just burns the timeslice the
         // peer needs to produce the message.
         if (std::thread::hardware_concurrency() >=
             static_cast<unsigned>(comm.context().size())) {
-            st.spin_iters = kSpinIters;
+            st.wait.spin_iters = kSpinIters;
         }
         st.registry = comm.context().plan_channels_ptr();
+        TransportRegistry& transports = comm.context().transports();
         ChannelRegistry& reg = *st.registry;
         st.sends.reserve(sends.size());
         auto note_band = [&st](int tag) {
@@ -429,13 +400,24 @@ private:
                 st.has_seq_channels = true;
             }
         };
+        // Resolve the slot's channel, binding the pair's selected
+        // transport on first creation. Both endpoints select with the
+        // channel's ordered (src, dst) pair, so they agree on the
+        // transport no matter which one creates the channel.
+        auto resolve = [&](const ChannelKey& key, std::size_t max_bytes) {
+            auto transport = transports.select(key.src_world, key.dst_world);
+            return reg.get_or_create(key, [&](detail::PlanChannel& ch) {
+                ch.transport = transport;
+                transport->bind(ch, key, max_bytes);
+            });
+        };
         for (const auto& spec : sends) {
             Slot slot;
             slot.peer_world = comm.world_rank_of(spec.peer);
             slot.tag = spec.tag;
             slot.max_bytes = spec.max_bytes;
-            slot.channel = reg.get_or_create(
-                {comm.comm_id(), st.self_world, slot.peer_world, spec.tag}, spec.max_bytes);
+            slot.channel = resolve({comm.comm_id(), st.self_world, slot.peer_world, spec.tag},
+                                   spec.max_bytes);
             note_band(spec.tag);
             st.sends.push_back(std::move(slot));
         }
@@ -449,12 +431,14 @@ private:
             slot.tag = spec.tag;
             slot.max_bytes = spec.max_bytes;
             slot.on_message = std::move(spec.on_message);
-            slot.channel = reg.get_or_create(
-                {comm.comm_id(), slot.peer_world, st.self_world, spec.tag}, spec.max_bytes);
+            slot.channel = resolve({comm.comm_id(), slot.peer_world, st.self_world, spec.tag},
+                                   spec.max_bytes);
             note_band(spec.tag);
+            if (!slot.channel->transport->push_notifies()) st.needs_poll = true;
             // Attach the completion hook. A message published before we
-            // attached (a peer racing ahead) is enqueued here, so nothing
-            // is ever lost to the build/attach race.
+            // attached (a peer racing ahead) is picked up here (inline
+            // for push transports, via poll below for polled ones), so
+            // nothing is ever lost to the build/attach race.
             {
                 auto& ch = *slot.channel;
                 std::lock_guard lock(ch.mutex);
@@ -462,10 +446,13 @@ private:
                                 "plan recv tag already attached by another live plan");
                 ch.ready = &st.ready;
                 ch.recv_slot = static_cast<int>(s);
-                if (ch.full) {
+                if (ch.transport->push_notifies() && ch.full) {
                     std::lock_guard ring_lock(st.ready.mutex);
                     st.ready.push_locked(static_cast<int>(s));
                 }
+            }
+            if (!slot.channel->transport->push_notifies()) {
+                slot.channel->transport->poll(*slot.channel);
             }
             st.recvs.push_back(std::move(slot));
         }
@@ -480,13 +467,15 @@ private:
         if (!st_) return;
         for (std::size_t s = 0; s < st_->recvs.size(); ++s) {
             auto& ch = *st_->recvs[s].channel;
-            std::lock_guard lock(ch.mutex);
-            if (st_->recv_state[s] == RecvState::arrived) {
-                ch.full = false;
-                ch.cv.notify_one();
+            {
+                std::lock_guard lock(ch.mutex);
+                ch.ready = nullptr;
+                ch.recv_slot = -1;
             }
-            ch.ready = nullptr;
-            ch.recv_slot = -1;
+            if (st_->recv_state[s] == RecvState::arrived) ch.transport->release(ch);
+            // Drop receiver-local observation state so a successor plan's
+            // attach/poll re-discovers a still-FULL (deferred) message.
+            ch.transport->on_detach(ch);
         }
         std::shared_ptr<ChannelRegistry> registry = st_->registry;
         const bool had_seq_channels = st_->has_seq_channels;
@@ -525,41 +514,55 @@ private:
         st.recv_state[static_cast<std::size_t>(s)] = RecvState::arrived;
         ++st.consumed;
         const auto& slot = st.recvs[static_cast<std::size_t>(s)];
+        slot.channel->transport->on_consume(*slot.channel);   // devcheck recv edge
         if (slot.on_message) slot.on_message(recv_view(s));
     }
 
     void release_slot(int s) {
         State& st = *st_;
         auto& ch = *st.recvs[static_cast<std::size_t>(s)].channel;
-        bool wake;
-        {
-            std::lock_guard lock(ch.mutex);
-            ch.full = false;
-            wake = ch.sender_waiting;
-        }
-        if (wake) ch.cv.notify_one();
+        ch.transport->release(ch);
         st.recv_state[static_cast<std::size_t>(s)] = RecvState::released;
     }
 
-    /// Condition wait with abort observation and the context's receive
-    /// timeout: blocked plan operations wake up in short slices to check
-    /// the context-wide abort flag, so one failing rank unwinds everyone.
-    template <class Pred>
-    void wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv, Pred pred,
-                    const char* what) {
-        const State& st = *st_;
+    /// Drive every polled recv slot once (outside any ring lock —
+    /// poll() takes channel then ring, per the channel.hpp ordering).
+    void poll_recvs(State& st) {
+        for (auto& slot : st.recvs) {
+            auto& ch = *slot.channel;
+            if (!ch.transport->push_notifies()) ch.transport->poll(ch);
+        }
+    }
+
+    /// Pop one ready slot when some recv transport must be polled:
+    /// interleave slot polls with spins, then short sleeps, checking
+    /// abort/timeout each round (polled transports have no producer-side
+    /// condvar to notify us through).
+    int wait_any_polled(State& st) {
         auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(st.timeout_seconds));
-        while (!pred()) {
-            if (st.abort->load(std::memory_order_acquire)) {
+                            std::chrono::duration<double>(st.wait.timeout_seconds));
+        int spin = st.wait.spin_iters;
+        for (;;) {
+            poll_recvs(st);
+            {
+                std::lock_guard lock(st.ready.mutex);
+                if (st.ready.count > 0) return st.ready.pop_locked();
+            }
+            if (st.wait.abort != nullptr && st.wait.abort->load(std::memory_order_acquire)) {
                 throw CommError("plan operation aborted: another rank failed");
             }
-            if (st.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
-                throw CommError(std::string("plan operation timed out (probable deadlock): ") +
-                                what);
+            if (spin > 0) {
+                --spin;
+                detail::cpu_relax();
+            } else {
+                if (st.wait.timeout_seconds > 0.0 &&
+                    std::chrono::steady_clock::now() >= deadline) {
+                    throw CommError("plan operation timed out (probable deadlock): "
+                                    "Plan::wait_any_recv: message never arrived");
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
             }
-            cv.wait_for(lock, std::chrono::milliseconds(50));
         }
     }
 

@@ -1,0 +1,105 @@
+/// \file inproc.hpp
+/// \brief The original in-process rendezvous transport (the default).
+///
+/// Extracted verbatim from the pre-seam Plan fast path: the channel's
+/// vector buffer is the message, publish flips `full` and pushes into the
+/// receiver's ready ring under the channel mutex, release flips it back
+/// and wakes a waiting sender. Push-notifying: the receiving plan never
+/// polls, it sleeps on its ready ring's condvar.
+#pragma once
+
+#include <thread>
+
+#include "comm/transport/transport.hpp"
+
+namespace beatnik::comm {
+
+class InProcTransport : public Transport {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "inproc"; }
+    [[nodiscard]] bool push_notifies() const noexcept override { return true; }
+
+    void bind(detail::PlanChannel& ch, const ChannelKey&, std::size_t max_bytes) override {
+        ch.buf.resize(max_bytes);
+    }
+
+    [[nodiscard]] std::span<std::byte> acquire_send(detail::PlanChannel& ch, std::size_t bytes,
+                                                    const TransportWait& w) override {
+        {
+            std::unique_lock lock(ch.mutex);
+            // Spin briefly before blocking: the receiver usually releases
+            // the slot within microseconds, far below a futex round-trip.
+            // (Spinning is disabled when rank-threads are oversubscribed
+            // on the machine — there it only steals the peer's timeslice.)
+            for (int spin = w.spin_iters; ch.full && spin > 0; --spin) {
+                lock.unlock();
+                detail::cpu_relax();
+                lock.lock();
+            }
+            if (ch.full) {
+                ch.sender_waiting = true;
+                detail::transport_wait_until(
+                    lock, ch.cv, [&] { return !ch.full; },
+                    "Plan::send_buffer: peer never released the previous message", w);
+                ch.sender_waiting = false;
+            }
+            if (ch.buf.size() < bytes) ch.buf.resize(bytes);
+            ch.bytes = bytes;
+        }
+        par::device::devcheck::channel_send_acquire(&ch);
+        // Channel is EMPTY and this thread is its only writer until
+        // publish(); packing outside the lock is safe.
+        return {ch.buf.data(), bytes};
+    }
+
+    void publish(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_publish(&ch, name());
+        std::lock_guard lock(ch.mutex);
+        BEATNIK_ASSERT(!ch.full, "publish on a full channel");
+        ch.full = true;
+        notify_ready_locked(ch);
+    }
+
+    void poll(detail::PlanChannel&) override {}   // push-notifying: never called
+
+    [[nodiscard]] std::span<const std::byte> recv_view(
+        const detail::PlanChannel& ch) const override {
+        return {ch.buf.data(), ch.bytes};
+    }
+
+    void release(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_release(&ch, name());
+        bool wake;
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = false;
+            wake = ch.sender_waiting;
+        }
+        if (wake) ch.cv.notify_one();
+    }
+
+    [[nodiscard]] std::span<std::byte> pin(detail::PlanChannel& ch,
+                                           std::size_t max_bytes) override {
+        std::lock_guard lock(ch.mutex);
+        // Grow-only: a published-but-unconsumed message survives the
+        // resize (vector growth copies), and the registered pointer is
+        // the post-growth one.
+        if (ch.buf.size() < max_bytes) ch.buf.resize(max_bytes);
+        return {ch.buf.data(), ch.buf.size()};
+    }
+
+protected:
+    /// Completion hook: enqueue into the receiving plan's ready ring.
+    /// Caller holds ch.mutex (see channel.hpp lock ordering) so detach
+    /// can never race the push. Only pay the futex wake when the
+    /// receiver is actually blocked.
+    static void notify_ready_locked(detail::PlanChannel& ch) {
+        if (ch.ready != nullptr) {
+            std::lock_guard ring_lock(ch.ready->mutex);
+            ch.ready->push_locked(ch.recv_slot);
+            if (ch.ready->waiting) ch.ready->cv.notify_one();
+        }
+    }
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,113 @@
+/// \file loopback.hpp
+/// \brief In-process transport with an injected per-message cost model.
+///
+/// Storage and backpressure are the in-process channel's (loopback
+/// inherits InProcTransport's acquire/release), but a published message
+/// becomes *visible* to the receiver only once its modeled delivery time
+///
+///     latency + bytes / bandwidth + jitter      (see LoopbackConfig)
+///
+/// has elapsed — so the receiving plan polls instead of sleeping on its
+/// ready ring, and measured plan executions can be cross-validated
+/// against a netsim machine model built from the very same parameters
+/// (bench_model_validation --loopback-gate). Jitter is drawn from a
+/// deterministic per-channel LCG: identical (key, seed) means identical
+/// delivery schedules, run after run.
+#pragma once
+
+#include "comm/transport/inproc.hpp"
+
+namespace beatnik::comm {
+
+namespace detail {
+
+struct LoopbackSlot final : TransportSlot {
+    std::chrono::steady_clock::time_point deliver_at{};
+    std::uint64_t rng = 0;      ///< per-channel jitter stream
+    bool observed = false;      ///< current message already enqueued to the ring
+};
+
+} // namespace detail
+
+class LoopbackTransport final : public InProcTransport {
+public:
+    explicit LoopbackTransport(LoopbackConfig cfg = {}) : cfg_(cfg) {}
+
+    [[nodiscard]] const char* name() const noexcept override { return "loopback"; }
+    [[nodiscard]] bool push_notifies() const noexcept override { return false; }
+
+    [[nodiscard]] const LoopbackConfig& config() const { return cfg_; }
+
+    void bind(detail::PlanChannel& ch, const ChannelKey& key, std::size_t max_bytes) override {
+        ch.buf.resize(max_bytes);
+        auto slot = std::make_unique<detail::LoopbackSlot>();
+        // Seed the jitter stream from the channel identity so delivery
+        // schedules are a pure function of (key, seed), not bind order.
+        std::uint64_t h = cfg_.seed;
+        for (std::uint64_t v :
+             {std::uint64_t(key.comm_id), std::uint64_t(key.src_world),
+              std::uint64_t(key.dst_world), std::uint64_t(key.tag)}) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        }
+        slot->rng = h | 1u;
+        ch.tslot = std::move(slot);
+    }
+
+    void publish(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_publish(&ch, name());
+        auto& s = static_cast<detail::LoopbackSlot&>(*ch.tslot);
+        std::lock_guard lock(ch.mutex);
+        BEATNIK_ASSERT(!ch.full, "publish on a full channel");
+        ch.full = true;
+        s.observed = false;
+        double delay = cfg_.latency_seconds +
+                       static_cast<double>(ch.bytes) / cfg_.bandwidth_bytes_per_second;
+        if (cfg_.jitter_seconds > 0.0) {
+            // xorshift64*: cheap, allocation-free, deterministic.
+            s.rng ^= s.rng >> 12;
+            s.rng ^= s.rng << 25;
+            s.rng ^= s.rng >> 27;
+            double u01 = static_cast<double>((s.rng * 0x2545f4914f6cdd1dull) >> 11) * 0x1.0p-53;
+            delay += cfg_.jitter_seconds * u01;
+        }
+        s.deliver_at = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(delay));
+        // No ready-ring push here: the message is in flight, not visible.
+    }
+
+    void poll(detail::PlanChannel& ch) override {
+        auto& s = static_cast<detail::LoopbackSlot&>(*ch.tslot);
+        std::lock_guard lock(ch.mutex);
+        if (!ch.full || s.observed) return;
+        if (std::chrono::steady_clock::now() < s.deliver_at) return;
+        s.observed = true;
+        notify_ready_locked(ch);
+    }
+
+    void release(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_release(&ch, name());
+        auto& s = static_cast<detail::LoopbackSlot&>(*ch.tslot);
+        bool wake;
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = false;
+            s.observed = false;
+            wake = ch.sender_waiting;
+        }
+        if (wake) ch.cv.notify_one();
+    }
+
+    void on_detach(detail::PlanChannel& ch) override {
+        // A delivered-but-unconsumed message must be re-discovered by the
+        // successor plan's poll.
+        auto& s = static_cast<detail::LoopbackSlot&>(*ch.tslot);
+        std::lock_guard lock(ch.mutex);
+        s.observed = false;
+    }
+
+private:
+    LoopbackConfig cfg_;
+};
+
+} // namespace beatnik::comm

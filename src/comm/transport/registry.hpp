@@ -1,0 +1,158 @@
+/// \file registry.hpp
+/// \brief Per-context transport selection: which Transport carries which
+/// peer pair's channels.
+///
+/// A plan build asks select(src, dst) for every slot it creates; the
+/// answer is resolved in precedence order:
+///
+///   1. an explicit per-pair rule (set_pair — mixed-transport plans are
+///      legal: different peer pairs of one plan may use different
+///      transports, as long as every rank installs the same rules before
+///      building);
+///   2. the context default (ContextConfig::transport, or the
+///      BEATNIK_TRANSPORT environment variable — "inproc", "shm" or
+///      "loopback");
+///   3. "inproc".
+///
+/// Both endpoints of a channel call select with the channel's ordered
+/// (src, dst) world-rank pair, so they always agree — whichever endpoint
+/// creates the channel binds the agreed transport. Transport instances
+/// are created lazily and shared by every channel selecting them; a
+/// PlanChannel keeps its transport alive via shared_ptr, so plans may
+/// safely detach after the context (and this registry) are gone.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "comm/transport/inproc.hpp"
+#include "comm/transport/loopback.hpp"
+#include "comm/transport/shm.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace beatnik::comm {
+
+class TransportRegistry {
+public:
+    struct Config {
+        std::string default_transport;   ///< "" -> $BEATNIK_TRANSPORT -> "inproc"
+        LoopbackConfig loopback;
+        std::string shm_session;         ///< "" -> $BEATNIK_SHM_SESSION -> per-registry unique
+    };
+
+    explicit TransportRegistry(Config cfg = {}) : cfg_(std::move(cfg)) {
+        if (cfg_.default_transport.empty()) {
+            const char* env = std::getenv("BEATNIK_TRANSPORT");
+            cfg_.default_transport = (env != nullptr && *env != '\0') ? env : "inproc";
+        }
+        if (cfg_.shm_session.empty()) {
+            const char* env = std::getenv("BEATNIK_SHM_SESSION");
+            cfg_.shm_session = (env != nullptr && *env != '\0') ? env : default_session();
+        }
+        check_name(cfg_.default_transport);
+    }
+
+    /// The transport carrying channels from world rank \p src to \p dst.
+    [[nodiscard]] std::shared_ptr<Transport> select(int src, int dst) {
+        std::lock_guard lock(mutex_);
+        auto it = pairs_.find({src, dst});
+        return get_locked(it != pairs_.end() ? it->second : cfg_.default_transport);
+    }
+
+    /// A shared transport instance by name ("inproc", "shm", "loopback").
+    [[nodiscard]] std::shared_ptr<Transport> get(const std::string& name) {
+        std::lock_guard lock(mutex_);
+        return get_locked(name);
+    }
+
+    /// Route the ordered pair (src, dst) over \p name. Install rules
+    /// before building plans that use them, identically on every rank
+    /// (calls are idempotent, so each rank installing the full rule set
+    /// is the natural pattern); a channel that already exists keeps the
+    /// transport it was bound with.
+    void set_pair(int src, int dst, const std::string& name) {
+        check_name(name);
+        std::lock_guard lock(mutex_);
+        pairs_[{src, dst}] = name;
+    }
+
+    /// Route both directions between \p a and \p b over \p name.
+    void set_pair_symmetric(int a, int b, const std::string& name) {
+        set_pair(a, b, name);
+        set_pair(b, a, name);
+    }
+
+    void set_default(const std::string& name) {
+        check_name(name);
+        std::lock_guard lock(mutex_);
+        cfg_.default_transport = name;
+    }
+
+    /// Replace the loopback cost model. Only affects channels bound
+    /// afterwards (call before building plans).
+    void configure_loopback(const LoopbackConfig& cfg) {
+        std::lock_guard lock(mutex_);
+        cfg_.loopback = cfg;
+        loopback_.reset();
+    }
+
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+    /// Context-wide abort: fan out to every instantiated transport.
+    void abort_all() {
+        std::lock_guard lock(mutex_);
+        if (inproc_) inproc_->abort_all();
+        if (shm_) shm_->abort_all();
+        if (loopback_) loopback_->abort_all();
+    }
+
+private:
+    [[nodiscard]] std::shared_ptr<Transport> get_locked(const std::string& name) {
+        if (name == "inproc") {
+            if (!inproc_) inproc_ = std::make_shared<InProcTransport>();
+            return inproc_;
+        }
+        if (name == "shm") {
+            if (!shm_) shm_ = std::make_shared<ShmTransport>(cfg_.shm_session);
+            return shm_;
+        }
+        if (name == "loopback") {
+            if (!loopback_) loopback_ = std::make_shared<LoopbackTransport>(cfg_.loopback);
+            return loopback_;
+        }
+        throw InvalidArgument("unknown transport \"" + name +
+                              "\" (expected inproc, shm or loopback)");
+    }
+
+    static void check_name(const std::string& name) {
+        BEATNIK_REQUIRE(name == "inproc" || name == "shm" || name == "loopback",
+                        "unknown transport \"" + name +
+                            "\" (expected inproc, shm or loopback)");
+    }
+
+    /// Default shm session: unique per registry so unrelated contexts in
+    /// one process (or concurrent test runs on one machine) never share
+    /// segments; cross-process runs must pass an explicit session.
+    [[nodiscard]] static std::string default_session() {
+        static std::atomic<std::uint64_t> counter{0};
+        std::uint64_t n = counter.fetch_add(1);
+#if defined(__linux__)
+        return "p" + std::to_string(::getpid()) + "-" + std::to_string(n);
+#else
+        return "local-" + std::to_string(n);
+#endif
+    }
+
+    Config cfg_;
+    std::mutex mutex_;
+    std::map<std::pair<int, int>, std::string> pairs_;
+    std::shared_ptr<InProcTransport> inproc_;
+    std::shared_ptr<ShmTransport> shm_;
+    std::shared_ptr<LoopbackTransport> loopback_;
+};
+
+} // namespace beatnik::comm

@@ -1,0 +1,374 @@
+/// \file shm.hpp
+/// \brief Cross-process transport over named shared-memory segments.
+///
+/// The same single-slot publish/release protocol as the in-process
+/// channel, carried by a POSIX shm segment per channel so a plan
+/// schedule runs between OS processes (each process hosting one or more
+/// rank endpoints). The segment holds a small header of futex-backed
+/// atomic words plus the message bytes:
+///
+///   seq   even = EMPTY, odd = FULL (a seqlock-style sequence counter;
+///         publish and release each bump it by one with release order,
+///         observers load it with acquire order — that pair is the only
+///         happens-before edge the data bytes need)
+///   bytes message size while FULL
+///   abort a peer process aborted; every blocked/polling endpoint throws
+///
+/// The sender waits for EMPTY by spinning then FUTEX_WAITing on `seq`
+/// (no FUTEX_PRIVATE_FLAG — the waiter and waker are different
+/// processes); the receiver is polled like every non-push transport
+/// (the publisher may not share our address space, so it cannot push
+/// into our ready ring). Segment names are scoped by a session string so
+/// cooperating processes find each other and concurrent test runs do
+/// not: /bk-<session>-c<comm>-<src>to<dst>-t<tag>.
+///
+/// Capacity is fixed at bind time (max_bytes, or a default for
+/// runtime-sized slots): cross-process buffers cannot grow under a
+/// peer's feet, so acquire_send enforces bytes <= capacity instead of
+/// resizing. Linux-only (shm_open + futex); bind throws elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/transport/transport.hpp"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace beatnik::comm {
+
+class ShmTransport;
+
+namespace detail {
+
+/// Segment header shared by both endpoint processes. 64-byte data
+/// alignment follows from the trailing pad.
+struct ShmHeader {
+    std::atomic<std::uint32_t> magic;   ///< 0 fresh -> 1 initializing -> kShmReady
+    std::atomic<std::uint32_t> seq;     ///< even = EMPTY, odd = FULL
+    std::atomic<std::uint32_t> bytes;   ///< message size while FULL
+    std::atomic<std::uint32_t> abort;   ///< a peer process aborted
+    std::uint32_t capacity;             ///< data bytes following the header
+    std::uint32_t pad[11];
+};
+static_assert(sizeof(ShmHeader) == 64);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm protocol words must be address-free atomics");
+
+inline constexpr std::uint32_t kShmInitializing = 1;
+inline constexpr std::uint32_t kShmReady = 0xbea70001u;
+
+/// Per-channel shm state. Guarded by the channel mutex where noted.
+struct ShmSlot final : TransportSlot {
+    ShmHeader* hdr = nullptr;
+    std::byte* data = nullptr;
+    std::size_t capacity = 0;        ///< usable data bytes in *our* mapping
+    std::size_t mapped = 0;          ///< total mapping length (for munmap)
+    std::string shm_name;
+    ShmTransport* owner = nullptr;
+    bool observed = false;           ///< ch.mutex: current message already enqueued
+    bool local_publish = false;      ///< ch.mutex: publisher lives in this process
+    std::uint32_t hook_seq = 0;      ///< ch.mutex: seq whose devcheck mirror already fired
+
+    ~ShmSlot() override;
+};
+
+#if defined(__linux__)
+inline void shm_futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
+    // Bounded slice: the outer loop owns abort/timeout policy. Errors
+    // (EAGAIN on a changed word, EINTR, ETIMEDOUT) all mean "re-check".
+    timespec ts{};
+    ts.tv_nsec = 50 * 1000 * 1000;
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAIT, expected, &ts,
+            nullptr, 0);
+}
+
+inline void shm_futex_wake(std::atomic<std::uint32_t>& word) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE, INT32_MAX, nullptr,
+            nullptr, 0);
+}
+#endif
+
+} // namespace detail
+
+class ShmTransport final : public Transport {
+public:
+    /// Runtime-sized slots (max_bytes == 0, e.g. migration) get this
+    /// fixed capacity; larger messages need an explicit max_bytes.
+    static constexpr std::size_t kDefaultCapacityBytes = std::size_t{1} << 20;
+
+    /// \p session scopes segment names: cooperating processes must pass
+    /// the same string, unrelated runs must not (see TransportRegistry
+    /// for the default).
+    explicit ShmTransport(std::string session) : session_(std::move(session)) {}
+
+    ~ShmTransport() override {
+#if defined(__linux__)
+        // Both endpoints unlink; the second one racing a fresh create of
+        // the same name is impossible within a session (sessions are
+        // per-run). ENOENT from the peer having unlinked first is fine.
+        std::lock_guard lock(mutex_);
+        for (const auto& name : created_names_) ::shm_unlink(name.c_str());
+#endif
+    }
+
+    [[nodiscard]] const char* name() const noexcept override { return "shm"; }
+    [[nodiscard]] bool push_notifies() const noexcept override { return false; }
+
+    [[nodiscard]] const std::string& session() const { return session_; }
+
+    void bind(detail::PlanChannel& ch, const ChannelKey& key, std::size_t max_bytes) override {
+#if !defined(__linux__)
+        (void)ch;
+        (void)key;
+        (void)max_bytes;
+        throw CommError("shm transport requires Linux (shm_open/futex)");
+#else
+        auto slot = std::make_unique<detail::ShmSlot>();
+        slot->shm_name = segment_name(key);
+        slot->owner = this;
+        const std::size_t want_capacity =
+            max_bytes > 0 ? max_bytes : kDefaultCapacityBytes;
+
+        int fd = ::shm_open(slot->shm_name.c_str(), O_RDWR | O_CREAT, 0600);
+        BEATNIK_REQUIRE(fd >= 0, "shm transport: shm_open failed for " + slot->shm_name);
+        struct stat st{};
+        std::size_t total = sizeof(detail::ShmHeader) + want_capacity;
+        if (::fstat(fd, &st) == 0 && static_cast<std::size_t>(st.st_size) > total) {
+            total = static_cast<std::size_t>(st.st_size);   // adopt a larger peer sizing
+        }
+        if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+            ::close(fd);
+            throw CommError("shm transport: ftruncate failed for " + slot->shm_name);
+        }
+        void* p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+        ::close(fd);
+        BEATNIK_REQUIRE(p != MAP_FAILED, "shm transport: mmap failed for " + slot->shm_name);
+
+        slot->hdr = static_cast<detail::ShmHeader*>(p);
+        slot->data = static_cast<std::byte*>(p) + sizeof(detail::ShmHeader);
+        slot->capacity = total - sizeof(detail::ShmHeader);
+        slot->mapped = total;
+
+        // First endpoint to claim the fresh (zero-filled) header
+        // initializes it; the loser waits for kShmReady.
+        std::uint32_t expected = 0;
+        if (slot->hdr->magic.compare_exchange_strong(expected, detail::kShmInitializing,
+                                                     std::memory_order_acq_rel)) {
+            slot->hdr->seq.store(0, std::memory_order_relaxed);
+            slot->hdr->bytes.store(0, std::memory_order_relaxed);
+            slot->hdr->abort.store(0, std::memory_order_relaxed);
+            slot->hdr->capacity = static_cast<std::uint32_t>(slot->capacity);
+            slot->hdr->magic.store(detail::kShmReady, std::memory_order_release);
+        } else {
+            while (slot->hdr->magic.load(std::memory_order_acquire) != detail::kShmReady) {
+                detail::cpu_relax();
+            }
+        }
+
+        {
+            std::lock_guard lock(mutex_);
+            created_names_.push_back(slot->shm_name);
+            headers_.push_back(slot->hdr);
+        }
+        ch.tslot = std::move(slot);
+#endif
+    }
+
+    [[nodiscard]] std::span<std::byte> acquire_send(detail::PlanChannel& ch, std::size_t bytes,
+                                                    const TransportWait& w) override {
+#if !defined(__linux__)
+        (void)ch;
+        (void)bytes;
+        (void)w;
+        throw CommError("shm transport requires Linux");
+#else
+        auto& s = slot(ch);
+        BEATNIK_REQUIRE(bytes <= s.capacity,
+                        "shm transport: message exceeds the channel's fixed segment "
+                        "capacity — register the slot with a larger max_bytes");
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(w.timeout_seconds));
+        std::uint32_t q = s.hdr->seq.load(std::memory_order_acquire);
+        for (int spin = w.spin_iters; (q & 1u) != 0 && spin > 0; --spin) {
+            detail::cpu_relax();
+            q = s.hdr->seq.load(std::memory_order_acquire);
+        }
+        while ((q & 1u) != 0) {
+            check_abort(s, w);
+            if (w.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+                throw CommError("plan operation timed out (probable deadlock): "
+                                "Plan::send_buffer: peer never released the previous message");
+            }
+            detail::shm_futex_wait(s.hdr->seq, q);
+            q = s.hdr->seq.load(std::memory_order_acquire);
+        }
+        par::device::devcheck::channel_send_acquire(&ch);
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = false;
+            ch.bytes = bytes;
+        }
+        return {s.data, bytes};
+#endif
+    }
+
+    void publish(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_publish(&ch, name());
+#if defined(__linux__)
+        auto& s = slot(ch);
+        std::size_t bytes;
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = true;
+            s.local_publish = true;
+            bytes = ch.bytes;
+        }
+        s.hdr->bytes.store(static_cast<std::uint32_t>(bytes), std::memory_order_relaxed);
+        // The release bump is the publication edge: the packed data and
+        // the bytes word above become visible to any acquire load of seq.
+        s.hdr->seq.fetch_add(1, std::memory_order_release);
+        detail::shm_futex_wake(s.hdr->seq);
+#endif
+    }
+
+    void poll(detail::PlanChannel& ch) override {
+#if defined(__linux__)
+        auto& s = slot(ch);
+        if (s.hdr->abort.load(std::memory_order_relaxed) != 0) {
+            throw CommError("shm transport: a peer process aborted");
+        }
+        const std::uint32_t q = s.hdr->seq.load(std::memory_order_acquire);
+        if ((q & 1u) == 0) return;   // EMPTY
+        std::lock_guard lock(ch.mutex);
+        if (s.observed) return;
+        s.observed = true;
+        ch.full = true;
+        ch.bytes = s.hdr->bytes.load(std::memory_order_relaxed);
+        if (!s.local_publish && s.hook_seq != q) {
+            // Remote publisher: mirror its acquire/publish transitions
+            // into this process's channel shadow so the checker sees the
+            // full cycle (once per message — hook_seq makes a re-poll
+            // after detach idempotent).
+            s.hook_seq = q;
+            par::device::devcheck::channel_send_acquire(&ch);
+            par::device::devcheck::channel_publish(&ch, "shm (remote publish)");
+        }
+        if (ch.ready != nullptr) {
+            std::lock_guard ring_lock(ch.ready->mutex);
+            ch.ready->push_locked(ch.recv_slot);
+            if (ch.ready->waiting) ch.ready->cv.notify_one();
+        }
+#else
+        (void)ch;
+#endif
+    }
+
+    [[nodiscard]] std::span<const std::byte> recv_view(
+        const detail::PlanChannel& ch) const override {
+        const auto& s = slot(ch);
+        return {s.data, ch.bytes};
+    }
+
+    void release(detail::PlanChannel& ch) override {
+        par::device::devcheck::channel_release(&ch, name());
+#if defined(__linux__)
+        auto& s = slot(ch);
+        {
+            std::lock_guard lock(ch.mutex);
+            ch.full = false;
+            s.observed = false;
+            s.local_publish = false;
+        }
+        s.hdr->seq.fetch_add(1, std::memory_order_release);
+        detail::shm_futex_wake(s.hdr->seq);
+#endif
+    }
+
+    void on_detach(detail::PlanChannel& ch) override {
+        auto& s = slot(ch);
+        std::lock_guard lock(ch.mutex);
+        s.observed = false;
+    }
+
+    [[nodiscard]] std::span<std::byte> pin(detail::PlanChannel& ch,
+                                           std::size_t max_bytes) override {
+        auto& s = slot(ch);
+        BEATNIK_REQUIRE(max_bytes <= s.capacity,
+                        "shm transport: pin request exceeds the fixed segment capacity");
+        return {s.data, s.capacity};
+    }
+
+    /// Cross-process abort propagation: raise the abort word in every
+    /// bound segment and wake all futex waiters — peers observe it on
+    /// their next poll or wait slice and unwind.
+    void abort_all() override {
+#if defined(__linux__)
+        std::lock_guard lock(mutex_);
+        for (auto* hdr : headers_) {
+            hdr->abort.store(1, std::memory_order_release);
+            detail::shm_futex_wake(hdr->seq);
+        }
+#endif
+    }
+
+private:
+    friend struct detail::ShmSlot;
+
+    [[nodiscard]] static detail::ShmSlot& slot(detail::PlanChannel& ch) {
+        return static_cast<detail::ShmSlot&>(*ch.tslot);
+    }
+    [[nodiscard]] static const detail::ShmSlot& slot(const detail::PlanChannel& ch) {
+        return static_cast<const detail::ShmSlot&>(*ch.tslot);
+    }
+
+    [[nodiscard]] std::string segment_name(const ChannelKey& key) const {
+        return "/bk-" + session_ + "-c" + std::to_string(key.comm_id) + "-" +
+               std::to_string(key.src_world) + "to" + std::to_string(key.dst_world) + "-t" +
+               std::to_string(key.tag);
+    }
+
+    void check_abort(const detail::ShmSlot& s, const TransportWait& w) const {
+        if (w.abort != nullptr && w.abort->load(std::memory_order_acquire)) {
+            throw CommError("plan operation aborted: another rank failed");
+        }
+        if (s.hdr->abort.load(std::memory_order_relaxed) != 0) {
+            throw CommError("shm transport: a peer process aborted");
+        }
+    }
+
+    void forget(detail::ShmHeader* hdr) {
+        std::lock_guard lock(mutex_);
+        std::erase(headers_, hdr);
+    }
+
+    std::string session_;
+    mutable std::mutex mutex_;
+    std::vector<detail::ShmHeader*> headers_;   ///< live mappings, for abort_all
+    std::vector<std::string> created_names_;    ///< unlinked at destruction
+};
+
+namespace detail {
+
+inline ShmSlot::~ShmSlot() {
+    // The channel's shared_ptr<Transport> is still held while tslot is
+    // destroyed, so the owner is always alive here.
+    if (owner != nullptr && hdr != nullptr) owner->forget(hdr);
+#if defined(__linux__)
+    if (hdr != nullptr) ::munmap(hdr, mapped);
+#endif
+}
+
+} // namespace detail
+
+} // namespace beatnik::comm

@@ -1,0 +1,167 @@
+/// \file transport.hpp
+/// \brief The transport seam under the plan layer: how one PlanChannel's
+/// single message slot physically moves from sender to receiver.
+///
+/// comm::Plan is the pattern registry (which peer, which tag, how many
+/// bytes); a Transport is the mechanism executing one slot of it:
+///
+///   acquire_send -> pack in place -> publish          (sender)
+///   poll/notify  -> recv_view     -> release          (receiver)
+///
+/// Three implementations exist (see inproc.hpp, shm.hpp, loopback.hpp):
+///
+///   inproc    the original single-slot rendezvous channel between
+///             rank-threads of one process (mutex + condvar) — the
+///             default, bitwise the pre-seam behavior;
+///   shm       the same publish/release protocol over a named
+///             shared-memory segment with futex-backed sequence counters,
+///             so a plan schedule runs between OS processes;
+///   loopback  in-process delivery with injectable per-message latency/
+///             bandwidth/jitter for deterministic testing and netsim
+///             cross-validation.
+///
+/// Transports differ in how completion reaches the receiving plan:
+/// push-notifying transports (inproc) enqueue into the plan's ready ring
+/// from publish(); polled transports (shm — the publisher may live in
+/// another process — and loopback — delivery happens at a deadline, not
+/// at publish) are driven by poll(), which the plan interleaves with its
+/// waits. push_notifies() tells the plan which discipline a slot needs.
+///
+/// Every transport fires the devcheck channel-shadow hooks (send_acquire/
+/// publish/recv_acquire/release, keyed by the PlanChannel address) so the
+/// happens-before checker models the seam identically for all transports.
+/// Hooks fire *before* the protocol mutation they describe: a seeded
+/// double-publish must throw before it corrupts the live protocol state.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "base/error.hpp"
+#include "comm/channel.hpp"
+#include "par/device/devcheck.hpp"
+
+namespace beatnik::comm {
+
+/// Abort/timeout/spin parameters every blocking transport wait must
+/// observe (the plan's context-wide unwind discipline, see Plan).
+struct TransportWait {
+    /// Context abort flag; a blocked wait throws CommError when set.
+    const std::atomic<bool>* abort = nullptr;
+    /// Waits longer than this throw CommError (<= 0 disables).
+    double timeout_seconds = 0.0;
+    /// Busy spins before paying a sleeping wait (0 when oversubscribed).
+    int spin_iters = 0;
+};
+
+/// Injected per-message cost model of the loopback transport. A published
+/// message becomes visible to the receiver only after
+///   latency + bytes / bandwidth + jitter
+/// where jitter is uniform in [0, jitter_seconds) from a deterministic
+/// per-channel LCG — identical streams for identical (key, seed).
+struct LoopbackConfig {
+    double latency_seconds = 20.0e-6;
+    double bandwidth_bytes_per_second = 2.0e9;
+    double jitter_seconds = 0.0;
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+namespace detail {
+
+/// Condition wait with abort observation and timeout: blocked transport
+/// operations wake in short slices to check the context-wide abort flag,
+/// so one failing rank unwinds everyone instead of deadlocking them.
+template <class Pred>
+void transport_wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                          Pred pred, const char* what, const TransportWait& w) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(w.timeout_seconds));
+    while (!pred()) {
+        if (w.abort != nullptr && w.abort->load(std::memory_order_acquire)) {
+            throw CommError("plan operation aborted: another rank failed");
+        }
+        if (w.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+            throw CommError(std::string("plan operation timed out (probable deadlock): ") +
+                            what);
+        }
+        cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+} // namespace detail
+
+/// One slot-movement mechanism. Stateless across channels except for
+/// whatever a channel's `tslot` (bound per channel) carries; all methods
+/// are called with the conventions documented per method. A transport
+/// instance is shared by every channel selecting it and must outlive
+/// them (PlanChannel holds a shared_ptr).
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+    /// True when publish() itself enqueues the arrival into the receiving
+    /// plan's ready ring; false when the receiver must drive poll().
+    [[nodiscard]] virtual bool push_notifies() const noexcept = 0;
+
+    /// One-time per-channel setup (storage, segment mapping, per-channel
+    /// transport state). Called exactly once, under the registry lock, by
+    /// whichever endpoint creates the channel.
+    virtual void bind(detail::PlanChannel& ch, const ChannelKey& key, std::size_t max_bytes) = 0;
+
+    /// Block until the slot is EMPTY, then return the buffer to pack into
+    /// (exactly \p bytes long). The caller is the slot's only writer
+    /// until publish().
+    [[nodiscard]] virtual std::span<std::byte> acquire_send(detail::PlanChannel& ch,
+                                                            std::size_t bytes,
+                                                            const TransportWait& w) = 0;
+
+    /// Hand the packed bytes to the receiver (EMPTY -> FULL).
+    virtual void publish(detail::PlanChannel& ch) = 0;
+
+    /// Polled transports: check for a newly visible message and, on first
+    /// observation, enqueue it into the channel's attached ready ring.
+    /// Idempotent; called from the receiving plan's wait loops and at
+    /// attach. Push-notifying transports never see this call.
+    virtual void poll(detail::PlanChannel& ch) = 0;
+
+    /// Received bytes of the FULL slot (receiver side, between the ready-
+    /// ring completion and release()).
+    [[nodiscard]] virtual std::span<const std::byte> recv_view(
+        const detail::PlanChannel& ch) const = 0;
+
+    /// Return the slot to the sender (FULL -> EMPTY).
+    virtual void release(detail::PlanChannel& ch) = 0;
+
+    /// The receiving plan consumed the slot from its ready ring; default
+    /// fires the devcheck recv edge. Transports with extra receiver-side
+    /// bookkeeping may extend.
+    virtual void on_consume(detail::PlanChannel& ch) {
+        par::device::devcheck::channel_recv_acquire(&ch, name());
+    }
+
+    /// The receiving plan detaches from the channel: drop receiver-local
+    /// observation state so a successor plan re-discovers a still-FULL
+    /// message through its own attach/poll.
+    virtual void on_detach(detail::PlanChannel& ch) { (void)ch; }
+
+    /// Pre-size the slot's buffer to \p max_bytes and return the stable
+    /// span (device pinning hook — see Plan::pin_buffers). Must be called
+    /// between iterations.
+    [[nodiscard]] virtual std::span<std::byte> pin(detail::PlanChannel& ch,
+                                                   std::size_t max_bytes) = 0;
+
+    /// Context-wide abort: wake every wait this transport may be blocking
+    /// (including, for cross-process transports, peers in other
+    /// processes).
+    virtual void abort_all() {}
+};
+
+} // namespace beatnik::comm

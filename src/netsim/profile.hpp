@@ -1,0 +1,120 @@
+/// \file profile.hpp
+/// \brief Calibrated machine profiles bridging measurement and simulation.
+///
+/// `bench_patterns --calibrate` measures a real transport (latency from a
+/// small-message ring, bandwidth from a large-message ring, local-copy
+/// bandwidth from a memcpy sweep) and writes the numbers as a small JSON
+/// profile. This header loads such a profile back and projects it onto a
+/// MachineModel, so netsim predictions can be grounded in *measured*
+/// parameters of the machine at hand instead of the hard-coded Lassen
+/// estimates. The profile format is deliberately flat — a single JSON
+/// object of scalar fields — so it is parsed here with a dependency-free
+/// key scan rather than a JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/error.hpp"
+#include "netsim/machine.hpp"
+
+namespace beatnik::netsim {
+
+/// Per-transport parameters fitted by `bench_patterns --calibrate`.
+struct CalibratedProfile {
+    std::string transport;                       ///< "inproc", "shm" or "loopback"
+    double latency_seconds = 0.0;                ///< one-way small-message latency
+    double bandwidth_bytes_per_second = 0.0;     ///< large-message stream bandwidth
+    double local_copy_bandwidth_bytes_per_second = 0.0; ///< memcpy sweep rate
+};
+
+namespace detail {
+
+/// Value of `"key": <number>` in \p json, or \p fallback when absent.
+inline double scan_number(const std::string& json, const std::string& key,
+                          double fallback) {
+    const std::string needle = "\"" + key + "\"";
+    auto pos = json.find(needle);
+    if (pos == std::string::npos) return fallback;
+    pos = json.find(':', pos + needle.size());
+    if (pos == std::string::npos) return fallback;
+    ++pos;
+    while (pos < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[pos])) != 0) {
+        ++pos;
+    }
+    const char* begin = json.c_str() + pos;
+    char* end = nullptr;
+    double value = std::strtod(begin, &end);
+    return end != begin ? value : fallback;
+}
+
+/// Value of `"key": "<string>"` in \p json, or "" when absent.
+inline std::string scan_string(const std::string& json, const std::string& key) {
+    const std::string needle = "\"" + key + "\"";
+    auto pos = json.find(needle);
+    if (pos == std::string::npos) return {};
+    pos = json.find(':', pos + needle.size());
+    if (pos == std::string::npos) return {};
+    auto open = json.find('"', pos + 1);
+    if (open == std::string::npos) return {};
+    auto close = json.find('"', open + 1);
+    if (close == std::string::npos) return {};
+    return json.substr(open + 1, close - open - 1);
+}
+
+} // namespace detail
+
+/// Parse a calibration profile from JSON text. Missing numeric fields
+/// stay zero; latency and bandwidth are required to be positive.
+[[nodiscard]] inline CalibratedProfile parse_profile(const std::string& json) {
+    CalibratedProfile p;
+    p.transport = detail::scan_string(json, "transport");
+    p.latency_seconds = detail::scan_number(json, "latency_seconds", 0.0);
+    p.bandwidth_bytes_per_second =
+        detail::scan_number(json, "bandwidth_bytes_per_second", 0.0);
+    p.local_copy_bandwidth_bytes_per_second = detail::scan_number(
+        json, "local_copy_bandwidth_bytes_per_second", 0.0);
+    BEATNIK_REQUIRE(p.latency_seconds > 0.0 &&
+                        p.bandwidth_bytes_per_second > 0.0,
+                    "machine profile missing latency_seconds / "
+                    "bandwidth_bytes_per_second");
+    return p;
+}
+
+/// Load a calibration profile from \p path (a `--calibrate` output file).
+[[nodiscard]] inline CalibratedProfile load_profile(const std::string& path) {
+    std::ifstream in(path);
+    BEATNIK_REQUIRE(in.good(), "cannot open machine profile: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_profile(buf.str());
+}
+
+/// Project a calibrated profile onto a MachineModel. The measured
+/// transport is uniform (every peer pair crosses the same mechanism), so
+/// intra- and inter-node parameters collapse to the measured pair and
+/// NIC-level contention terms are disabled: the resulting model predicts
+/// *this machine's* schedules, not Lassen's.
+[[nodiscard]] inline MachineModel machine_from_profile(const CalibratedProfile& p) {
+    MachineModel m;
+    m.ranks_per_node = 1;
+    m.per_message_overhead = 0.0;
+    m.intra_latency = p.latency_seconds;
+    m.inter_latency = p.latency_seconds;
+    m.intra_bandwidth = p.bandwidth_bytes_per_second;
+    m.inter_bandwidth = p.bandwidth_bytes_per_second;
+    m.nic_injection_bandwidth = p.bandwidth_bytes_per_second;
+    m.nic_per_message_overhead = 0.0;
+    m.incast_factor = 0.0;
+    m.collective_staging_bandwidth = p.bandwidth_bytes_per_second;
+    if (p.local_copy_bandwidth_bytes_per_second > 0.0) {
+        m.memory_bandwidth = p.local_copy_bandwidth_bytes_per_second;
+    }
+    return m;
+}
+
+} // namespace beatnik::netsim

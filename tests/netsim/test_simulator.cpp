@@ -7,6 +7,7 @@
 #include "grid/halo.hpp"
 #include "netsim/fft_bridge.hpp"
 #include "netsim/machine.hpp"
+#include "netsim/profile.hpp"
 #include "netsim/simulator.hpp"
 
 namespace bn = beatnik::netsim;
@@ -241,6 +242,38 @@ TEST(FftBridge, WeakScalingRuntimeGrowsWithRankCount) {
     double t8 = runtime(8);   // 64 ranks
     EXPECT_LT(t2, t4);
     EXPECT_LT(t4, t8);
+}
+
+TEST(Profile, ParsesCalibrateOutputAndProjectsOntoMachine) {
+    // The exact shape bench_patterns --calibrate writes.
+    const std::string json =
+        "{\n"
+        "  \"transport\": \"shm\",\n"
+        "  \"latency_seconds\": 2.5e-06,\n"
+        "  \"bandwidth_bytes_per_second\": 6.0e+09,\n"
+        "  \"local_copy_bandwidth_bytes_per_second\": 1.2e+10\n"
+        "}\n";
+    auto p = bn::parse_profile(json);
+    EXPECT_EQ(p.transport, "shm");
+    EXPECT_DOUBLE_EQ(p.latency_seconds, 2.5e-6);
+    EXPECT_DOUBLE_EQ(p.bandwidth_bytes_per_second, 6.0e9);
+    EXPECT_DOUBLE_EQ(p.local_copy_bandwidth_bytes_per_second, 1.2e10);
+
+    auto m = bn::machine_from_profile(p);
+    EXPECT_EQ(m.ranks_per_node, 1);
+    EXPECT_DOUBLE_EQ(m.inter_latency, 2.5e-6);
+    EXPECT_DOUBLE_EQ(m.intra_latency, 2.5e-6);
+    EXPECT_DOUBLE_EQ(m.inter_bandwidth, 6.0e9);
+    EXPECT_DOUBLE_EQ(m.memory_bandwidth, 1.2e10);
+    EXPECT_DOUBLE_EQ(m.incast_factor, 0.0);
+    // A calibrated model prices one message as latency + bytes/bandwidth
+    // exactly — the invariant the loopback absolute-time gate relies on.
+    EXPECT_DOUBLE_EQ(m.wire_time(0, 1, 6'000'000), 2.5e-6 + 1.0e-3);
+}
+
+TEST(Profile, MissingRequiredFieldsThrow) {
+    EXPECT_THROW((void)bn::parse_profile("{}"), beatnik::Error);
+    EXPECT_THROW((void)bn::parse_profile("{\"latency_seconds\": 1e-6}"), beatnik::Error);
 }
 
 } // namespace

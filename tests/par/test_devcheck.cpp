@@ -17,9 +17,16 @@
 #include <utility>
 #include <vector>
 
+#include "comm/transport/shm.hpp"
 #include "grid/field.hpp"
 #include "par/device/queue.hpp"
 #include "par/device/scan.hpp"
+
+#if defined(__linux__)
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#endif
 
 namespace bd = beatnik::par::device;
 namespace dc = beatnik::par::device::devcheck;
@@ -240,6 +247,36 @@ TEST_F(Devcheck, FullChannelCycleIsClean) {
     }
     EXPECT_EQ(dc::take_hazard_count(), 0u);
 }
+
+#if defined(__linux__)
+// Same seeded hazard, but through the transport seam: a double publish
+// over a real shared-memory segment must trip the identical channel
+// shadow, proving the hooks survived the extraction of the rendezvous
+// into Transport implementations.
+TEST_F(Devcheck, ShmTransportDoublePublishIsFlagged) {
+    namespace bc = beatnik::comm;
+    bc::ShmTransport shm("dc" + std::to_string(::getpid()));
+    bc::detail::PlanChannel ch;
+    shm.bind(ch, bc::ChannelKey{0, 0, 1, 9001}, 128);
+
+    auto buf = shm.acquire_send(ch, 64, bc::TransportWait{});
+    std::memset(buf.data(), 0x5a, buf.size());
+    shm.publish(ch);
+    EXPECT_THROW(shm.publish(ch), dc::HazardError);
+    EXPECT_EQ(dc::take_hazard_count(), 1u);
+
+    // Drain both the real protocol and its shadow so the end-of-binary
+    // gate in tests/main.cpp still sees a clean slate.
+    shm.poll(ch);
+    EXPECT_TRUE(ch.full);
+    auto view = shm.recv_view(ch);
+    ASSERT_EQ(view.size(), 64u);
+    EXPECT_EQ(std::to_integer<int>(view[0]), 0x5a);
+    shm.on_consume(ch);
+    shm.release(ch);
+    EXPECT_EQ(dc::take_hazard_count(), 0u);
+}
+#endif
 
 // ------------------------------------ true negative: a real pipeline
 
