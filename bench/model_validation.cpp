@@ -48,6 +48,7 @@
 #include "measure.hpp"
 #include "netsim/profile.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bc = beatnik::comm;
 namespace bn = beatnik::netsim;
@@ -213,7 +214,74 @@ int run_loopback_gate() {
     std::printf("predicted %.3f ms, measured %.3f ms (accepted band [%.3f, %.3f] ms) -> %s\n",
                 predicted * 1e3, measured * 1e3, lower * 1e3, upper * 1e3,
                 ok ? "inside" : "OUTSIDE");
-    return ok ? 0 : 1;
+
+    // Traced cross-check: re-run the ring with telemetry armed and compare
+    // each rank's *traced* "plan.wait" time against the injected
+    // latency+serialization truth. This validates the trace spans with the
+    // only ground truth in the repo — the synthetic transport's own cost
+    // model — not just the wall-clock totals above.
+    namespace tel = beatnik::telemetry;
+    const bool was_enabled = tel::enabled();
+    tel::arm();
+    tel::Registry::instance().clear();
+    bc::Context::run(
+        kGateRanks,
+        [&](bc::Communicator& comm) {
+            const int next = (comm.rank() + 1) % comm.size();
+            const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+            const int tag = comm.new_plan_tag();
+            auto builder = bc::Plan::builder(comm);
+            int s = builder.add_send(next, tag, kBytes);
+            int r = builder.add_recv(prev, tag, kBytes);
+            auto plan = builder.build();
+            for (int i = 0; i < kIters; ++i) {
+                plan.start();
+                auto buf = plan.send_buffer(s, kBytes);
+                std::memset(buf.data(), comm.rank() + 1, buf.size());
+                plan.publish(s);
+                plan.wait();
+                plan.release_recv(r);
+            }
+        },
+        cfg);
+    if (!was_enabled) tel::disarm();
+
+    const double truth =
+        lb.latency_seconds + static_cast<double>(kBytes) / lb.bandwidth_bytes_per_second;
+    const double wait_lower = 0.5 * kIters * truth;
+    const double wait_upper = 3.0 * kIters * truth + 5.0e-3;
+    bool wait_ok = true;
+    int rank_tracks = 0;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks()) {
+        if (t->name().rfind("rank ", 0) != 0 || t->size() == 0) continue;
+        ++rank_tracks;
+        double waited = 0.0;
+        std::uint64_t open_ts = 0;
+        bool open = false;
+        for (std::size_t i = 0; i < t->size(); ++i) {
+            const tel::Event& e = (*t)[i];
+            if (e.name == nullptr || std::strcmp(e.name, "plan.wait") != 0) continue;
+            if (e.kind == tel::EventKind::begin) {
+                open_ts = e.ts_ns;
+                open = true;
+            } else if (e.kind == tel::EventKind::end && open) {
+                waited += static_cast<double>(e.ts_ns - open_ts) * 1e-9;
+                open = false;
+            }
+        }
+        const bool in_band = waited >= wait_lower && waited <= wait_upper;
+        std::printf("traced %s: plan.wait %.3f ms over %d iters "
+                    "(truth %.3f ms, band [%.3f, %.3f] ms) -> %s\n",
+                    t->name().c_str(), waited * 1e3, kIters, kIters * truth * 1e3,
+                    wait_lower * 1e3, wait_upper * 1e3, in_band ? "inside" : "OUTSIDE");
+        if (!in_band) wait_ok = false;
+    }
+    if (rank_tracks != kGateRanks) {
+        std::printf("traced wait check: expected %d rank tracks, saw %d\n", kGateRanks,
+                    rank_tracks);
+        wait_ok = false;
+    }
+    return (ok && wait_ok) ? 0 : 1;
 }
 
 } // namespace
@@ -224,10 +292,15 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--loopback-gate") == 0) {
             loopback_gate = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            // Arm process-wide telemetry; the atexit flush writes the
+            // Perfetto JSON (BEATNIK_TRACE_FILE or beatnik-<pid>.trace.json).
+            beatnik::telemetry::arm();
         } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
             profile_path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--profile <machine.json>] [--loopback-gate]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--profile <machine.json>] [--loopback-gate] [--trace]\n",
                          argv[0]);
             return 2;
         }

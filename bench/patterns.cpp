@@ -397,11 +397,14 @@ int main(int argc, char** argv) {
     int iters_arg = -1;
     bool quick = false;
     bool do_calibrate = false;
+    bool do_trace = false;
     auto usage = [&] {
         std::fprintf(stderr,
                      "usage: %s [--schedule halo|ring|pairwise|bruck|reshape|all]\n"
                      "          [--transport inproc|shm|loopback] [--ranks N] [--bytes N]\n"
-                     "          [--iters N] [--quick] [--out <file.json>] [--calibrate]\n",
+                     "          [--iters N] [--quick] [--out <file.json>] [--calibrate]\n"
+                     "          [--trace]   (arm telemetry; writes beatnik-<pid>.trace.json\n"
+                     "                       or $BEATNIK_TRACE_FILE at exit)\n",
                      argv[0]);
         return 2;
     };
@@ -429,6 +432,8 @@ int main(int argc, char** argv) {
             out_path = next("--out");
         } else if (std::strcmp(argv[i], "--calibrate") == 0) {
             do_calibrate = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            do_trace = true;
         } else {
             return usage();
         }
@@ -440,6 +445,7 @@ int main(int argc, char** argv) {
 
     bc::ContextConfig cfg;
     if (!transport.empty()) cfg.transport = transport;
+    cfg.telemetry = do_trace;
     // Label records with the *effective* transport when none was given.
     std::string label = transport;
     if (label.empty()) {

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON produced by the telemetry
+layer (BEATNIK_TRACE=1 or a --trace bench flag).
+
+Checks, in order:
+
+  schema        top-level object with a `traceEvents` list; every event has
+                the required keys for its phase type (B/E/i/C/s/f/M).
+  balance       per (pid, tid): B and E events pair up like parentheses,
+                and matching B/E carry the same name.
+  monotonic     per (pid, tid): timestamps never decrease (each track is
+                written by one thread / under one queue mutex, so any
+                regression is a recorder bug, not scheduling noise).
+  flows         every flow start (`s`) id has a matching finish (`f`) and
+                vice versa — unless --allow-open-flows (a single rank of a
+                multi-process run legitimately holds half of each arrow).
+  tracks        with --require-track PATTERN (repeatable): at least one
+                thread_name metadata event matches each regex. Used by CI
+                to assert rank and device-queue tracks exist.
+  flow-names    with --require-flow NAME (repeatable): at least one s/f
+                event pair uses this flow name ("plan", "event", ...).
+
+Exit status 0 when valid; 1 with a report on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REQUIRED_KEYS = {
+    "B": {"name", "ph", "ts", "pid", "tid"},
+    "E": {"name", "ph", "ts", "pid", "tid"},
+    "i": {"name", "ph", "ts", "pid", "tid"},
+    "C": {"name", "ph", "ts", "pid", "tid", "args"},
+    "s": {"name", "ph", "ts", "pid", "tid", "id"},
+    "f": {"name", "ph", "ts", "pid", "tid", "id"},
+    "M": {"name", "ph", "pid"},
+}
+
+
+def load(path: Path) -> dict:
+    with path.open(encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(doc: dict, require_tracks: list[str], require_flows: list[str],
+             allow_open_flows: bool) -> list[str]:
+    errors: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level `traceEvents` list missing"]
+
+    stacks: dict[tuple, list] = defaultdict(list)
+    last_ts: dict[tuple, float] = {}
+    flow_starts: dict[str, set] = defaultdict(set)
+    flow_finishes: dict[str, set] = defaultdict(set)
+    track_names: list[str] = []
+
+    for n, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in REQUIRED_KEYS:
+            errors.append(f"event {n}: unknown phase type {ph!r}")
+            continue
+        missing = REQUIRED_KEYS[ph] - ev.keys()
+        if missing:
+            errors.append(f"event {n} ({ph}): missing keys {sorted(missing)}")
+            continue
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                track_names.append(ev.get("args", {}).get("name", ""))
+            continue
+
+        track = (ev["pid"], ev["tid"])
+        ts = float(ev["ts"])
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"event {n} ({ph} {ev['name']!r}): ts {ts} < previous "
+                f"{last_ts[track]} on track pid={track[0]} tid={track[1]}"
+            )
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks[track].append((n, ev["name"]))
+        elif ph == "E":
+            if not stacks[track]:
+                errors.append(
+                    f"event {n}: E {ev['name']!r} with empty span stack on "
+                    f"track pid={track[0]} tid={track[1]}"
+                )
+            else:
+                bn, bname = stacks[track].pop()
+                if bname != ev["name"]:
+                    errors.append(
+                        f"event {n}: E {ev['name']!r} closes B {bname!r} "
+                        f"(event {bn}) — span names must match"
+                    )
+        elif ph == "s":
+            flow_starts[ev["name"]].add(ev["id"])
+        elif ph == "f":
+            flow_finishes[ev["name"]].add(ev["id"])
+
+    for track, stack in stacks.items():
+        for n, name in stack:
+            errors.append(
+                f"event {n}: B {name!r} never closed on track "
+                f"pid={track[0]} tid={track[1]}"
+            )
+
+    if not allow_open_flows:
+        for name in set(flow_starts) | set(flow_finishes):
+            unfinished = flow_starts[name] - flow_finishes[name]
+            unstarted = flow_finishes[name] - flow_starts[name]
+            for fid in sorted(unfinished):
+                errors.append(f"flow {name!r} id {fid}: start without finish")
+            for fid in sorted(unstarted):
+                errors.append(f"flow {name!r} id {fid}: finish without start")
+
+    for pattern in require_tracks:
+        if not any(re.search(pattern, t) for t in track_names):
+            errors.append(
+                f"no thread_name track matches /{pattern}/ "
+                f"(tracks: {sorted(set(track_names))})"
+            )
+    for name in require_flows:
+        if not flow_starts.get(name) and not flow_finishes.get(name):
+            errors.append(f"no flow events named {name!r}")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", type=Path, help="trace-event JSON file")
+    ap.add_argument("--require-track", action="append", default=[],
+                    metavar="REGEX", help="require a track name matching REGEX")
+    ap.add_argument("--require-flow", action="append", default=[],
+                    metavar="NAME", help="require s/f events with this flow name")
+    ap.add_argument("--allow-open-flows", action="store_true",
+                    help="accept flows whose other half lives in another "
+                         "process's trace file")
+    args = ap.parse_args()
+
+    try:
+        doc = load(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.trace}: unreadable: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(doc, args.require_track, args.require_flow,
+                      args.allow_open_flows)
+    if errors:
+        for e in errors[:50]:
+            print(f"{args.trace}: {e}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"... and {len(errors) - 50} more", file=sys.stderr)
+        return 1
+    n = len(doc["traceEvents"])
+    print(f"{args.trace}: valid ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,15 @@ Three rule families, each encoding an invariant the compiler cannot see:
                    hazards (segment lifetime, futex wakeups, abort
                    propagation) stay auditable in one directory.
 
+  clock-read       raw std::chrono clock reads (steady_clock::now and
+                   friends) are confined to src/base/ (MonoClock /
+                   mono_now / Stopwatch) and src/telemetry/ (the span
+                   clock). Everything else derives its timestamps,
+                   deadlines and injected delays from those wrappers, so
+                   every timing artifact in the repo — trace spans, comm
+                   TraceRecords, transport timeouts, loopback delays —
+                   shares one clock and stays mutually comparable.
+
 Exit status 1 when any violation is found. --report FILE additionally
 writes the findings to FILE (uploaded as a CI artifact).
 """
@@ -57,6 +66,9 @@ TRANSPORT_SYSCALL = re.compile(
     r"\b(shm_open|shm_unlink|memfd_create|SYS_futex|FUTEX_\w+|mmap|munmap|ftruncate)\b"
 )
 TRANSPORT_DIR = SRC / "comm" / "transport"
+
+CLOCK_READ = re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
+CLOCK_DIRS = (SRC / "base", SRC / "telemetry")
 
 INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 GUARD = re.compile(r"^\s*#\s*ifndef\s+\w*_(HPP|H|HH|HXX)\w*\b")
@@ -113,6 +125,14 @@ def check_file(path: Path, findings: list[str]) -> None:
                     f"{rel}:{i}: [transport-syscalls] raw `{m.group(1)}` outside "
                     "src/comm/transport/ — cross-process plumbing goes through the "
                     "Transport seam"
+                )
+        if not any(path.is_relative_to(d) for d in CLOCK_DIRS):
+            m = CLOCK_READ.search(code_part(line))
+            if m:
+                findings.append(
+                    f"{rel}:{i}: [clock-read] raw `{m.group(1)}::now` outside src/base/ "
+                    "and src/telemetry/ — use mono_now() / deadline_after() / "
+                    "telemetry::now_ns() so all timing shares one clock"
                 )
 
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Merge per-process telemetry trace files into one Perfetto-loadable file.
+
+A multi-process run (the forked shm tests, or several cross-process ranks)
+writes one `beatnik-<pid>.trace.json` per process. Each file is valid on
+its own, but the interesting part — the `plan` flow arrows that link a
+publish in one process to the recv in another — only renders when both
+halves sit in the same file. This script concatenates the traceEvents of
+every input, keeping each process's pid so tracks stay separate, and
+verifies the result is well-formed.
+
+Timestamps are NOT rebased: every process stamps events with nanoseconds
+since its own telemetry epoch (first clock read). For processes forked
+from one parent (the test harness) the epochs are close enough that the
+merged timeline is readable; --rebase subtracts each file's minimum
+timestamp instead, aligning all processes at t=0.
+
+Usage: merge_traces.py -o merged.json a.trace.json b.trace.json ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+", type=Path)
+    ap.add_argument("-o", "--output", type=Path, required=True)
+    ap.add_argument("--rebase", action="store_true",
+                    help="shift each input so its earliest timestamp is 0")
+    args = ap.parse_args()
+
+    merged: list = []
+    pids: set = set()
+    for path in args.inputs:
+        try:
+            with path.open(encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}", file=sys.stderr)
+            return 1
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            print(f"{path}: no traceEvents list", file=sys.stderr)
+            return 1
+        file_pids = {ev.get("pid") for ev in events}
+        clash = file_pids & pids
+        if clash:
+            # Two files from the same pid (e.g. re-used pid after exit):
+            # offset so tracks never collide in the merged view.
+            offset = max(pids) + 1
+            for ev in events:
+                ev["pid"] = ev.get("pid", 0) + offset
+            file_pids = {ev.get("pid") for ev in events}
+        pids |= file_pids
+        if args.rebase:
+            stamped = [float(ev["ts"]) for ev in events if "ts" in ev]
+            if stamped:
+                t0 = min(stamped)
+                for ev in events:
+                    if "ts" in ev:
+                        ev["ts"] = float(ev["ts"]) - t0
+        merged.extend(events)
+
+    out = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with args.output.open("w", encoding="utf-8") as f:
+        json.dump(out, f)
+    print(f"{args.output}: merged {len(args.inputs)} file(s), "
+          f"{len(merged)} events, {len(pids)} process(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,17 @@ if grep -Eq '^BEATNIK_SANITIZE:[^=]*=.+$' "$CACHE" \
     exit 2
 fi
 
+# Same reasoning for runtime tracing: telemetry is always compiled in and
+# armed by the environment, so a traced run times the spans as well as the
+# code. Refuse rather than silently producing numbers that could be
+# promoted to committed baselines.
+if [[ -n "${BEATNIK_TRACE:-}" && "${BEATNIK_TRACE}" != "0" ]]; then
+    echo "error: BEATNIK_TRACE is set — traced runs must never become benchmark" >&2
+    echo "       baselines. Unset it (use the benches' --trace flag for one-off" >&2
+    echo "       traced measurements outside this script)." >&2
+    exit 2
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 run() {

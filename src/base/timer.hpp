@@ -1,70 +1,52 @@
 /// \file timer.hpp
-/// \brief Wall-clock timers and a labelled section-timing registry.
+/// \brief The repo's one monotonic clock, plus a wall-clock stopwatch.
+///
+/// Every raw clock read outside src/telemetry/ goes through mono_now() /
+/// deadline_after() here (enforced by scripts/lint.py's chrono rule), so
+/// timeouts, injected transport delays, and telemetry timestamps all come
+/// from the same steady clock — one recording can feed both the Perfetto
+/// timeline and the netsim replay without cross-clock skew.
+///
+/// The labelled SectionTimers registry that used to live here allocated a
+/// std::string key per add() call; solver phase timing now rides the
+/// allocation-free telemetry metrics (src/telemetry/metrics.hpp).
 #pragma once
 
 #include <chrono>
-#include <map>
-#include <string>
 
 namespace beatnik {
+
+/// The process-wide monotonic clock. Alias (not a new type) so standard
+/// <chrono> arithmetic applies unchanged.
+using MonoClock = std::chrono::steady_clock;
+
+/// One monotonic clock read. The only sanctioned spelling outside
+/// src/base/ and src/telemetry/ (see scripts/lint.py, chrono-reads rule).
+[[nodiscard]] inline MonoClock::time_point mono_now() { return MonoClock::now(); }
+
+/// Deadline \p seconds from now, in MonoClock coordinates. A non-positive
+/// timeout yields a deadline already in the past — callers gate on the
+/// timeout value, not the deadline, exactly as before.
+[[nodiscard]] inline MonoClock::time_point deadline_after(double seconds) {
+    return mono_now() + std::chrono::duration_cast<MonoClock::duration>(
+                            std::chrono::duration<double>(seconds));
+}
 
 /// Simple monotonic wall-clock stopwatch.
 class Stopwatch {
 public:
-    Stopwatch() : start_(clock::now()) {}
+    Stopwatch() : start_(mono_now()) {}
 
     /// Restart the stopwatch.
-    void reset() { start_ = clock::now(); }
+    void reset() { start_ = mono_now(); }
 
     /// Seconds elapsed since construction or the last reset().
     [[nodiscard]] double seconds() const {
-        return std::chrono::duration<double>(clock::now() - start_).count();
+        return std::chrono::duration<double>(mono_now() - start_).count();
     }
 
 private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_;
-};
-
-/// Accumulates named timing sections, e.g. per-solver phase
-/// ("halo", "fft", "migrate", "force"). Not thread-safe by design: each
-/// rank-thread owns its own SectionTimers instance.
-class SectionTimers {
-public:
-    /// RAII guard that charges elapsed time to a named section.
-    class Scope {
-    public:
-        Scope(SectionTimers& owner, std::string name)
-            : owner_(owner), name_(std::move(name)) {}
-        ~Scope() { owner_.add(name_, watch_.seconds()); }
-        Scope(const Scope&) = delete;
-        Scope& operator=(const Scope&) = delete;
-
-    private:
-        SectionTimers& owner_;
-        std::string name_;
-        Stopwatch watch_;
-    };
-
-    /// Start timing a named section; time is charged when the guard dies.
-    [[nodiscard]] Scope time(std::string name) { return Scope(*this, std::move(name)); }
-
-    /// Add raw seconds to a section.
-    void add(const std::string& name, double seconds) { totals_[name] += seconds; }
-
-    /// Total seconds charged to \p name (0.0 if never timed).
-    [[nodiscard]] double total(const std::string& name) const {
-        auto it = totals_.find(name);
-        return it == totals_.end() ? 0.0 : it->second;
-    }
-
-    /// All section totals, ordered by name.
-    [[nodiscard]] const std::map<std::string, double>& totals() const { return totals_; }
-
-    void clear() { totals_.clear(); }
-
-private:
-    std::map<std::string, double> totals_;
+    MonoClock::time_point start_;
 };
 
 } // namespace beatnik

@@ -112,6 +112,13 @@ struct PlanChannel {
     int recv_slot = -1;
     std::shared_ptr<Transport> transport;   ///< set once at bind, immutable after
     std::unique_ptr<TransportSlot> tslot;   ///< transport-private per-channel state
+    // Telemetry flow sequence numbers. Single-writer each (pub_seq: the
+    // sender thread in publish; con_seq: the receiver thread in consume)
+    // and incremented unconditionally, so the k-th publish and the k-th
+    // consume hash to the same flow id even across processes (shm channels
+    // have one PlanChannel instance per process) and across arm/disarm.
+    std::uint64_t pub_seq = 0;
+    std::uint64_t con_seq = 0;
 };
 
 /// One CPU-relax step for spin-then-block waits: cheap enough to sit in a

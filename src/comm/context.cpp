@@ -1,9 +1,11 @@
 #include "comm/context.hpp"
 
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik::comm {
 
@@ -21,6 +23,9 @@ Context::Context(int size, ContextConfig config) : size_(size), config_(std::mov
 Context::~Context() = default;
 
 void Context::abort() {
+    if (telemetry::enabled()) {
+        telemetry::thread_track().instant("comm.abort");
+    }
     abort_.store(true, std::memory_order_release);
     for (auto& box : mailboxes_) box->interrupt();
     // Transport-level fan-out: wake futex waiters, including — for the
@@ -30,6 +35,7 @@ void Context::abort() {
 
 void Context::run(int nranks, const std::function<void(Communicator&)>& fn,
                   ContextConfig config) {
+    if (config.telemetry && !telemetry::enabled()) telemetry::arm();
     Context ctx(nranks, config);
 
     // World rank -> world rank identity mapping shared by every rank's
@@ -43,6 +49,9 @@ void Context::run(int nranks, const std::function<void(Communicator&)>& fn,
     for (int r = 0; r < nranks; ++r) {
         threads.emplace_back([&ctx, &fn, &identity, &failures, r] {
             try {
+                if (telemetry::enabled()) {
+                    telemetry::name_thread_track("rank " + std::to_string(r));
+                }
                 Communicator world(ctx, /*comm_id=*/0, r, identity);
                 fn(world);
             } catch (...) {

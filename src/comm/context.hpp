@@ -48,6 +48,12 @@ struct ContextConfig {
     /// must pass the same value; empty falls back to $BEATNIK_SHM_SESSION,
     /// then a per-context unique default.
     std::string shm_session;
+    /// When true, Context::run arms the process-wide telemetry layer
+    /// (src/telemetry/) before spawning rank-threads — equivalent to
+    /// launching with BEATNIK_TRACE=1, but scoped to code: benches use it
+    /// for --trace. Arming is one-way here (the recording is flushed at
+    /// process exit or by telemetry::flush()).
+    bool telemetry = false;
 };
 
 /// Shared state for one group of rank-threads.

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "base/error.hpp"
+#include "base/timer.hpp"
 #include "comm/types.hpp"
 
 namespace beatnik::comm {
@@ -70,9 +71,7 @@ public:
     Envelope receive(int comm_id, int src, int tag) {
         Bucket& b = bucket(comm_id);
         std::unique_lock lock(b.mutex);
-        auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(timeout_seconds_));
+        auto deadline = deadline_after(timeout_seconds_);
         for (;;) {
             if (abort_.load(std::memory_order_acquire)) {
                 throw CommError("receive aborted: another rank failed");

@@ -50,8 +50,10 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "base/timer.hpp"
 #include "comm/communicator.hpp"
 #include "comm/transport/transport.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik::comm {
 
@@ -130,6 +132,7 @@ public:
     /// re-enqueued so this iteration consumes them in arrival order.
     void start() {
         State& st = state();
+        telemetry::Scope span("plan.start");
         BEATNIK_REQUIRE(!st.started || st.consumed == st.recvs.size(),
                         "Plan::start: previous iteration still has pending receives");
         for (std::size_t s = 0; s < st.recvs.size(); ++s) {
@@ -167,10 +170,22 @@ public:
                         "Plan::publish: slot was not acquired with send_buffer()");
         st.send_acquired[static_cast<std::size_t>(s)] = false;
         auto& ch = *slot.channel;
+        // Unconditional so the receiver's con_seq stays in lockstep even
+        // across arm/disarm (see PlanChannel).
+        std::uint64_t seq = ++ch.pub_seq;
         if (Trace* t = st.comm->context().trace()) {
             t->record(st.self_world, slot.peer_world, ch.bytes, slot.tag);
         }
-        ch.transport->publish(ch);
+        if (telemetry::enabled()) {
+            auto& tr = telemetry::thread_track();
+            telemetry::Scope span("plan.publish", ch.bytes,
+                                  static_cast<std::uint64_t>(s));
+            tr.flow_begin("plan", plan_flow_id(st.comm->comm_id(), st.self_world,
+                                               slot.peer_world, slot.tag, seq));
+            ch.transport->publish(ch);
+        } else {
+            ch.transport->publish(ch);
+        }
     }
 
     /// Convenience: acquire, copy \p data in, publish.
@@ -190,8 +205,13 @@ public:
         for (;;) {
             if (st.consumed == st.recvs.size()) return -1;
             int s;
+            // Span covers only the obtain-a-slot part (spin or block); the
+            // consume below records its own span, so per-track timestamps
+            // stay monotonic. a0 distinguishes spin (0) from block (1).
+            telemetry::Scope span("plan.wait");
+            bool blocked = false;
             if (st.needs_poll) {
-                s = wait_any_polled(st);
+                s = wait_any_polled(st, blocked);
             } else {
                 std::unique_lock lock(st.ready.mutex);
                 // Spin briefly before blocking — arrivals are usually a
@@ -210,6 +230,7 @@ public:
                 }
                 if (st.ready.count == 0) {
                     st.ready.waiting = true;
+                    blocked = true;
                     detail::transport_wait_until(lock, st.ready.cv,
                                                  [&] { return st.ready.count > 0; },
                                                  "Plan::wait_any_recv: message never arrived",
@@ -218,6 +239,7 @@ public:
                 }
                 s = st.ready.pop_locked();
             }
+            span.close(blocked ? 1 : 0, static_cast<std::uint64_t>(s));
             // An arrival for a slot already handled this iteration belongs
             // to the *next* iteration (the peer raced ahead); stash it for
             // the next start().
@@ -514,8 +536,26 @@ private:
         st.recv_state[static_cast<std::size_t>(s)] = RecvState::arrived;
         ++st.consumed;
         const auto& slot = st.recvs[static_cast<std::size_t>(s)];
-        slot.channel->transport->on_consume(*slot.channel);   // devcheck recv edge
+        auto& ch = *slot.channel;
+        std::uint64_t seq = ++ch.con_seq;   // lockstep with the peer's pub_seq
+        telemetry::Scope span("plan.recv", ch.bytes, static_cast<std::uint64_t>(s));
+        if (telemetry::enabled()) {
+            telemetry::thread_track().flow_end(
+                "plan", plan_flow_id(st.comm->comm_id(), slot.peer_world,
+                                     st.self_world, slot.tag, seq));
+        }
+        ch.transport->on_consume(ch);   // devcheck recv edge
         if (slot.on_message) slot.on_message(recv_view(s));
+    }
+
+    /// Deterministic publish->recv flow id: both endpoints hash the same
+    /// (comm, src, dst, tag, k) tuple for the k-th message on a channel.
+    static std::uint64_t plan_flow_id(int comm_id, int src_world, int dst_world,
+                                      int tag, std::uint64_t seq) {
+        return telemetry::flow_id({static_cast<std::uint64_t>(comm_id),
+                                   static_cast<std::uint64_t>(src_world),
+                                   static_cast<std::uint64_t>(dst_world),
+                                   static_cast<std::uint64_t>(tag), seq});
     }
 
     void release_slot(int s) {
@@ -538,10 +578,8 @@ private:
     /// interleave slot polls with spins, then short sleeps, checking
     /// abort/timeout each round (polled transports have no producer-side
     /// condvar to notify us through).
-    int wait_any_polled(State& st) {
-        auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(st.wait.timeout_seconds));
+    int wait_any_polled(State& st, bool& blocked) {
+        auto deadline = deadline_after(st.wait.timeout_seconds);
         int spin = st.wait.spin_iters;
         for (;;) {
             poll_recvs(st);
@@ -556,11 +594,11 @@ private:
                 --spin;
                 detail::cpu_relax();
             } else {
-                if (st.wait.timeout_seconds > 0.0 &&
-                    std::chrono::steady_clock::now() >= deadline) {
+                if (st.wait.timeout_seconds > 0.0 && mono_now() >= deadline) {
                     throw CommError("plan operation timed out (probable deadlock): "
                                     "Plan::wait_any_recv: message never arrived");
                 }
+                blocked = true;
                 std::this_thread::sleep_for(std::chrono::microseconds(50));
             }
         }

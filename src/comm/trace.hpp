@@ -2,12 +2,26 @@
 /// \brief Message tracing: records every point-to-point transfer so that
 /// communication schedules of *real* executions can be replayed through the
 /// netsim performance model (see src/netsim).
+///
+/// Records carry a monotonic timestamp from the telemetry clock
+/// (telemetry::now_ns()), so the same recording that netsim replays also
+/// lines up with the Perfetto span timeline — measured vs modeled per
+/// phase, off one clock.
+///
+/// Recording is routed through per-thread logs: the hot path (`record()`,
+/// called on every plan publish) takes only the calling thread's own
+/// uncontended mutex, never a global one shared by all rank threads.
+/// `snapshot()` merges the logs and sorts by timestamp.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
-#include <string>
+#include <telemetry/telemetry.hpp>
+#include <utility>
 #include <vector>
 
 namespace beatnik::comm {
@@ -18,47 +32,95 @@ struct TraceRecord {
     int dst_world = 0;
     std::size_t bytes = 0;
     int tag = 0;
-    std::uint32_t phase = 0;   ///< User-advanced phase counter (e.g. "reshape 2").
+    std::uint32_t phase = 0;    ///< User-advanced phase counter (e.g. "reshape 2").
+    std::uint64_t t_ns = 0;     ///< telemetry::now_ns() at record time.
 };
 
 /// Thread-safe append-only trace shared by all ranks of a Context.
 class Trace {
 public:
-    /// Record one transfer. Called from sender threads.
+    /// Record one transfer. Called from sender threads; appends to the
+    /// calling thread's own log (uncontended in steady state).
     void record(int src_world, int dst_world, std::size_t bytes, int tag) {
-        std::lock_guard lock(mutex_);
-        records_.push_back({src_world, dst_world, bytes, tag, phase_});
+        ThreadLog& log = local();
+        std::lock_guard lock(log.mu);
+        log.records.push_back({src_world, dst_world, bytes, tag,
+                               phase_.load(std::memory_order_relaxed),
+                               telemetry::now_ns()});
     }
 
     /// Advance the phase label attached to subsequent records. Typically
     /// called between communication stages (collectively or by one rank —
     /// phases are only labels, not synchronization).
     void set_phase(std::uint32_t phase) {
-        std::lock_guard lock(mutex_);
-        phase_ = phase;
+        phase_.store(phase, std::memory_order_relaxed);
     }
 
-    /// Copy out everything recorded so far.
+    /// Merge all per-thread logs, ordered by record timestamp.
     [[nodiscard]] std::vector<TraceRecord> snapshot() const {
-        std::lock_guard lock(mutex_);
-        return records_;
+        std::vector<TraceRecord> out;
+        {
+            std::lock_guard lock(logs_mu_);
+            for (const auto& log : logs_) {
+                std::lock_guard llock(log->mu);
+                out.insert(out.end(), log->records.begin(), log->records.end());
+            }
+        }
+        std::stable_sort(out.begin(), out.end(),
+                         [](const TraceRecord& a, const TraceRecord& b) {
+                             return a.t_ns < b.t_ns;
+                         });
+        return out;
     }
 
     void clear() {
-        std::lock_guard lock(mutex_);
-        records_.clear();
-        phase_ = 0;
+        std::lock_guard lock(logs_mu_);
+        for (const auto& log : logs_) {
+            std::lock_guard llock(log->mu);
+            log->records.clear();
+        }
+        phase_.store(0, std::memory_order_relaxed);
     }
 
     [[nodiscard]] std::size_t size() const {
-        std::lock_guard lock(mutex_);
-        return records_.size();
+        std::lock_guard lock(logs_mu_);
+        std::size_t n = 0;
+        for (const auto& log : logs_) {
+            std::lock_guard llock(log->mu);
+            n += log->records.size();
+        }
+        return n;
     }
 
 private:
-    mutable std::mutex mutex_;
-    std::vector<TraceRecord> records_;
-    std::uint32_t phase_ = 0;
+    struct ThreadLog {
+        std::mutex mu; // record vs snapshot/clear; uncontended on the hot path
+        std::vector<TraceRecord> records;
+    };
+
+    /// The calling thread's log for *this* Trace. Cached per thread, keyed
+    /// by the Trace's process-unique id (not its address, which a later
+    /// Trace could reuse). Stale cache entries for destroyed Traces are
+    /// never dereferenced: their ids never match again.
+    ThreadLog& local() {
+        thread_local std::vector<std::pair<std::uint64_t, ThreadLog*>> cache;
+        for (auto& [id, log] : cache)
+            if (id == id_) return *log;
+        std::lock_guard lock(logs_mu_);
+        logs_.push_back(std::make_unique<ThreadLog>());
+        cache.emplace_back(id_, logs_.back().get());
+        return *logs_.back();
+    }
+
+    static std::uint64_t next_id() {
+        static std::atomic<std::uint64_t> n{1};
+        return n.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const std::uint64_t id_ = next_id();
+    mutable std::mutex logs_mu_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_;
+    std::atomic<std::uint32_t> phase_{0};
 };
 
 } // namespace beatnik::comm

@@ -22,7 +22,7 @@ namespace beatnik::comm {
 namespace detail {
 
 struct LoopbackSlot final : TransportSlot {
-    std::chrono::steady_clock::time_point deliver_at{};
+    MonoClock::time_point deliver_at{};
     std::uint64_t rng = 0;      ///< per-channel jitter stream
     bool observed = false;      ///< current message already enqueued to the ring
 };
@@ -70,9 +70,11 @@ public:
             double u01 = static_cast<double>((s.rng * 0x2545f4914f6cdd1dull) >> 11) * 0x1.0p-53;
             delay += cfg_.jitter_seconds * u01;
         }
-        s.deliver_at = std::chrono::steady_clock::now() +
-                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(delay));
+        s.deliver_at = deadline_after(delay);
+        if (telemetry::enabled()) {
+            telemetry::thread_track().instant(
+                "loopback.delay", static_cast<std::uint64_t>(delay * 1e9), ch.bytes);
+        }
         // No ready-ring push here: the message is in flight, not visible.
     }
 
@@ -80,7 +82,7 @@ public:
         auto& s = static_cast<detail::LoopbackSlot&>(*ch.tslot);
         std::lock_guard lock(ch.mutex);
         if (!ch.full || s.observed) return;
-        if (std::chrono::steady_clock::now() < s.deliver_at) return;
+        if (mono_now() < s.deliver_at) return;
         s.observed = true;
         notify_ready_locked(ch);
     }

@@ -140,11 +140,18 @@ private:
     [[nodiscard]] static std::string default_session() {
         static std::atomic<std::uint64_t> counter{0};
         std::uint64_t n = counter.fetch_add(1);
+        // Built with append rather than operator+ chains: GCC 12's
+        // -Wrestrict misfires on (const char* + std::string&&) here.
+        std::string s;
 #if defined(__linux__)
-        return "p" + std::to_string(::getpid()) + "-" + std::to_string(n);
+        s += 'p';
+        s += std::to_string(::getpid());
+        s += '-';
 #else
-        return "local-" + std::to_string(n);
+        s += "local-";
 #endif
+        s += std::to_string(n);
+        return s;
     }
 
     Config cfg_;

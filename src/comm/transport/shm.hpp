@@ -196,22 +196,25 @@ public:
         BEATNIK_REQUIRE(bytes <= s.capacity,
                         "shm transport: message exceeds the channel's fixed segment "
                         "capacity — register the slot with a larger max_bytes");
-        auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(w.timeout_seconds));
+        auto deadline = deadline_after(w.timeout_seconds);
         std::uint32_t q = s.hdr->seq.load(std::memory_order_acquire);
         for (int spin = w.spin_iters; (q & 1u) != 0 && spin > 0; --spin) {
             detail::cpu_relax();
             q = s.hdr->seq.load(std::memory_order_acquire);
         }
-        while ((q & 1u) != 0) {
-            check_abort(s, w);
-            if (w.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
-                throw CommError("plan operation timed out (probable deadlock): "
-                                "Plan::send_buffer: peer never released the previous message");
+        if ((q & 1u) != 0) {
+            // Blocking phase (spins exhausted): span the futex waits so the
+            // timeline shows backpressure from a slow peer process.
+            telemetry::Scope span("shm.wait_empty");
+            while ((q & 1u) != 0) {
+                check_abort(s, w);
+                if (w.timeout_seconds > 0.0 && mono_now() >= deadline) {
+                    throw CommError("plan operation timed out (probable deadlock): "
+                                    "Plan::send_buffer: peer never released the previous message");
+                }
+                detail::shm_futex_wait(s.hdr->seq, q);
+                q = s.hdr->seq.load(std::memory_order_acquire);
             }
-            detail::shm_futex_wait(s.hdr->seq, q);
-            q = s.hdr->seq.load(std::memory_order_acquire);
         }
         par::device::devcheck::channel_send_acquire(&ch);
         {

@@ -43,8 +43,10 @@
 #include <string>
 
 #include "base/error.hpp"
+#include "base/timer.hpp"
 #include "comm/channel.hpp"
 #include "par/device/devcheck.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik::comm {
 
@@ -79,14 +81,14 @@ namespace detail {
 template <class Pred>
 void transport_wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
                           Pred pred, const char* what, const TransportWait& w) {
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(w.timeout_seconds));
+    if (pred()) return;
+    telemetry::Scope span("transport.block");
+    auto deadline = deadline_after(w.timeout_seconds);
     while (!pred()) {
         if (w.abort != nullptr && w.abort->load(std::memory_order_acquire)) {
             throw CommError("plan operation aborted: another rank failed");
         }
-        if (w.timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+        if (w.timeout_seconds > 0.0 && mono_now() >= deadline) {
             throw CommError(std::string("plan operation timed out (probable deadlock): ") +
                             what);
         }

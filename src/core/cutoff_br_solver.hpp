@@ -61,6 +61,7 @@
 #include "par/device/scan.hpp"
 #include "par/par.hpp"
 #include "search/cell_list.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik {
 
@@ -135,6 +136,13 @@ public:
         const int rank = comm.rank();
         const SpatialGeometry geom = spatial_.geometry();
 
+        // Trace-only stage spans over the five-step pipeline: each
+        // emplace ends the previous stage before opening the next, so an
+        // armed trace shows the pack/migrate/ghost/cells/accumulate/
+        // return breakdown per evaluation. No-ops when disarmed.
+        std::optional<telemetry::Scope> stage;
+        stage.emplace("cutoff.pack", n_own);
+
         // ---- step 1: migrate surface nodes into the spatial decomposition.
         // Positions are canonicalized (wrapped into the periodic tile or
         // kept as-is for free boundaries) so binning, ghosting, and image
@@ -178,6 +186,7 @@ public:
                 }
             }
         }
+        stage.emplace("cutoff.migrate", n_own);
         const std::size_t n_owned = owned_plan_->execute_into(
             particles_.span(n_own), dest_.span(n_own), [this, device](std::size_t total) {
                 if (device) {
@@ -196,6 +205,7 @@ public:
         // count–scan–fill over the owned points: both paths emit the
         // same fixed per-point target order, so the send stream (and
         // everything downstream of it) is identical bit for bit.
+        stage.emplace("cutoff.ghost", n_owned);
         std::size_t n_ghost_sends = 0;
         if (device) {
             par::device::Queue& sq = overlap() ? *spatial_q_ : pm.device_queue();
@@ -286,6 +296,7 @@ public:
         // ---- step 3: cell list over owned + ghost sources. Owned points
         // occupy the leading slots of the source array, so query q's self
         // pair is exactly source q.
+        stage.emplace("cutoff.cells", n_owned, n_ghosts);
         const std::size_t n_src = n_owned + n_ghosts;
         const double r2 = cutoff_ * cutoff_;
         if (device) {
@@ -324,6 +335,7 @@ public:
         // fixed cell-list order and sums br_kernel over the hits. Both
         // paths run the identical per-query loop, so host and device
         // sums see the same operand order.
+        stage.emplace("cutoff.accumulate", n_owned);
         const double prefactor = mesh_->cell_area() / (4.0 * std::numbers::pi);
         if (device) {
             results_.ensure_pinned(n_owned);
@@ -383,6 +395,7 @@ public:
         last_pair_count_ = pair_total;
 
         // ---- step 5: migrate the velocities back to the 2D owners.
+        stage.emplace("cutoff.return", n_owned);
         const std::size_t n_returned = return_plan_->execute_into(
             results_.span(n_owned), home_.span(n_owned), [this, device](std::size_t total) {
                 if (device) {

@@ -32,6 +32,7 @@
 #include "core/surface_mesh.hpp"
 #include "grid/halo.hpp"
 #include "par/par.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace beatnik {
 
@@ -173,6 +174,8 @@ public:
     /// device-resident state the packs, unpacks and boundary fixups are
     /// device kernels and the host copy is left stale.
     void gather_halos() {
+        static const telemetry::Phase ph{"step/halo"};
+        telemetry::PhaseScope scope(ph);
         if (resident_) {
             ensure_device_current();
             z_halo_.exchange(z_);
@@ -200,6 +203,8 @@ public:
     /// memory to host code).
     template <int C>
     void gather_scratch_halo(grid::NodeField<double, C>& f) {
+        static const telemetry::Phase ph{"step/halo_scratch"};
+        telemetry::PhaseScope scope(ph);
         const bool on_device = resident_ && f.device_mirrored();
         if constexpr (C == 1) {
             scratch_halo_.exchange(f);

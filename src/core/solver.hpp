@@ -7,10 +7,10 @@
 #include <memory>
 #include <numbers>
 
-#include "base/timer.hpp"
 #include "core/cutoff_br_solver.hpp"
 #include "core/exact_br_solver.hpp"
 #include "core/time_integrator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace beatnik {
 
@@ -29,6 +29,12 @@ public:
         model_ = std::make_unique<ZModel>(comm, mesh_, params_, br_.get());
         integrator_ = std::make_unique<TimeIntegrator>(mesh_, *model_);
         dt_ = params_.dt > 0.0 ? params_.dt : default_dt();
+        // Armed runs: contribute this rank's metrics to the cross-rank
+        // rollup emitted at flush (min/med/max per step across ranks).
+        if (telemetry::enabled()) {
+            telemetry::MetricsRegistry::instance().register_set(comm.world_rank(),
+                                                                metrics_);
+        }
     }
 
     /// Automatic timestep: stay below both the fastest RT growth time at
@@ -45,9 +51,18 @@ public:
     }
 
     /// Advance one timestep (three ZModel evaluations). Collective.
+    /// Binds this solver's MetricSet for the duration of the step so every
+    /// PhaseScope down the stack (integrator, zmodel, halo, fft, br)
+    /// accumulates into this rank's metrics, then folds the step's deltas
+    /// at the boundary.
     void step() {
-        auto scope = timers_.time("step");
-        integrator_->step(pm_, dt_);
+        telemetry::ScopedMetricSet bind(metrics_.get());
+        {
+            static const telemetry::Phase ph{"step"};
+            telemetry::PhaseScope scope(ph);
+            integrator_->step(pm_, dt_);
+        }
+        metrics_->commit_step();
         time_ += dt_;
         ++step_count_;
     }
@@ -65,7 +80,16 @@ public:
     [[nodiscard]] ProblemManager& state() { return pm_; }
     [[nodiscard]] const ProblemManager& state() const { return pm_; }
     [[nodiscard]] ZModel& zmodel() { return *model_; }
-    [[nodiscard]] SectionTimers& timers() { return timers_; }
+
+    /// This rank's accumulated phase metrics (replaces the old
+    /// SectionTimers registry; see src/telemetry/metrics.hpp).
+    [[nodiscard]] const telemetry::MetricSet& metrics() const { return *metrics_; }
+
+    /// Seconds accumulated in phase \p name ("step", "step/halo", ...)
+    /// across all steps so far on this rank.
+    [[nodiscard]] double phase_seconds(const char* name) const {
+        return metrics_->total(name);
+    }
 
     /// The cutoff solver when active (for load-imbalance diagnostics).
     [[nodiscard]] const CutoffBRSolver* cutoff_solver() const {
@@ -84,7 +108,9 @@ private:
     std::unique_ptr<BRSolverBase> br_;
     std::unique_ptr<ZModel> model_;
     std::unique_ptr<TimeIntegrator> integrator_;
-    SectionTimers timers_;
+    /// shared_ptr: the cross-rank MetricsRegistry may outlive this solver
+    /// (rollup happens at flush, typically process exit).
+    std::shared_ptr<telemetry::MetricSet> metrics_ = std::make_shared<telemetry::MetricSet>();
     double dt_ = 0.0;
     double time_ = 0.0;
     int step_count_ = 0;

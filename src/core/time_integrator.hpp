@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/zmodel.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace beatnik {
 
@@ -31,23 +32,33 @@ public:
     /// Advance (z, w) by one SSP-RK3 step of size \p dt. Halos are
     /// refreshed before each of the three derivative evaluations.
     void step(ProblemManager& pm, double dt) {
+        static const telemetry::Phase ph1{"step/rk3_stage1"};
+        static const telemetry::Phase ph2{"step/rk3_stage2"};
+        static const telemetry::Phase ph3{"step/rk3_stage3"};
         if (pm.device_resident()) ensure_device(pm);
         save_state(pm);
 
-        // Stage 1: u1 = u + dt f(u)
-        model_->derivatives(pm, zdot_, wdot_);
-        axpy_state(pm, 1.0, 0.0, dt);
-        pm.gather_halos();
-
-        // Stage 2: u2 = 3/4 u + 1/4 (u1 + dt f(u1))
-        model_->derivatives(pm, zdot_, wdot_);
-        axpy_state(pm, 0.25, 0.75, 0.25 * dt);
-        pm.gather_halos();
-
-        // Stage 3: u = 1/3 u + 2/3 (u2 + dt f(u2))
-        model_->derivatives(pm, zdot_, wdot_);
-        axpy_state(pm, 2.0 / 3.0, 1.0 / 3.0, (2.0 / 3.0) * dt);
-        pm.gather_halos();
+        {
+            // Stage 1: u1 = u + dt f(u)
+            telemetry::PhaseScope scope(ph1);
+            model_->derivatives(pm, zdot_, wdot_);
+            axpy_state(pm, 1.0, 0.0, dt);
+            pm.gather_halos();
+        }
+        {
+            // Stage 2: u2 = 3/4 u + 1/4 (u1 + dt f(u1))
+            telemetry::PhaseScope scope(ph2);
+            model_->derivatives(pm, zdot_, wdot_);
+            axpy_state(pm, 0.25, 0.75, 0.25 * dt);
+            pm.gather_halos();
+        }
+        {
+            // Stage 3: u = 1/3 u + 2/3 (u2 + dt f(u2))
+            telemetry::PhaseScope scope(ph3);
+            model_->derivatives(pm, zdot_, wdot_);
+            axpy_state(pm, 2.0 / 3.0, 1.0 / 3.0, (2.0 / 3.0) * dt);
+            pm.gather_halos();
+        }
     }
 
 private:

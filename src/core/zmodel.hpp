@@ -34,6 +34,7 @@
 #include "core/operators.hpp"
 #include "fft/distributed_fft.hpp"
 #include "par/par.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace beatnik {
 
@@ -78,6 +79,8 @@ public:
     /// A host-resident state takes the pure host path.
     void derivatives(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
                      grid::NodeField<double, 2>& wdot) {
+        static const telemetry::Phase ph{"step/derivatives"};
+        telemetry::PhaseScope scope(ph);
         if (!pm.device_resident()) {
             derivatives_host(pm, zdot, wdot);
             return;
@@ -106,6 +109,17 @@ public:
     [[nodiscard]] BRSolverBase* br_solver() const { return br_; }
 
 private:
+    // Shared by the host and device pipelines (and, for br, three call
+    // sites), so the interned Phase lives here rather than per call site.
+    static const telemetry::Phase& br_phase() {
+        static const telemetry::Phase ph{"step/br"};
+        return ph;
+    }
+    static const telemetry::Phase& fft_phase() {
+        static const telemetry::Phase ph{"step/fft"};
+        return ph;
+    }
+
     void derivatives_host(ProblemManager& pm, grid::NodeField<double, 3>& zdot,
                           grid::NodeField<double, 2>& wdot) {
         const auto& local = mesh_->local();
@@ -139,6 +153,7 @@ private:
         grid::NodeField<double, 3>* w_for_z = &w_fft_;
         grid::NodeField<double, 3>* w_for_bernoulli = &w_fft_;
         if (order_ != Order::low) {
+            telemetry::PhaseScope br_scope(br_phase());
             br_->compute_velocity(pm, gamma, w_br_);
             w_for_z = &w_br_;
             if (order_ == Order::high) w_for_bernoulli = &w_br_;
@@ -221,6 +236,7 @@ private:
         grid::NodeField<double, 3>* w_for_z = &w_fft_;
         grid::NodeField<double, 3>* w_for_bernoulli = &w_fft_;
         if (order_ == Order::high) {
+            telemetry::PhaseScope br_scope(br_phase());
             br_->compute_velocity(pm, gamma_, w_br_);
             w_for_z = &w_br_;
             w_for_bernoulli = &w_br_;
@@ -264,7 +280,10 @@ private:
         };
         if (order_ == Order::medium) {
             enqueue_bernoulli();
-            br_->compute_velocity(pm, gamma_, w_br_);
+            {
+                telemetry::PhaseScope br_scope(br_phase());
+                br_->compute_velocity(pm, gamma_, w_br_);
+            }
             w_for_z = &w_br_;
             enqueue_zdot();
         } else {
@@ -308,6 +327,7 @@ private:
     /// benchmarks (paper §4).
     void fft_velocity_host(const grid::NodeField<double, 3>& gamma,
                            grid::NodeField<double, 3>& velocity) {
+        telemetry::PhaseScope scope(fft_phase());
         const auto& box = fft_->local_box();
         const auto n = box.size();
         for (int c = 0; c < 3; ++c) {
@@ -340,6 +360,7 @@ private:
     /// velocity marshalling are kernels; the distributed transforms and
     /// the multiplier run on the pinned buffers.
     void fft_velocity_device(par::device::Queue& q) {
+        telemetry::PhaseScope scope(fft_phase());
         const auto& box = fft_->local_box();
         const int nib = box.i.extent();
         const int njb = box.j.extent();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "telemetry/telemetry.hpp"
+
 namespace beatnik::fft {
 
 DistributedFFT2D::StagePlan DistributedFFT2D::make_stage_plan(std::array<int, 2> global,
@@ -85,6 +87,7 @@ void DistributedFFT2D::enable_device(par::device::Queue& q) {
 }
 
 void DistributedFFT2D::forward(std::vector<cplx>& data) {
+    telemetry::Scope span("fft.forward", data.size() * sizeof(cplx));
     BEATNIK_REQUIRE(data.size() == brick_layout_.size(), "forward: data/brick size mismatch");
     to_stage1_.execute(*comm_, brick_layout_, data, stage1_.layout, work_, config_.use_alltoall);
     transform_stage(work_, stage1_, /*inverse=*/false);
@@ -96,6 +99,7 @@ void DistributedFFT2D::forward(std::vector<cplx>& data) {
 }
 
 void DistributedFFT2D::inverse(std::vector<cplx>& data) {
+    telemetry::Scope span("fft.inverse", data.size() * sizeof(cplx));
     BEATNIK_REQUIRE(data.size() == brick_layout_.size(), "inverse: data/brick size mismatch");
     // Reverse path: brick -> stage2 -> stage1 -> brick.
     to_stage2_.execute(*comm_, brick_layout_, data, stage2_.layout, work_, config_.use_alltoall);

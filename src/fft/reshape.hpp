@@ -22,6 +22,7 @@
 
 #include "fft/layout.hpp"
 #include "fft/plan_cache.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik::fft {
 
@@ -78,6 +79,8 @@ public:
     /// selects the collective path vs the persistent-plan p2p path.
     void execute(comm::Communicator& comm, const Layout2D& src, std::span<const cplx> in,
                  const Layout2D& dst, std::vector<cplx>& out, bool use_alltoall) const {
+        telemetry::Scope span("fft.reshape", in.size() * sizeof(cplx),
+                              use_alltoall ? 1 : 0);
         BEATNIK_REQUIRE(in.size() == src.size(), "reshape: input size mismatch");
         // Every element of the output is written exactly once by a recv
         // rectangle (the recv boxes are disjoint and cover the destination

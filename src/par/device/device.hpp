@@ -65,6 +65,7 @@ void deep_copy(Queue& q, DeviceView<T> dst, std::span<const T> src) {
     BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (host -> device)");
     CopyStats::instance().h2d_copies.fetch_add(1, std::memory_order_relaxed);
     CopyStats::instance().h2d_bytes.fetch_add(src.size_bytes(), std::memory_order_relaxed);
+    telemetry::Scope span("deep_copy h2d", src.size_bytes());
     q.copy_bytes(dst.data(), src.data(), src.size_bytes());
 }
 
@@ -74,6 +75,7 @@ void deep_copy(Queue& q, std::span<T> dst, DeviceView<const T> src) {
     BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (device -> host)");
     CopyStats::instance().d2h_copies.fetch_add(1, std::memory_order_relaxed);
     CopyStats::instance().d2h_bytes.fetch_add(src.size() * sizeof(T), std::memory_order_relaxed);
+    telemetry::Scope span("deep_copy d2h", src.size() * sizeof(T));
     q.copy_bytes(dst.data(), src.data(), src.size() * sizeof(T));
 }
 
@@ -81,6 +83,7 @@ void deep_copy(Queue& q, std::span<T> dst, DeviceView<const T> src) {
 template <class T>
 void deep_copy(Queue& q, DeviceView<T> dst, DeviceView<const T> src) {
     BEATNIK_REQUIRE(dst.size() == src.size(), "deep_copy: size mismatch (device -> device)");
+    telemetry::Scope span("deep_copy d2d", src.size() * sizeof(T));
     q.copy_bytes(dst.data(), src.data(), src.size() * sizeof(T));
 }
 

@@ -27,9 +27,11 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "par/device/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace beatnik::par::device {
 
@@ -44,6 +46,10 @@ struct EventState {
     /// devcheck.hpp). Written at record and read at wait, always under
     /// the checker's own mutex — never under m.
     devcheck::EventClock dc;
+    /// Telemetry flow id of the latest record on this state (0 = recorded
+    /// while disarmed). Written under the recording queue's lock, read
+    /// under a waiting queue's (different) lock — hence atomic.
+    std::atomic<std::uint64_t> tel_id{0};
     std::vector<std::function<void()>> callbacks;
     /// set()'s fire scratch. A member (not a local) so the two vectors
     /// ping-pong their capacity across reuse cycles: a steady-state loop
@@ -110,7 +116,17 @@ public:
             }
             return;
         }
-        st_->wait();
+        if (telemetry::enabled()) {
+            auto& tr = telemetry::thread_track();
+            tr.begin("event.wait");
+            st_->wait();
+            if (auto id = st_->tel_id.load(std::memory_order_relaxed)) {
+                tr.flow_end("event", id);
+            }
+            tr.end("event.wait");
+        } else {
+            st_->wait();
+        }
         if (devcheck::enabled()) devcheck::Checker::instance().on_host_event_wait(st_->dc);
     }
 
@@ -129,9 +145,12 @@ public:
     /// (deeper pipelines still grow once, then reuse).
     static constexpr std::size_t kInitialOps = 32;
 
-    explicit Queue(Runtime& rt = Runtime::instance(), const char* name = "queue") : rt_(&rt) {
+    // ring_ uses the fill constructor rather than resize(): GCC 12's
+    // -Warray-bounds misfires on _M_fill_insert's memmove when resize is
+    // inlined into TUs that instantiate Queue after heavy headers.
+    explicit Queue(Runtime& rt = Runtime::instance(), const char* name = "queue")
+        : rt_(&rt), name_(name), ring_(2 * kInitialOps, nullptr) {
         if (devcheck::enabled()) dc_ = devcheck::Checker::instance().make_queue(name);
-        ring_.resize(2 * kInitialOps, nullptr);
         pool_.reserve(kInitialOps);
         free_.reserve(kInitialOps);
         for (std::size_t i = 0; i < kInitialOps; ++i) {
@@ -185,6 +204,7 @@ public:
             std::lock_guard lock(m_);
             Op* op = acquire();
             op->kind = Kind::kernel;
+            if (telemetry::enabled()) op->tel_enqueue_ns = telemetry::now_ns();
             detail::Task& t = op->task;
             t.install(std::forward<R>(range_fn));
             t.n = n;
@@ -256,6 +276,16 @@ public:
         std::uint64_t gen = 0;
         {
             std::lock_guard lock(m_);
+            if (telemetry::enabled()) {
+                // The record->wait dependency edge, drawn at the point the
+                // wait enters this queue's stream.
+                auto* t = tel();
+                t->begin("event.wait");
+                if (auto id = e.st_->tel_id.load(std::memory_order_relaxed)) {
+                    t->flow_end("event", id);
+                }
+                t->end("event.wait");
+            }
             Op* op = acquire();
             op->kind = Kind::wait;
             op->ev = e.st_;
@@ -268,6 +298,7 @@ public:
 
     /// Block the host until every enqueued operation has completed.
     void fence() {
+        telemetry::Scope span("queue.fence");
         {
             std::unique_lock lock(m_);
             cv_.wait(lock,
@@ -301,6 +332,16 @@ private:
         bool enqueued = false;
         {
             std::lock_guard lock(m_);
+            if (telemetry::enabled()) {
+                // Fresh flow id per record; waiters pick it up from the
+                // shared state, giving the record->wait arrow.
+                std::uint64_t id = next_event_flow_id();
+                st->tel_id.store(id, std::memory_order_relaxed);
+                auto* t = tel();
+                t->begin("event.record");
+                t->flow_begin("event", id);
+                t->end("event.record");
+            }
             // Idle queue: the marker is already satisfied. Completing it
             // directly (outside the lock) keeps the steady-state
             // record_event_into() path allocation-free — routing through
@@ -326,7 +367,25 @@ private:
         detail::Task task;
         Kind kind = Kind::kernel;
         std::shared_ptr<detail::EventState> ev;
+        std::uint64_t tel_enqueue_ns = 0; ///< armed runs: stamp at enqueue
     };
+
+    /// This queue's telemetry track, lazily registered on first armed use.
+    /// Always called under m_, so track writes are serialized and the
+    /// track's timestamps are monotonic.
+    telemetry::TrackRecorder* tel() {
+        if (tel_ == nullptr) {
+            tel_ = telemetry::Registry::instance().register_track(
+                std::string("queue ") + name_, telemetry::TrackKind::queue);
+        }
+        return tel_;
+    }
+
+    static std::uint64_t next_event_flow_id() {
+        static std::atomic<std::uint64_t> serial{0};
+        return telemetry::flow_id(
+            {0xE0ull, serial.fetch_add(1, std::memory_order_relaxed) + 1});
+    }
 
     static constexpr std::size_t kCopyChunkBytes = 1 << 20;
 
@@ -378,6 +437,15 @@ private:
             ++head_;
             switch (op->kind) {
             case Kind::kernel:
+                if (telemetry::enabled()) {
+                    // a0 = time spent queued behind earlier ops (ns).
+                    std::uint64_t now = telemetry::now_ns();
+                    std::uint64_t waited =
+                        op->tel_enqueue_ns != 0 && now > op->tel_enqueue_ns
+                            ? now - op->tel_enqueue_ns
+                            : 0;
+                    tel()->begin("task", waited, op->task.n);
+                }
                 running_ = op;
                 rt_->submit(&op->task);
                 return;
@@ -459,6 +527,7 @@ private:
             Op* op = running_;
             BEATNIK_ASSERT(op != nullptr && &op->task == t);
             (void)t;
+            if (telemetry::enabled()) tel()->end("task");
             op->task.uninstall();
             running_ = nullptr;
             release(op);
@@ -469,6 +538,8 @@ private:
     }
 
     Runtime* rt_;
+    const char* name_;                        ///< static-storage queue label
+    telemetry::TrackRecorder* tel_ = nullptr; ///< lazy telemetry track
     /// Hazard-detector state; null unless devcheck is active, so every
     /// hook above is a dead branch in ordinary runs.
     std::unique_ptr<devcheck::QueueState> dc_;

@@ -31,6 +31,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -46,8 +48,21 @@ enum class Backend { serial, openmp, device };
 
 /// Process-wide default backend; threads read it once at first use of
 /// backend(). Set it before spawning rank-threads (tests/main.cpp does).
+/// Seeded from $BEATNIK_BACKEND (serial | openmp | device) so examples and
+/// benches can switch backend without code changes — the CI traced-smoke
+/// job runs rocketrig under BEATNIK_BACKEND=device this way. Unknown (or
+/// unavailable: openmp in a non-OpenMP build) values keep serial.
 inline std::atomic<Backend>& default_backend() {
-    static std::atomic<Backend> b{Backend::serial};
+    static std::atomic<Backend> b{[] {
+        const char* env = std::getenv("BEATNIK_BACKEND");
+        if (env != nullptr) {
+            if (std::strcmp(env, "device") == 0) return Backend::device;
+#if defined(_OPENMP)
+            if (std::strcmp(env, "openmp") == 0) return Backend::openmp;
+#endif
+        }
+        return Backend::serial;
+    }()};
     return b;
 }
 

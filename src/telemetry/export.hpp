@@ -1,0 +1,153 @@
+/// \file export.hpp
+/// \brief Chrome/Perfetto trace-event JSON writer for telemetry recordings.
+///
+/// Emits the classic trace-event format (https://ui.perfetto.dev loads it
+/// directly): "B"/"E" duration events, "i" instants, "C" counters, and
+/// "s"/"f" flow arrows, plus "M" metadata naming one track per rank-thread
+/// and per device queue. All events of one process share a pid so
+/// scripts/merge_traces.py can concatenate recordings from forked shm
+/// processes into one valid file.
+///
+/// Dangling "B" events (a span still open when the arena filled or the
+/// recording stopped) are closed synthetically at the track's last
+/// timestamp, so the artifact is always well-formed.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <telemetry/telemetry.hpp>
+#include <vector>
+
+namespace beatnik::telemetry {
+
+namespace detail {
+inline void json_escape(std::ostream& os, const std::string& s) {
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+inline void event_common(std::ostream& os, int pid, std::uint32_t tid,
+                         std::uint64_t ts_ns, const char* ph) {
+    char ts[32];
+    std::snprintf(ts, sizeof ts, "%" PRIu64 ".%03u", ts_ns / 1000,
+                  static_cast<unsigned>(ts_ns % 1000));
+    os << "{\"pid\": " << pid << ", \"tid\": " << tid << ", \"ts\": " << ts
+       << ", \"ph\": \"" << ph << "\"";
+}
+} // namespace detail
+
+/// Write all \p tracks as one trace-event JSON document. \p pid labels the
+/// process (pass getpid(); forked shm runs then merge cleanly).
+inline void write_chrome_trace(std::ostream& os,
+                               const std::vector<TrackRecorder*>& tracks,
+                               int pid) {
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first) os << ",\n";
+        first = false;
+    };
+
+    sep();
+    os << "{\"pid\": " << pid
+       << ", \"ph\": \"M\", \"name\": \"process_name\", \"args\": {\"name\": "
+          "\"beatnik\"}}";
+
+    for (const TrackRecorder* t : tracks) {
+        sep();
+        os << "{\"pid\": " << pid << ", \"tid\": " << t->tid()
+           << ", \"ph\": \"M\", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+        detail::json_escape(os, t->name());
+        os << "\"}}";
+        sep();
+        os << "{\"pid\": " << pid << ", \"tid\": " << t->tid()
+           << ", \"ph\": \"M\", \"name\": \"thread_sort_index\", "
+              "\"args\": {\"sort_index\": "
+           << (t->kind() == TrackKind::queue ? 1000 + t->tid() : t->tid())
+           << "}}";
+    }
+
+    char hex[32];
+    for (const TrackRecorder* t : tracks) {
+        std::size_t n = t->size();
+        std::uint64_t last_ts = 0;
+        std::vector<const char*> open; // B-event names awaiting E
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event& e = (*t)[i];
+            last_ts = e.ts_ns;
+            sep();
+            switch (e.kind) {
+            case EventKind::begin:
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "B");
+                os << ", \"name\": \"" << e.name << "\", \"args\": {\"a0\": "
+                   << e.a0 << ", \"a1\": " << e.a1 << "}}";
+                open.push_back(e.name);
+                break;
+            case EventKind::end:
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "E");
+                os << ", \"name\": \"" << e.name << "\", \"args\": {\"a0\": "
+                   << e.a0 << ", \"a1\": " << e.a1 << "}}";
+                if (!open.empty()) open.pop_back();
+                break;
+            case EventKind::instant:
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "i");
+                os << ", \"s\": \"t\", \"name\": \"" << e.name
+                   << "\", \"args\": {\"a0\": " << e.a0 << ", \"a1\": " << e.a1
+                   << "}}";
+                break;
+            case EventKind::counter:
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "C");
+                os << ", \"name\": \"" << e.name << "\", \"args\": {\"value\": "
+                   << e.value << "}}";
+                break;
+            case EventKind::flow_begin:
+                std::snprintf(hex, sizeof hex, "0x%" PRIx64, e.flow);
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "s");
+                os << ", \"cat\": \"flow\", \"name\": \"" << e.name
+                   << "\", \"id\": \"" << hex << "\"}";
+                break;
+            case EventKind::flow_end:
+                std::snprintf(hex, sizeof hex, "0x%" PRIx64, e.flow);
+                detail::event_common(os, pid, t->tid(), e.ts_ns, "f");
+                os << ", \"cat\": \"flow\", \"name\": \"" << e.name
+                   << "\", \"id\": \"" << hex << "\", \"bp\": \"e\"}";
+                break;
+            }
+        }
+        // Close spans left open by a filled arena or an in-flight recording.
+        while (!open.empty()) {
+            sep();
+            detail::event_common(os, pid, t->tid(), last_ts, "E");
+            os << ", \"name\": \"" << open.back() << "\", \"args\": {}}";
+            open.pop_back();
+        }
+        if (t->dropped() > 0) {
+            sep();
+            detail::event_common(os, pid, t->tid(), last_ts, "i");
+            os << ", \"s\": \"t\", \"name\": \"telemetry.dropped\", "
+                  "\"args\": {\"a0\": "
+               << t->dropped() << ", \"a1\": 0}}";
+        }
+    }
+
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+} // namespace beatnik::telemetry

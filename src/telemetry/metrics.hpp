@@ -1,0 +1,298 @@
+/// \file metrics.hpp
+/// \brief Hierarchical phase metrics with cross-rank min/med/max rollup.
+///
+/// Metrics are the always-on half of the telemetry layer: solver phase
+/// timings accumulate into a per-rank `MetricSet` whether or not tracing is
+/// armed (this is what replaced `SectionTimers`), and a `MetricsRegistry`
+/// rolls per-step means up across ranks at flush time. Hierarchy is by
+/// path-style metric names ("step/rk3_stage1"), interned once per process so
+/// the steady-state `add()` is two array writes — no strings, no maps, no
+/// allocation after the first step.
+///
+/// The rollup JSON uses the compare_benchmarks.py schema (op/algo/ranks/
+/// bytes/iters/ns_per_op) so phase timings diff with the same tooling as
+/// bench results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <telemetry/telemetry.hpp>
+#include <vector>
+
+namespace beatnik::telemetry {
+
+namespace detail {
+struct Interner {
+    std::mutex mu;
+    std::vector<std::string> names;
+    std::map<std::string, int, std::less<>> ids;
+};
+inline Interner& interner() {
+    static Interner* i = new Interner; // leaked: outlives late flushes
+    return *i;
+}
+} // namespace detail
+
+/// Intern \p name, returning its stable process-wide metric id.
+[[nodiscard]] inline int metric_id(const char* name) {
+    auto& in = detail::interner();
+    std::lock_guard lock(in.mu);
+    auto it = in.ids.find(name);
+    if (it != in.ids.end()) return it->second;
+    int id = static_cast<int>(in.names.size());
+    in.names.emplace_back(name);
+    in.ids.emplace(name, id);
+    return id;
+}
+
+[[nodiscard]] inline std::string metric_name(int id) {
+    auto& in = detail::interner();
+    std::lock_guard lock(in.mu);
+    return in.names.at(static_cast<std::size_t>(id));
+}
+
+/// A named phase, interned once. Declare at call sites as
+/// `static const telemetry::Phase ph{"step/halo"};` — the per-call cost is
+/// then just the id lookup the static already did.
+struct Phase {
+    const char* name;
+    int id;
+    explicit Phase(const char* n) : name(n), id(metric_id(n)) {}
+};
+
+/// Per-rank accumulator. Single-writer (its rank thread); readers snapshot
+/// after the run joins. Grow-only: arrays resize only when a new metric id
+/// first appears, so the steady state is allocation-free.
+class MetricSet {
+public:
+    void add(int id, double value) {
+        auto i = static_cast<std::size_t>(id);
+        if (i >= sum_.size()) grow(i + 1);
+        sum_[i] += value;
+        ++count_[i];
+    }
+
+    /// Fold everything recorded since the last commit into per-step stats.
+    /// Called at step boundaries by the owning solver/bench loop.
+    void commit_step() {
+        if (last_.size() < sum_.size()) {
+            last_.resize(sum_.size(), 0.0);
+            step_min_.resize(sum_.size(), 0.0);
+            step_max_.resize(sum_.size(), 0.0);
+        }
+        for (std::size_t i = 0; i < sum_.size(); ++i) {
+            double delta = sum_[i] - last_[i];
+            if (steps_ == 0 || delta < step_min_[i]) step_min_[i] = delta;
+            if (steps_ == 0 || delta > step_max_[i]) step_max_[i] = delta;
+            last_[i] = sum_[i];
+        }
+        ++steps_;
+    }
+
+    /// Total accumulated value (seconds, for PhaseScope metrics) by name.
+    /// Returns 0 for names never recorded here.
+    [[nodiscard]] double total(const char* name) const {
+        auto i = static_cast<std::size_t>(metric_id(name));
+        return i < sum_.size() ? sum_[i] : 0.0;
+    }
+    [[nodiscard]] std::uint64_t count(const char* name) const {
+        auto i = static_cast<std::size_t>(metric_id(name));
+        return i < count_.size() ? count_[i] : 0;
+    }
+
+    [[nodiscard]] std::uint64_t steps() const { return steps_; }
+    [[nodiscard]] std::size_t size() const { return sum_.size(); }
+    [[nodiscard]] double sum(int id) const {
+        auto i = static_cast<std::size_t>(id);
+        return i < sum_.size() ? sum_[i] : 0.0;
+    }
+    [[nodiscard]] double step_min(int id) const {
+        auto i = static_cast<std::size_t>(id);
+        return i < step_min_.size() ? step_min_[i] : 0.0;
+    }
+    [[nodiscard]] double step_max(int id) const {
+        auto i = static_cast<std::size_t>(id);
+        return i < step_max_.size() ? step_max_[i] : 0.0;
+    }
+
+    void clear() {
+        sum_.assign(sum_.size(), 0.0);
+        count_.assign(count_.size(), 0);
+        last_.assign(last_.size(), 0.0);
+        step_min_.assign(step_min_.size(), 0.0);
+        step_max_.assign(step_max_.size(), 0.0);
+        steps_ = 0;
+    }
+
+private:
+    void grow(std::size_t n) {
+        sum_.resize(n, 0.0);
+        count_.resize(n, 0);
+    }
+
+    std::vector<double> sum_;
+    std::vector<std::uint64_t> count_;
+    std::vector<double> last_;     // sum_ at the previous commit_step
+    std::vector<double> step_min_; // min per-step delta
+    std::vector<double> step_max_; // max per-step delta
+    std::uint64_t steps_ = 0;
+};
+
+/// The MetricSet bound to the calling thread (or nullptr). Solver::step
+/// binds its own set for the duration of the step so PhaseScopes anywhere
+/// down the call stack land in the right rank's accumulator.
+[[nodiscard]] inline MetricSet*& current_metrics() {
+    thread_local MetricSet* ms = nullptr;
+    return ms;
+}
+
+/// RAII binder for current_metrics().
+class ScopedMetricSet {
+public:
+    explicit ScopedMetricSet(MetricSet* ms) : prev_(current_metrics()) {
+        current_metrics() = ms;
+    }
+    ~ScopedMetricSet() { current_metrics() = prev_; }
+    ScopedMetricSet(const ScopedMetricSet&) = delete;
+    ScopedMetricSet& operator=(const ScopedMetricSet&) = delete;
+
+private:
+    MetricSet* prev_;
+};
+
+/// RAII phase timer: accumulates seconds into the bound MetricSet and, when
+/// tracing is armed, opens a span on the thread track. When neither is
+/// active it performs no clock reads at all.
+class PhaseScope {
+public:
+    explicit PhaseScope(const Phase& phase) : phase_(&phase) {
+        ms_ = current_metrics();
+        if (enabled()) track_ = &thread_track();
+        if (ms_ || track_) {
+            t0_ = now_ns();
+            if (track_) track_->begin(phase.name);
+        }
+    }
+    ~PhaseScope() {
+        if (ms_ || track_) {
+            std::uint64_t t1 = now_ns();
+            if (track_) track_->end(phase_->name);
+            if (ms_) ms_->add(phase_->id, static_cast<double>(t1 - t0_) * 1e-9);
+        }
+    }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+private:
+    const Phase* phase_;
+    MetricSet* ms_ = nullptr;
+    TrackRecorder* track_ = nullptr;
+    std::uint64_t t0_ = 0;
+};
+
+/// One rolled-up metric: per-step means across the registered rank sets.
+struct Rollup {
+    std::string name;
+    double min_s = 0.0; ///< smallest per-step mean across ranks (seconds)
+    double med_s = 0.0; ///< median per-step mean across ranks
+    double max_s = 0.0; ///< largest per-step mean across ranks
+    int ranks = 0;      ///< sets that recorded this metric
+    std::uint64_t steps = 0; ///< most steps any contributing set committed
+};
+
+/// Cross-rank registry: each rank registers its MetricSet (shared_ptr, so a
+/// flush after the solvers are gone still reads valid data) and rollup()
+/// reduces per-step means to min/med/max across ranks. Instantiable for
+/// tests; the process-wide instance feeds the atexit flush.
+class MetricsRegistry {
+public:
+    static MetricsRegistry& instance() {
+        static MetricsRegistry* r = new MetricsRegistry; // leaked
+        return *r;
+    }
+    MetricsRegistry() = default;
+
+    void register_set(int rank, std::shared_ptr<const MetricSet> set) {
+        std::lock_guard lock(mu_);
+        sets_.push_back({rank, std::move(set)});
+    }
+
+    void clear() {
+        std::lock_guard lock(mu_);
+        sets_.clear();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mu_);
+        return sets_.size();
+    }
+
+    /// Reduce: for every metric any set recorded, collect each set's
+    /// per-step mean (sum / steps) and take min/median/max across sets.
+    [[nodiscard]] std::vector<Rollup> rollup() const {
+        std::lock_guard lock(mu_);
+        std::size_t nmetrics = 0;
+        for (const auto& e : sets_) nmetrics = std::max(nmetrics, e.set->size());
+        std::vector<Rollup> out;
+        std::vector<double> vals;
+        for (std::size_t id = 0; id < nmetrics; ++id) {
+            vals.clear();
+            std::uint64_t steps = 0;
+            for (const auto& e : sets_) {
+                if (e.set->steps() == 0) continue;
+                double s = e.set->sum(static_cast<int>(id));
+                if (s == 0.0) continue;
+                vals.push_back(s / static_cast<double>(e.set->steps()));
+                steps = std::max(steps, e.set->steps());
+            }
+            if (vals.empty()) continue;
+            std::sort(vals.begin(), vals.end());
+            Rollup r;
+            r.name = metric_name(static_cast<int>(id));
+            r.min_s = vals.front();
+            r.max_s = vals.back();
+            std::size_t n = vals.size();
+            r.med_s = (n % 2 == 1) ? vals[n / 2]
+                                   : 0.5 * (vals[n / 2 - 1] + vals[n / 2]);
+            r.ranks = static_cast<int>(n);
+            r.steps = steps;
+            out.push_back(std::move(r));
+        }
+        return out;
+    }
+
+    /// compare_benchmarks.py-compatible JSON: one result per metric, keyed
+    /// (op=metric name, algo="telemetry", ranks, bytes=0) with ns_per_op the
+    /// median per-step time. min/max ride along as extra keys.
+    void write_json(std::ostream& os, const char* bench = "telemetry") const {
+        auto rolled = rollup();
+        os << "{\"bench\": \"" << bench << "\", \"results\": [";
+        bool first = true;
+        for (const auto& r : rolled) {
+            if (!first) os << ", ";
+            first = false;
+            os << "{\"op\": \"" << r.name << "\", \"algo\": \"telemetry\""
+               << ", \"ranks\": " << r.ranks << ", \"bytes\": 0"
+               << ", \"iters\": " << r.steps
+               << ", \"ns_per_op\": " << r.med_s * 1e9
+               << ", \"min_ns\": " << r.min_s * 1e9
+               << ", \"max_ns\": " << r.max_s * 1e9 << "}";
+        }
+        os << "]}\n";
+    }
+
+private:
+    struct Entry {
+        int rank;
+        std::shared_ptr<const MetricSet> set;
+    };
+    mutable std::mutex mu_;
+    std::vector<Entry> sets_;
+};
+
+} // namespace beatnik::telemetry

@@ -1,0 +1,82 @@
+/// \file telemetry.cpp
+/// \brief Env arming (BEATNIK_TRACE) and artifact flushing.
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <telemetry/export.hpp>
+#include <telemetry/metrics.hpp>
+#include <telemetry/telemetry.hpp>
+#include <unistd.h>
+
+namespace beatnik::telemetry {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+bool env_truthy(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+/// Default per-process artifact path: forked shm processes inherit the armed
+/// state, and the pid suffix keeps their flushes from clobbering each other.
+std::string default_trace_path() {
+    return "beatnik-" + std::to_string(::getpid()) + ".trace.json";
+}
+
+std::atomic<bool> g_flush_registered{false};
+
+/// Runs during static initialization of every binary that links telemetry
+/// (all of them: enabled() references g_enabled, so this TU always links).
+[[maybe_unused]] const bool g_env_armed = [] {
+    if (!env_truthy("BEATNIK_TRACE")) return false;
+    Config cfg;
+    if (const char* cap = std::getenv("BEATNIK_TRACE_CAPACITY"))
+        cfg.track_capacity = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+    if (const char* f = std::getenv("BEATNIK_TRACE_FILE")) cfg.trace_path = f;
+    if (const char* f = std::getenv("BEATNIK_METRICS_FILE")) cfg.metrics_path = f;
+    arm(cfg); // also registers the atexit flush
+    return true;
+}();
+
+} // namespace
+
+void register_flush_at_exit() {
+    if (!g_flush_registered.exchange(true)) std::atexit([] { flush(); });
+}
+
+bool flush() {
+    auto& reg = Registry::instance();
+    Config cfg = reg.config();
+
+    bool any_events = false;
+    auto tracks = reg.tracks();
+    for (const TrackRecorder* t : tracks)
+        if (t->size() > 0) any_events = true;
+
+    bool ok = true;
+    if (any_events) {
+        std::string path =
+            cfg.trace_path.empty() ? default_trace_path() : cfg.trace_path;
+        std::ofstream os(path);
+        if (os) {
+            write_chrome_trace(os, tracks, ::getpid());
+        } else {
+            ok = false;
+        }
+    }
+    if (!cfg.metrics_path.empty() && MetricsRegistry::instance().size() > 0) {
+        std::ofstream os(cfg.metrics_path);
+        if (os) {
+            MetricsRegistry::instance().write_json(os);
+        } else {
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace beatnik::telemetry

@@ -1,0 +1,296 @@
+/// \file telemetry.hpp
+/// \brief Process-wide, always-compiled, env/config-armed span tracing.
+///
+/// Design contract (mirrors the devcheck hook discipline):
+///   - Disabled (the default) costs exactly one relaxed atomic load and a
+///     predictable branch per hook — no clock reads, no allocation, no locks.
+///   - Armed, steady-state recording is allocation-free: each track is a
+///     grow-only arena sized at arm time, and events are claimed with a
+///     single atomic fetch_add. When a track fills, further events are
+///     counted as dropped instead of reallocating.
+///   - Tracks are one per rank-thread (lazily created, cached in a
+///     thread_local) and one per named device queue; a track's events are
+///     pushed in timestamp order by construction (single thread, or under
+///     the queue mutex), so per-track timestamps are monotonic.
+///
+/// Arming: `BEATNIK_TRACE=1` in the environment arms at process start and
+/// registers an atexit flush to `BEATNIK_TRACE_FILE` (default
+/// `beatnik-<pid>.trace.json`, so forked shm processes write distinct
+/// files). Programmatic arming goes through `arm(Config)` — used by
+/// `comm::ContextConfig::telemetry` and the bench `--trace` flags.
+///
+/// Snapshots (`Registry::tracks()` + reading events) are only meaningful at
+/// quiescent points — after `Context::run` returns (thread joins) or after a
+/// queue fence (mutex hand-off) — which is also what makes them TSan-clean.
+///
+/// Event `name` pointers must be string literals (static storage): events
+/// are PODs and the exporter reads the pointers at flush time.
+#pragma once
+
+#include <atomic>
+#include <base/timer.hpp>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beatnik::telemetry {
+
+/// Armed/disarmed flag. Defined in telemetry.cpp, which also hosts the
+/// BEATNIK_TRACE env arming; referencing it here guarantees that TU links
+/// into every binary that has even one telemetry hook.
+extern std::atomic<bool> g_enabled;
+
+/// The single branch every disabled-mode hook reduces to.
+[[nodiscard]] inline bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds on the process-wide monotonic clock, relative to the first
+/// call. Shares MonoClock with every timeout and injected transport delay in
+/// the repo, and stamps comm::TraceRecord too — one clock, every artifact.
+[[nodiscard]] inline std::uint64_t now_ns() {
+    static const MonoClock::time_point epoch = mono_now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(mono_now() - epoch)
+            .count());
+}
+
+/// Arm-time knobs.
+struct Config {
+    std::size_t track_capacity = 1 << 16; ///< Events per track arena.
+    std::string trace_path;   ///< Perfetto JSON path; empty = default at flush.
+    std::string metrics_path; ///< Metrics rollup path; empty = no metrics file.
+};
+
+enum class EventKind : std::uint8_t {
+    begin,      ///< Span open ("B").
+    end,        ///< Span close ("E").
+    instant,    ///< Point event ("i").
+    counter,    ///< Sampled value ("C").
+    flow_begin, ///< Flow arrow tail ("s"), bound to the enclosing span.
+    flow_end,   ///< Flow arrow head ("f", bp:"e"), bound to the enclosing span.
+};
+
+/// One recorded event. POD; `name` must point at static storage.
+struct Event {
+    std::uint64_t ts_ns = 0;
+    const char* name = nullptr;
+    double value = 0.0;    ///< counter events only
+    std::uint64_t flow = 0; ///< flow events only: the arrow id
+    std::uint64_t a0 = 0;  ///< span/instant argument (bytes, slot, ...)
+    std::uint64_t a1 = 0;
+    EventKind kind = EventKind::instant;
+};
+
+enum class TrackKind : std::uint8_t { thread, queue };
+
+/// Grow-only event arena for one timeline. Multi-producer safe (atomic index
+/// claim) though in practice each track has one writer at a time.
+class TrackRecorder {
+public:
+    TrackRecorder(std::string name, TrackKind kind, std::uint32_t tid,
+                  std::size_t capacity)
+        : name_(std::move(name)), kind_(kind), tid_(tid), events_(capacity) {}
+
+    void begin(const char* name, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+        push({now_ns(), name, 0.0, 0, a0, a1, EventKind::begin});
+    }
+    void end(const char* name, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+        push({now_ns(), name, 0.0, 0, a0, a1, EventKind::end});
+    }
+    void instant(const char* name, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+        push({now_ns(), name, 0.0, 0, a0, a1, EventKind::instant});
+    }
+    void counter(const char* name, double value) {
+        push({now_ns(), name, value, 0, 0, 0, EventKind::counter});
+    }
+    /// Flow tail: emit *inside* the span the arrow should leave from.
+    void flow_begin(const char* name, std::uint64_t id) {
+        push({now_ns(), name, 0.0, id, 0, 0, EventKind::flow_begin});
+    }
+    /// Flow head: emit *inside* the span the arrow should land on.
+    void flow_end(const char* name, std::uint64_t id) {
+        push({now_ns(), name, 0.0, id, 0, 0, EventKind::flow_end});
+    }
+
+    /// Number of recorded (not dropped) events. Quiescence-only read.
+    [[nodiscard]] std::size_t size() const {
+        std::size_t n = n_.load(std::memory_order_relaxed);
+        return n < events_.size() ? n : events_.size();
+    }
+    [[nodiscard]] std::uint64_t dropped() const {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const Event& operator[](std::size_t i) const {
+        return events_[i];
+    }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] TrackKind kind() const { return kind_; }
+    [[nodiscard]] std::uint32_t tid() const { return tid_; }
+
+    /// Rename (registration-time only; e.g. "rank 3" replacing the default).
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Drop all recorded events; resize the arena if asked. Quiescence-only.
+    void reset(std::size_t capacity = 0) {
+        if (capacity != 0 && capacity != events_.size())
+            events_.assign(capacity, Event{});
+        n_.store(0, std::memory_order_relaxed);
+        dropped_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    void push(const Event& e) {
+        std::size_t i = n_.fetch_add(1, std::memory_order_relaxed);
+        if (i < events_.size())
+            events_[i] = e;
+        else
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::string name_;
+    TrackKind kind_;
+    std::uint32_t tid_;
+    std::vector<Event> events_;
+    std::atomic<std::size_t> n_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Process-wide track registry. Leaky singleton (never destroyed) so device
+/// runtime worker threads and static-destruction-order games can't dangle it.
+class Registry {
+public:
+    static Registry& instance() {
+        static Registry* r = new Registry; // leaked deliberately
+        return *r;
+    }
+
+    /// Arm recording. Existing tracks are reset (and resized) so a re-arm
+    /// starts a fresh recording; the thread_local track caches stay valid
+    /// because tracks are never deallocated.
+    void arm(const Config& cfg) {
+        {
+            std::lock_guard lock(mu_);
+            config_ = cfg;
+            for (auto& t : tracks_) t->reset(cfg.track_capacity);
+        }
+        g_enabled.store(true, std::memory_order_release);
+    }
+
+    void disarm() { g_enabled.store(false, std::memory_order_release); }
+
+    /// Reset every track's events without re-arming. Quiescence-only.
+    void clear() {
+        std::lock_guard lock(mu_);
+        for (auto& t : tracks_) t->reset();
+    }
+
+    TrackRecorder* register_track(std::string name, TrackKind kind) {
+        std::lock_guard lock(mu_);
+        auto tid = static_cast<std::uint32_t>(tracks_.size());
+        tracks_.push_back(std::make_unique<TrackRecorder>(
+            std::move(name), kind, tid, config_.track_capacity));
+        return tracks_.back().get();
+    }
+
+    /// Stable pointers to all tracks registered so far.
+    [[nodiscard]] std::vector<TrackRecorder*> tracks() const {
+        std::lock_guard lock(mu_);
+        std::vector<TrackRecorder*> out;
+        out.reserve(tracks_.size());
+        for (auto& t : tracks_) out.push_back(t.get());
+        return out;
+    }
+
+    [[nodiscard]] Config config() const {
+        std::lock_guard lock(mu_);
+        return config_;
+    }
+
+private:
+    Registry() = default;
+    mutable std::mutex mu_;
+    Config config_;
+    std::vector<std::unique_ptr<TrackRecorder>> tracks_;
+};
+
+/// This thread's track, lazily registered on first armed use. The pointer is
+/// cached for the thread's lifetime; a track outlives every recording.
+[[nodiscard]] inline TrackRecorder& thread_track() {
+    thread_local TrackRecorder* t = nullptr;
+    if (!t) {
+        char name[32];
+        std::snprintf(name, sizeof name, "thread %p",
+                      static_cast<void*>(&t));
+        t = Registry::instance().register_track(name, TrackKind::thread);
+    }
+    return *t;
+}
+
+/// Give the calling thread's track a human label ("rank 3"). Called once per
+/// rank-thread by Context::run when armed.
+inline void name_thread_track(const std::string& name) {
+    thread_track().set_name(name);
+}
+
+/// RAII span on the calling thread's track. Does nothing when disabled.
+class Scope {
+public:
+    explicit Scope(const char* name, std::uint64_t a0 = 0,
+                   std::uint64_t a1 = 0) {
+        if (enabled()) {
+            name_ = name;
+            track_ = &thread_track();
+            track_->begin(name, a0, a1);
+        }
+    }
+    ~Scope() { close(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// Close early, optionally attaching result arguments to the end event.
+    void close(std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+        if (track_) {
+            track_->end(name_, a0, a1);
+            track_ = nullptr;
+        }
+    }
+
+private:
+    const char* name_ = nullptr;
+    TrackRecorder* track_ = nullptr;
+};
+
+/// FNV-1a over a handful of integers: deterministic cross-process flow ids
+/// (the k-th publish on a channel hashes identically in sender and receiver).
+[[nodiscard]] inline std::uint64_t flow_id(std::initializer_list<std::uint64_t> parts) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t p : parts) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (p >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h ? h : 1; // 0 is "no flow"
+}
+
+/// Ensure artifacts are flushed at process exit (idempotent). Defined in
+/// telemetry.cpp; both env arming and arm() below register it.
+void register_flush_at_exit();
+
+/// Arm/disarm wrappers (the call sites most code uses).
+inline void arm(const Config& cfg = {}) {
+    Registry::instance().arm(cfg);
+    register_flush_at_exit();
+}
+inline void disarm() { Registry::instance().disarm(); }
+
+/// Write the Perfetto JSON (and metrics rollup, if configured) now instead
+/// of at exit. Safe to call repeatedly; quiescence-only. Defined in
+/// telemetry.cpp. Returns false if a configured file could not be written.
+bool flush();
+
+} // namespace beatnik::telemetry

@@ -8,6 +8,7 @@
 #include "base/error.hpp"
 #include "base/rng.hpp"
 #include "base/timer.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -43,23 +44,29 @@ TEST(Timer, StopwatchMeasuresElapsedTime) {
     EXPECT_LT(watch.seconds(), 0.01);
 }
 
-TEST(Timer, SectionTimersAccumulate) {
-    beatnik::SectionTimers timers;
+// PhaseScope accumulates into the thread-bound MetricSet even when trace
+// recording is disarmed — the always-on replacement for the old
+// SectionTimers registry.
+TEST(Timer, MetricPhasesAccumulate) {
+    namespace tel = beatnik::telemetry;
+    tel::MetricSet ms;
+    tel::ScopedMetricSet bind(&ms);
+    static const tel::Phase phase_a{"phase-a"};
     {
-        auto scope = timers.time("phase-a");
+        tel::PhaseScope scope(phase_a);
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
     {
-        auto scope = timers.time("phase-a");
+        tel::PhaseScope scope(phase_a);
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
-    timers.add("phase-b", 1.5);
-    EXPECT_GE(timers.total("phase-a"), 0.008);
-    EXPECT_DOUBLE_EQ(timers.total("phase-b"), 1.5);
-    EXPECT_DOUBLE_EQ(timers.total("never-seen"), 0.0);
-    EXPECT_EQ(timers.totals().size(), 2u);
-    timers.clear();
-    EXPECT_DOUBLE_EQ(timers.total("phase-a"), 0.0);
+    ms.add(tel::metric_id("phase-b"), 1.5);
+    EXPECT_GE(ms.total("phase-a"), 0.008);
+    EXPECT_DOUBLE_EQ(ms.total("phase-b"), 1.5);
+    EXPECT_DOUBLE_EQ(ms.total("never-seen"), 0.0);
+    EXPECT_EQ(ms.count("phase-a"), 2u);
+    ms.clear();
+    EXPECT_DOUBLE_EQ(ms.total("phase-a"), 0.0);
 }
 
 TEST(Rng, SplitMixIsDeterministic) {

@@ -132,11 +132,13 @@ TEST(Solver, AutomaticTimestepIsStableAndPositive) {
     });
 }
 
-TEST(Solver, TimersAccumulatePerStep) {
+TEST(Solver, MetricsAccumulatePerStep) {
     run(1, [](bc::Communicator& comm) {
         b::Solver solver(comm, small_problem(b::Order::low, b::Boundary::periodic));
         solver.advance(3);
-        EXPECT_GT(solver.timers().total("step"), 0.0);
+        EXPECT_GT(solver.phase_seconds("step"), 0.0);
+        EXPECT_GT(solver.phase_seconds("step/halo"), 0.0);
+        EXPECT_EQ(solver.metrics().steps(), 3u);
     });
 }
 

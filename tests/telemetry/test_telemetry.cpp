@@ -1,0 +1,416 @@
+// Telemetry layer tests: trace well-formedness (balanced spans, per-track
+// monotonic timestamps, matched flow halves), device-queue tracks and event
+// flows, the cross-rank metrics rollup against a hand-computed reference,
+// and — on Linux — forked shm processes writing per-process trace files
+// that scripts/merge_traces.py combines into one valid Perfetto file.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/plan.hpp"
+#include "par/device/device.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace bc = beatnik::comm;
+namespace tel = beatnik::telemetry;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Re-arm with a fresh recording for a test, restoring disarmed state via
+/// the destructor so suites that run after us see the default-off world.
+class ScopedTrace {
+public:
+    explicit ScopedTrace(tel::Config cfg = {}) {
+        tel::Registry::instance().arm(cfg);
+        tel::Registry::instance().clear();
+    }
+    ~ScopedTrace() { tel::disarm(); }
+};
+
+/// Walk one track's events: EXPECT balanced, name-matched B/E nesting and
+/// non-decreasing timestamps. Returns the number of completed spans.
+int check_track_well_formed(const tel::TrackRecorder& t) {
+    std::vector<const char*> stack;
+    std::uint64_t last_ts = 0;
+    int spans = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const tel::Event& e = t[i];
+        EXPECT_GE(e.ts_ns, last_ts) << "track " << t.name() << " event " << i
+                                    << " (" << e.name << ") goes backwards";
+        last_ts = e.ts_ns;
+        if (e.kind == tel::EventKind::begin) {
+            stack.push_back(e.name);
+        } else if (e.kind == tel::EventKind::end) {
+            if (stack.empty()) {
+                ADD_FAILURE() << "track " << t.name() << ": E " << e.name
+                              << " on empty stack";
+                return spans;
+            }
+            EXPECT_STREQ(stack.back(), e.name) << "track " << t.name();
+            stack.pop_back();
+            ++spans;
+        }
+    }
+    EXPECT_TRUE(stack.empty()) << "track " << t.name() << " has "
+                               << stack.size() << " unclosed span(s)";
+    return spans;
+}
+
+/// All flow ids of one kind with the given flow name, across all tracks.
+std::multiset<std::uint64_t> flow_ids(const char* name, tel::EventKind kind) {
+    std::multiset<std::uint64_t> ids;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks()) {
+        for (std::size_t i = 0; i < t->size(); ++i) {
+            const tel::Event& e = (*t)[i];
+            if (e.kind == kind && std::strcmp(e.name, name) == 0) ids.insert(e.flow);
+        }
+    }
+    return ids;
+}
+
+void run_ring(int nranks, int iters) {
+    bc::ContextConfig cfg;
+    cfg.recv_timeout_seconds = 20.0;
+    bc::Context::run(
+        nranks,
+        [&](bc::Communicator& comm) {
+            constexpr std::size_t kBytes = 256;
+            const int next = (comm.rank() + 1) % comm.size();
+            const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+            const int tag = comm.new_plan_tag();
+            auto b = bc::Plan::builder(comm);
+            int s = b.add_send(next, tag, kBytes);
+            int r = b.add_recv(prev, tag, kBytes);
+            auto plan = b.build();
+            for (int it = 0; it < iters; ++it) {
+                plan.start();
+                auto buf = plan.send_buffer(s, kBytes);
+                std::memset(buf.data(), it + 1, buf.size());
+                plan.publish(s);
+                plan.wait();
+                plan.release_recv(r);
+            }
+        },
+        cfg);
+}
+
+// ------------------------------------------------------------ well-formed
+
+TEST(Trace, DisabledHooksRecordNothing) {
+    tel::disarm();
+    auto& t = tel::thread_track();
+    const std::size_t before = t.size();
+    { tel::Scope span("should-not-appear"); }
+    {
+        static const tel::Phase ph{"should-not-appear-either"};
+        tel::PhaseScope scope(ph);
+    }
+    EXPECT_EQ(t.size(), before);
+}
+
+TEST(Trace, RingPlanTraceIsWellFormedWithMatchedPlanFlows) {
+    ScopedTrace trace;
+    run_ring(4, 3);
+    tel::disarm(); // quiescent: threads joined
+
+    int rank_tracks = 0;
+    int total_spans = 0;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks()) {
+        if (t->size() == 0) continue;
+        total_spans += check_track_well_formed(*t);
+        if (t->name().rfind("rank ", 0) == 0) ++rank_tracks;
+        EXPECT_EQ(t->dropped(), 0u) << t->name();
+    }
+    EXPECT_EQ(rank_tracks, 4) << "Context::run names one track per rank-thread";
+    EXPECT_GT(total_spans, 0);
+
+    // Every publish's flow tail has exactly one consume head and vice
+    // versa: 4 ranks x 3 iters = 12 arrows.
+    auto starts = flow_ids("plan", tel::EventKind::flow_begin);
+    auto ends = flow_ids("plan", tel::EventKind::flow_end);
+    EXPECT_EQ(starts.size(), 12u);
+    EXPECT_EQ(starts, ends) << "plan flow ids must pair across publish/consume";
+}
+
+TEST(Trace, ReArmingResetsTheRecording) {
+    ScopedTrace trace;
+    run_ring(2, 1);
+    tel::disarm();
+    std::size_t first = 0;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks())
+        first += t->size();
+    EXPECT_GT(first, 0u);
+
+    tel::Registry::instance().arm({});
+    tel::disarm();
+    std::size_t after = 0;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks())
+        after += t->size();
+    EXPECT_EQ(after, 0u);
+}
+
+TEST(Trace, FullTrackCountsDropsAndStaysWellFormed) {
+    tel::Config cfg;
+    cfg.track_capacity = 8; // tiny arena: force drops
+    ScopedTrace trace(cfg);
+    run_ring(2, 20);
+    tel::disarm();
+
+    std::uint64_t dropped = 0;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks()) {
+        dropped += t->dropped();
+        EXPECT_LE(t->size(), 8u);
+    }
+    EXPECT_GT(dropped, 0u);
+
+    // The exporter must still emit balanced JSON (synthetic closes).
+    std::ostringstream os;
+    tel::write_chrome_trace(os, tel::Registry::instance().tracks(), 42);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("telemetry.dropped"), std::string::npos);
+}
+
+// ------------------------------------------------------- device queue side
+
+TEST(Trace, DeviceQueuesGetTracksTaskSpansAndEventFlows) {
+    ScopedTrace trace;
+    {
+        beatnik::par::device::Queue qa("tel-a");
+        beatnik::par::device::Queue qb("tel-b");
+        std::vector<int> data(1024, 0);
+        int* p = data.data();
+        qa.parallel_for(data.size(), [p](std::size_t i) { p[i] = static_cast<int>(i); });
+        beatnik::par::device::Event ev;
+        qa.record_event_into(ev);
+        qb.wait_event(ev);
+        qb.parallel_for(data.size(), [p](std::size_t i) { p[i] += 1; });
+        qb.fence(); // devcheck-style drain before reading
+        qa.fence();
+        for (std::size_t i = 0; i < data.size(); ++i)
+            ASSERT_EQ(data[i], static_cast<int>(i) + 1);
+    }
+    tel::disarm();
+
+    int queue_tracks = 0;
+    bool saw_task = false;
+    for (const tel::TrackRecorder* t : tel::Registry::instance().tracks()) {
+        if (t->kind() != tel::TrackKind::queue || t->size() == 0) continue;
+        ++queue_tracks;
+        check_track_well_formed(*t);
+        for (std::size_t i = 0; i < t->size(); ++i)
+            if ((*t)[i].kind == tel::EventKind::begin &&
+                std::strcmp((*t)[i].name, "task") == 0)
+                saw_task = true;
+    }
+    EXPECT_GE(queue_tracks, 2) << "each named Queue registers its own track";
+    EXPECT_TRUE(saw_task) << "kernel dispatch emits a 'task' span";
+
+    auto starts = flow_ids("event", tel::EventKind::flow_begin);
+    auto ends = flow_ids("event", tel::EventKind::flow_end);
+    EXPECT_GE(starts.size(), 1u) << "record_event_into emits a flow tail";
+    for (std::uint64_t id : ends)
+        EXPECT_TRUE(starts.count(id) > 0)
+            << "event-flow head without a matching record tail";
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, RollupMatchesSerialReference) {
+    tel::MetricsRegistry reg;
+    const int id = tel::metric_id("unit/rollup-phase");
+
+    // Three "ranks" with per-step means 1.0, 3.0 and 10.0 seconds.
+    auto mk = [&](double per_step, std::uint64_t steps) {
+        auto ms = std::make_shared<tel::MetricSet>();
+        for (std::uint64_t s = 0; s < steps; ++s) {
+            ms->add(id, per_step);
+            ms->commit_step();
+        }
+        return ms;
+    };
+    reg.register_set(0, mk(1.0, 4));
+    reg.register_set(1, mk(3.0, 4));
+    reg.register_set(2, mk(10.0, 4));
+
+    bool found = false;
+    for (const tel::Rollup& r : reg.rollup()) {
+        if (r.name != "unit/rollup-phase") continue;
+        found = true;
+        EXPECT_EQ(r.ranks, 3);
+        EXPECT_EQ(r.steps, 4u);
+        EXPECT_DOUBLE_EQ(r.min_s, 1.0);
+        EXPECT_DOUBLE_EQ(r.med_s, 3.0);
+        EXPECT_DOUBLE_EQ(r.max_s, 10.0);
+    }
+    EXPECT_TRUE(found);
+
+    // Even rank count: median is the mean of the two middles.
+    reg.register_set(3, mk(5.0, 4));
+    for (const tel::Rollup& r : reg.rollup()) {
+        if (r.name != "unit/rollup-phase") continue;
+        EXPECT_DOUBLE_EQ(r.med_s, 4.0);
+    }
+
+    std::ostringstream os;
+    reg.write_json(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"op\": \"unit/rollup-phase\""), std::string::npos);
+    EXPECT_NE(json.find("\"algo\": \"telemetry\""), std::string::npos);
+}
+
+TEST(Metrics, PhaseScopeAccumulatesOnlyIntoBoundSet) {
+    tel::disarm();
+    tel::MetricSet ms;
+    static const tel::Phase ph{"unit/bound-phase"};
+    { tel::PhaseScope unbound(ph); } // no set bound: must be a no-op
+    EXPECT_EQ(ms.count("unit/bound-phase"), 0u);
+    {
+        tel::ScopedMetricSet bind(&ms);
+        tel::PhaseScope scope(ph);
+    }
+    EXPECT_EQ(ms.count("unit/bound-phase"), 1u);
+    ms.commit_step();
+    EXPECT_EQ(ms.steps(), 1u);
+    EXPECT_GE(ms.step_max(ph.id), ms.step_min(ph.id));
+}
+
+// --------------------------------------------------------------- artifacts
+
+TEST(Trace, FlushWritesConfiguredTraceFile) {
+    const fs::path path = fs::temp_directory_path() / "beatnik_tel_flush.trace.json";
+    std::error_code ec;
+    fs::remove(path, ec);
+
+    tel::Config cfg;
+    cfg.trace_path = path.string();
+    ScopedTrace trace(cfg);
+    { tel::Scope span("flush-span", 7); }
+    EXPECT_TRUE(tel::flush());
+    tel::disarm();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("flush-span"), std::string::npos);
+    fs::remove(path, ec);
+}
+
+// ----------------------------------------------- forked shm process merge
+
+#if defined(__linux__)
+
+/// One rank of a two-process shm ring with telemetry armed, writing its
+/// per-process trace before _exit (which skips atexit handlers).
+int forked_traced_rank(int rank, const std::string& session, const fs::path& trace) {
+    try {
+        tel::Config tcfg;
+        tcfg.trace_path = trace.string();
+        tel::Registry::instance().arm(tcfg);
+        tel::Registry::instance().clear();
+        tel::name_thread_track("rank " + std::to_string(rank));
+
+        bc::ContextConfig cfg;
+        cfg.recv_timeout_seconds = 30.0;
+        cfg.transport = "shm";
+        cfg.shm_session = session;
+        bc::Context ctx(2, cfg);
+        std::vector<int> identity{0, 1};
+        bc::Communicator comm(ctx, /*comm_id=*/0, rank, identity);
+
+        constexpr std::size_t kBytes = 512;
+        const int peer = 1 - rank;
+        const int tag = comm.new_plan_tag();
+        auto b = bc::Plan::builder(comm);
+        int s = b.add_send(peer, tag, kBytes);
+        int r = b.add_recv(peer, tag, kBytes);
+        auto plan = b.build();
+        for (int it = 0; it < 4; ++it) {
+            plan.start();
+            auto buf = plan.send_buffer(s, kBytes);
+            std::memset(buf.data(), rank + 1, buf.size());
+            plan.publish(s);
+            plan.wait();
+            plan.release_recv(r);
+        }
+        return tel::flush() ? 0 : 7;
+    } catch (...) {
+        return 9;
+    }
+}
+
+int wait_exit_code(pid_t pid) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) return -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    return -WTERMSIG(status);
+}
+
+TEST(Trace, ForkedShmProcessesMergeIntoOneValidFile) {
+    // Repo root from this source file's compiled-in path: the merge and
+    // check scripts live in <root>/scripts/.
+    const fs::path root = fs::path(__FILE__).parent_path().parent_path().parent_path();
+    ASSERT_TRUE(fs::exists(root / "scripts" / "merge_traces.py"))
+        << "cannot locate repo scripts from " << __FILE__;
+    if (std::system("python3 -c 'pass' >/dev/null 2>&1") != 0)
+        GTEST_SKIP() << "python3 not available";
+
+    const fs::path dir = fs::temp_directory_path();
+    const fs::path t0 = dir / ("beatnik_tel_fork0_" + std::to_string(::getpid()) + ".json");
+    const fs::path t1 = dir / ("beatnik_tel_fork1_" + std::to_string(::getpid()) + ".json");
+    const fs::path merged = dir / ("beatnik_tel_merged_" + std::to_string(::getpid()) + ".json");
+    const std::string session = "gt" + std::to_string(::getpid()) + "-tel";
+
+    pid_t pid0 = ::fork();
+    ASSERT_GE(pid0, 0);
+    if (pid0 == 0) ::_exit(forked_traced_rank(0, session, t0));
+    pid_t pid1 = ::fork();
+    ASSERT_GE(pid1, 0);
+    if (pid1 == 0) ::_exit(forked_traced_rank(1, session, t1));
+    EXPECT_EQ(wait_exit_code(pid0), 0);
+    EXPECT_EQ(wait_exit_code(pid1), 0);
+    ASSERT_TRUE(fs::exists(t0));
+    ASSERT_TRUE(fs::exists(t1));
+
+    // Each per-process file is valid alone, but holds only half of every
+    // cross-process plan arrow.
+    auto q = [](const fs::path& p) { return "'" + p.string() + "'"; };
+    const std::string check = "python3 " + q(root / "scripts" / "check_trace.py");
+    EXPECT_EQ(std::system((check + " " + q(t0) + " --allow-open-flows >/dev/null").c_str()), 0);
+    EXPECT_EQ(std::system((check + " " + q(t1) + " --allow-open-flows >/dev/null").c_str()), 0);
+
+    // Merged: one valid Perfetto file where both flow halves pair up.
+    const std::string merge = "python3 " + q(root / "scripts" / "merge_traces.py") +
+                              " -o " + q(merged) + " " + q(t0) + " " + q(t1);
+    ASSERT_EQ(std::system((merge + " >/dev/null").c_str()), 0);
+    EXPECT_EQ(
+        std::system((check + " " + q(merged) + " --require-flow plan >/dev/null").c_str()),
+        0);
+
+    std::error_code ec;
+    fs::remove(t0, ec);
+    fs::remove(t1, ec);
+    fs::remove(merged, ec);
+}
+
+#endif // __linux__
+
+} // namespace

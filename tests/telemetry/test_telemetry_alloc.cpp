@@ -1,0 +1,105 @@
+// Telemetry allocation-discipline tests, verified with a per-thread
+// counting global allocator (this TU replaces operator new/delete for
+// this test binary only, like test_plan.cpp):
+//   - disarmed hooks are allocation-free every single time — the single
+//     enabled() branch must not touch the heap;
+//   - armed, steady-state recording is allocation-free after one warmup
+//     crossing (track registration and arena sizing happen at arm/first
+//     use, never on the hot path).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace tel = beatnik::telemetry;
+
+// The replacement operators pair malloc-family allocation with free();
+// GCC's heuristic cannot see through the replacement and reports
+// mismatched new/delete at every inlined call site in this TU.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+/// Allocations performed by the current thread since start-up. Telemetry
+/// hook crossings must not advance this counter.
+thread_local std::uint64_t t_allocs = 0;
+} // namespace
+
+void* operator new(std::size_t n) {
+    ++t_allocs;
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+    ++t_allocs;
+    const std::size_t a = static_cast<std::size_t>(al);
+    const std::size_t rounded = (n + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+/// One representative crossing of every hook class: a trace span, a
+/// metrics phase scope, and a direct metric add.
+void cross_hooks(tel::MetricSet* ms) {
+    static const tel::Phase ph{"alloc/phase"};
+    static const int id = tel::metric_id("alloc/direct");
+    {
+        tel::Scope span("alloc/span", 1, 2);
+        tel::PhaseScope scope(ph);
+    }
+    if (ms) ms->add(id, 0.5);
+}
+
+TEST(TelemetryAlloc, DisarmedHooksNeverAllocate) {
+    tel::disarm();
+    cross_hooks(nullptr); // intern the names outside the measured window
+    const std::uint64_t before = t_allocs;
+    for (int i = 0; i < 1000; ++i) cross_hooks(nullptr);
+    EXPECT_EQ(t_allocs - before, 0u)
+        << "disabled telemetry hooks allocated on the hot path";
+}
+
+TEST(TelemetryAlloc, ArmedSteadyStateIsAllocationFree) {
+    tel::Config cfg;
+    cfg.track_capacity = 1 << 12;
+    tel::Registry::instance().arm(cfg);
+
+    // Warmup: registers this thread's track, sizes the MetricSet arrays,
+    // interns the names. All one-time costs by design.
+    tel::MetricSet ms;
+    tel::ScopedMetricSet bind(&ms);
+    for (int i = 0; i < 4; ++i) cross_hooks(&ms);
+    ms.commit_step();
+
+    const std::uint64_t before = t_allocs;
+    for (int i = 0; i < 500; ++i) cross_hooks(&ms);
+    ms.commit_step();
+    EXPECT_EQ(t_allocs - before, 0u)
+        << "armed telemetry allocated in steady state";
+
+    // Overflowing the arena must count drops, not grow it.
+    const std::uint64_t before_overflow = t_allocs;
+    for (int i = 0; i < 2000; ++i) cross_hooks(&ms);
+    EXPECT_EQ(t_allocs - before_overflow, 0u)
+        << "a full track arena allocated instead of dropping";
+    EXPECT_GT(tel::thread_track().dropped(), 0u);
+
+    tel::disarm();
+}
+
+} // namespace
