@@ -32,6 +32,17 @@ Three rule families, each encoding an invariant the compiler cannot see:
                    hazards (segment lifetime, futex wakeups, abort
                    propagation) stay auditable in one directory.
 
+  kernel-enqueue   in the same solver layers, every device kernel enqueue
+                   (`q.parallel_for` / `q.parallel_reduce` on a Queue) must
+                   be preceded by a `devcheck::declare` footprint
+                   declaration within the few lines above it, or carry an
+                   explicit `// devcheck: exempt — <why>` annotation. The
+                   declarations are both the hazard detector's input and
+                   the GPU port's worklist (ROADMAP), so coverage is
+                   enforced statically instead of by convention. Free
+                   functions (`par::parallel_for`, host paths) are out of
+                   scope — the rule keys on member-call syntax.
+
   clock-read       raw std::chrono clock reads (steady_clock::now and
                    friends) are confined to src/base/ (MonoClock /
                    mono_now / Stopwatch) and src/telemetry/ (the span
@@ -58,6 +69,11 @@ SRC = REPO / "src"
 FENCE_SCOPES = ("core", "grid", "fft", "search")
 FENCE_CALL = re.compile(r"(\.|->)\s*fence\s*\(")
 FENCE_TOKEN = "devcheck: fenced"
+
+ENQUEUE_CALL = re.compile(r"(\.|->)\s*(parallel_for|parallel_reduce)\s*\(")
+ENQUEUE_DECLARE = re.compile(r"\b(devcheck|dc)\s*::\s*declare\s*\(")
+ENQUEUE_EXEMPT = "devcheck: exempt"
+ENQUEUE_LOOKBACK = 12   # lines above the enqueue the declare may sit in
 
 TAG_BAND = re.compile(r"1\s*<<\s*2[45]\b|\b(16777216|33554432)\b")
 TAG_HOME = SRC / "comm" / "types.hpp"
@@ -112,6 +128,18 @@ def check_file(path: Path, findings: list[str]) -> None:
                     f"{rel}:{i}: [naked-fence] `.fence()` in a steady-state solver layer "
                     f"without a `// {FENCE_TOKEN} — <why>` justification (same or "
                     "preceding line)"
+                )
+        if in_fence_scope and ENQUEUE_CALL.search(code_part(line)):
+            window = lines[max(0, i - 1 - ENQUEUE_LOOKBACK) : i]
+            if not any(
+                ENQUEUE_DECLARE.search(l) or ENQUEUE_EXEMPT in l for l in window
+            ):
+                findings.append(
+                    f"{rel}:{i}: [kernel-enqueue] device kernel enqueue without a "
+                    "`devcheck::declare` footprint declaration in the preceding "
+                    f"{ENQUEUE_LOOKBACK} lines (or a `// {ENQUEUE_EXEMPT} — <why>` "
+                    "annotation) — declared footprints are the hazard detector's "
+                    "input and the GPU port's worklist"
                 )
         if path != TAG_HOME and TAG_BAND.search(code_part(line)):
             findings.append(

@@ -38,6 +38,16 @@ if [[ -n "${BEATNIK_TRACE:-}" && "${BEATNIK_TRACE}" != "0" ]]; then
     exit 2
 fi
 
+# And for the plan-schedule verifier: armed, every plan build runs global
+# schedule matching and every blocked wait registers wait-for edges under
+# a mutex — measurement, not code. Refuse armed baselines outright.
+if [[ "${BEATNIK_PLANCHECK:-}" == "1" ]]; then
+    echo "error: BEATNIK_PLANCHECK=1 is set — verifier-armed runs time the" >&2
+    echo "       schedule checks as well as the code and must never become" >&2
+    echo "       benchmark baselines. Unset it for measurements." >&2
+    exit 2
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 run() {

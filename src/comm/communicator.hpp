@@ -38,6 +38,7 @@
 
 #include "base/error.hpp"
 #include "comm/context.hpp"
+#include "comm/plancheck.hpp"
 
 namespace beatnik::comm {
 
@@ -316,7 +317,21 @@ public:
             int dst = (rank_ + dist) % p;
             int src = (rank_ - dist + p) % p;
             post_bytes({}, dst, tag);
+            plancheck::ContextState* cs = pcheck();
+            if (cs != nullptr) {
+                // Feed the round into the wait-for graph: posts are
+                // counted before the matching wait can register, so a
+                // round whose message is in flight never reads as blocked.
+                cs->note_published({comm_id_, world_rank(), world_rank_of(dst), tag});
+            }
+            const plancheck::Await edge{plancheck::WaitKind::barrier, world_rank_of(src),
+                                        /*slot=*/-1,
+                                        {comm_id_, world_rank_of(src), world_rank(), tag}};
+            plancheck::BlockedScope pblock(cs, world_rank(), {&edge, 1});
             (void)ctx_->mailbox(world_rank()).receive(comm_id_, src, tag);
+            if (cs != nullptr) {
+                cs->note_consumed({comm_id_, world_rank_of(src), world_rank(), tag});
+            }
         }
     }
 
@@ -835,6 +850,15 @@ private:
 
     void check_peer(int r) const {
         BEATNIK_REQUIRE(r >= 0 && r < size(), "peer rank out of range");
+    }
+
+    /// The plan verifier when its counters are trusted (armed now and the
+    /// context was created armed); nullptr otherwise. One relaxed atomic
+    /// load when disabled.
+    [[nodiscard]] plancheck::ContextState* pcheck() const {
+        if (!plancheck::enabled()) return nullptr;
+        plancheck::ContextState* cs = &ctx_->plancheck_state();
+        return cs->active() ? cs : nullptr;
     }
     static void check_user_tag(int tag) {
         BEATNIK_REQUIRE(tag >= 0 && tag < kUserTagLimit, "user tag out of range");

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/plancheck.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace beatnik::comm {
@@ -18,6 +19,9 @@ Context::Context(int size, ContextConfig config) : size_(size), config_(std::mov
     }
     transports_ = std::make_shared<TransportRegistry>(TransportRegistry::Config{
         config_.transport, config_.loopback, config_.shm_session});
+    // Captures the arming bit at construction: counters are only trusted
+    // for contexts whose whole lifetime ran armed.
+    plancheck_ = std::make_shared<plancheck::ContextState>(size);
 }
 
 Context::~Context() = default;

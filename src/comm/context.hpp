@@ -23,6 +23,9 @@
 namespace beatnik::comm {
 
 class Communicator;
+namespace plancheck {
+class ContextState;   // comm/plancheck.hpp
+}
 
 /// Runtime knobs for a rank run.
 struct ContextConfig {
@@ -94,6 +97,13 @@ public:
     /// failing rank wakes every other rank instead of deadlocking it.
     [[nodiscard]] const std::atomic<bool>& abort_flag() const { return abort_; }
 
+    /// Plan-schedule verifier state (see comm/plancheck.hpp). Always
+    /// constructed; it records whether plancheck was armed at context
+    /// creation and is inert otherwise. shared_ptr for the same reason as
+    /// plan_channels_ptr(): plans may outlive the context.
+    [[nodiscard]] plancheck::ContextState& plancheck_state() { return *plancheck_; }
+    [[nodiscard]] std::shared_ptr<plancheck::ContextState> plancheck_ptr() { return plancheck_; }
+
     /// Message trace, or nullptr when tracing is disabled.
     [[nodiscard]] Trace* trace() { return config_.enable_trace ? &trace_ : nullptr; }
 
@@ -115,6 +125,7 @@ private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::shared_ptr<ChannelRegistry> plan_channels_ = std::make_shared<ChannelRegistry>();
     std::shared_ptr<TransportRegistry> transports_;
+    std::shared_ptr<plancheck::ContextState> plancheck_;
     Trace trace_;
 };
 

@@ -46,12 +46,15 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <source_location>
 #include <span>
 #include <vector>
 
 #include "base/error.hpp"
 #include "base/timer.hpp"
 #include "comm/communicator.hpp"
+#include "comm/plancheck.hpp"
 #include "comm/transport/transport.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -85,7 +88,15 @@ public:
             return static_cast<int>(recvs_.size()) - 1;
         }
 
-        [[nodiscard]] Plan build() { return Plan(*comm_, std::move(sends_), std::move(recvs_)); }
+        /// Finalize. The (defaulted) source location is the plan's build
+        /// site in plancheck diagnostics. Registration runs *after* the
+        /// plan is fully constructed, so a verification error unwinds
+        /// through ~Plan and the channels detach cleanly.
+        [[nodiscard]] Plan build(std::source_location site = std::source_location::current()) {
+            Plan p(*comm_, std::move(sends_), std::move(recvs_));
+            p.plancheck_register(site);
+            return p;
+        }
 
     private:
         friend class Plan;
@@ -157,6 +168,12 @@ public:
     [[nodiscard]] std::span<std::byte> send_buffer(int s, std::size_t bytes) {
         State& st = state();
         auto& slot = st.sends[check_send(s)];
+        // The rendezvous can block until the receiver releases the
+        // previous message — a wait-for edge for the deadlock detector.
+        const plancheck::Await edge{
+            plancheck::WaitKind::send, slot.peer_world, s,
+            {st.comm->comm_id(), st.self_world, slot.peer_world, slot.tag}};
+        plancheck::BlockedScope pblock(pcheck(st), st.self_world, {&edge, 1});
         auto buf = slot.channel->transport->acquire_send(*slot.channel, bytes, st.wait);
         st.send_acquired[static_cast<std::size_t>(s)] = true;
         return buf;
@@ -166,6 +183,11 @@ public:
     void publish(int s) {
         State& st = state();
         auto& slot = st.sends[check_send(s)];
+        if (plancheck::ContextState* cs = pcheck(st)) {
+            // Also the double-publish check: fires *before* the protocol
+            // state below is touched.
+            cs->note_published({st.comm->comm_id(), st.self_world, slot.peer_world, slot.tag});
+        }
         BEATNIK_REQUIRE(st.send_acquired[static_cast<std::size_t>(s)],
                         "Plan::publish: slot was not acquired with send_buffer()");
         st.send_acquired[static_cast<std::size_t>(s)] = false;
@@ -229,11 +251,18 @@ public:
                     lock.lock();
                 }
                 if (st.ready.count == 0) {
+                    // Register the blocked OR-wait (ring lock is held;
+                    // ring -> plancheck is the documented order). A knot
+                    // throws out of the constructor before we sleep.
+                    plancheck::ContextState* cs = pcheck(st);
+                    plancheck::BlockedScope pblock(
+                        cs, st.self_world,
+                        cs != nullptr ? recv_awaits(st) : std::span<const plancheck::Await>{});
                     st.ready.waiting = true;
                     blocked = true;
                     detail::transport_wait_until(lock, st.ready.cv,
                                                  [&] { return st.ready.count > 0; },
-                                                 "Plan::wait_any_recv: message never arrived",
+                                                 [&st] { return recv_timeout_message(st); },
                                                  st.wait);
                     st.ready.waiting = false;
                 }
@@ -392,6 +421,13 @@ private:
         /// loopback: delivery happens at a modeled deadline) — the wait
         /// loops must interleave poll() calls.
         bool needs_poll = false;
+        /// Plan verifier state (shared so unregistration stays safe past
+        /// context death, mirroring `registry`). pcheck_id != 0 iff this
+        /// plan registered a schedule declaration; the scratch vector is
+        /// reserved at registration so armed waits never allocate.
+        std::shared_ptr<plancheck::ContextState> pcheck;
+        std::uint64_t pcheck_id = 0;
+        std::vector<plancheck::Await> pcheck_scratch;
 
         State(std::size_t nrecvs) : ready(nrecvs == 0 ? 1 : nrecvs) {
             deferred.reserve(nrecvs);
@@ -414,6 +450,7 @@ private:
             st.wait.spin_iters = kSpinIters;
         }
         st.registry = comm.context().plan_channels_ptr();
+        st.pcheck = comm.context().plancheck_ptr();
         TransportRegistry& transports = comm.context().transports();
         ChannelRegistry& reg = *st.registry;
         st.sends.reserve(sends.size());
@@ -487,18 +524,31 @@ private:
     /// in their channels — a successor plan picks them up at attach.
     void detach() noexcept {
         if (!st_) return;
+        // If the schedule was registered, withdraw it (and count the
+        // releases below) regardless of the current arming bit, so a
+        // disarm between build and teardown can't strand live records.
+        plancheck::ContextState* cs =
+            st_->pcheck_id != 0 ? st_->pcheck.get() : nullptr;
         for (std::size_t s = 0; s < st_->recvs.size(); ++s) {
-            auto& ch = *st_->recvs[s].channel;
+            const auto& slot = st_->recvs[s];
+            auto& ch = *slot.channel;
             {
                 std::lock_guard lock(ch.mutex);
                 ch.ready = nullptr;
                 ch.recv_slot = -1;
             }
-            if (st_->recv_state[s] == RecvState::arrived) ch.transport->release(ch);
+            if (st_->recv_state[s] == RecvState::arrived) {
+                if (cs != nullptr) {
+                    cs->note_released(
+                        {st_->comm->comm_id(), slot.peer_world, st_->self_world, slot.tag});
+                }
+                ch.transport->release(ch);
+            }
             // Drop receiver-local observation state so a successor plan's
             // attach/poll re-discovers a still-FULL (deferred) message.
             ch.transport->on_detach(ch);
         }
+        if (cs != nullptr) cs->unregister_plan(st_->pcheck_id);
         std::shared_ptr<ChannelRegistry> registry = st_->registry;
         const bool had_seq_channels = st_->has_seq_channels;
         st_.reset();   // drop our channel references first
@@ -529,6 +579,77 @@ private:
         return static_cast<std::size_t>(s);
     }
 
+    /// The plan verifier, when (and only when) its counters are trusted:
+    /// armed now *and* the context was created armed. One relaxed atomic
+    /// load when disabled.
+    [[nodiscard]] static plancheck::ContextState* pcheck(const State& st) {
+        if (!plancheck::enabled()) return nullptr;
+        plancheck::ContextState* cs = st.pcheck.get();
+        return (cs != nullptr && cs->active()) ? cs : nullptr;
+    }
+
+    /// Register this plan's declared schedule with the context verifier
+    /// (no-op unless armed). Runs the immediate static checks and — once
+    /// the build group completes — the global slot-matching pass, either
+    /// of which throws CommError. Called by Builder::build() on the fully
+    /// constructed plan so a throw unwinds through ~Plan.
+    void plancheck_register(const std::source_location& site) {
+        State& st = *st_;
+        plancheck::ContextState* cs = pcheck(st);
+        if (cs == nullptr) return;
+        st.pcheck_scratch.reserve(st.recvs.size() == 0 ? 1 : st.recvs.size());
+        plancheck::PlanDecl decl;
+        decl.comm_id = st.comm->comm_id();
+        decl.comm_size = st.comm->size();
+        decl.comm_rank = st.comm->rank();
+        decl.self_world = st.self_world;
+        decl.seq_tags_used = st.comm->plan_tags_used();
+        decl.site = std::string(site.file_name()) + ":" + std::to_string(site.line());
+        auto snapshot = [](const Slot& slot) {
+            return plancheck::SlotDecl{slot.peer_world, slot.tag, slot.max_bytes,
+                                       slot.channel->transport->bound_capacity(*slot.channel),
+                                       slot.channel->transport->name()};
+        };
+        decl.sends.reserve(st.sends.size());
+        for (const auto& slot : st.sends) decl.sends.push_back(snapshot(slot));
+        decl.recvs.reserve(st.recvs.size());
+        for (const auto& slot : st.recvs) decl.recvs.push_back(snapshot(slot));
+        cs->register_plan(std::move(decl), st.pcheck_id);
+    }
+
+    /// The wait-for edges of a blocked recv wait: one per still-idle recv
+    /// slot (an OR-wait — any arrival unblocks). Fills the preallocated
+    /// scratch; only called when the verifier is armed.
+    [[nodiscard]] static std::span<const plancheck::Await> recv_awaits(State& st) {
+        st.pcheck_scratch.clear();
+        for (std::size_t s = 0; s < st.recvs.size(); ++s) {
+            if (st.recv_state[s] != RecvState::idle) continue;
+            const Slot& slot = st.recvs[s];
+            st.pcheck_scratch.push_back(
+                {plancheck::WaitKind::recv, slot.peer_world, static_cast<int>(s),
+                 {st.comm->comm_id(), slot.peer_world, st.self_world, slot.tag}});
+        }
+        return st.pcheck_scratch;
+    }
+
+    /// Slot-level timeout diagnostics shared by the push and polled wait
+    /// paths: name the communicator, this rank, and every recv slot still
+    /// outstanding (peer, tag, capacity). Composed only on the timeout
+    /// path.
+    [[nodiscard]] static std::string recv_timeout_message(const State& st) {
+        std::string msg = "Plan::wait_any_recv on comm " +
+                          std::to_string(st.comm->comm_id()) + ", world rank " +
+                          std::to_string(st.self_world) + ": message never arrived;";
+        for (std::size_t s = 0; s < st.recvs.size(); ++s) {
+            if (st.recv_state[s] != RecvState::idle) continue;
+            const Slot& slot = st.recvs[s];
+            msg += "\n  still waiting: recv slot " + std::to_string(s) + " <- world rank " +
+                   std::to_string(slot.peer_world) + " (tag " + std::to_string(slot.tag) +
+                   ", up to " + std::to_string(slot.max_bytes) + " bytes)";
+        }
+        return msg;
+    }
+
     /// Mark slot \p s consumed and fire its callback.
     void consume(int s) {
         State& st = state();
@@ -545,6 +666,9 @@ private:
                                      st.self_world, slot.tag, seq));
         }
         ch.transport->on_consume(ch);   // devcheck recv edge
+        if (plancheck::ContextState* cs = pcheck(st)) {
+            cs->note_consumed({st.comm->comm_id(), slot.peer_world, st.self_world, slot.tag});
+        }
         if (slot.on_message) slot.on_message(recv_view(s));
     }
 
@@ -560,7 +684,14 @@ private:
 
     void release_slot(int s) {
         State& st = *st_;
-        auto& ch = *st.recvs[static_cast<std::size_t>(s)].channel;
+        const auto& slot = st.recvs[static_cast<std::size_t>(s)];
+        auto& ch = *slot.channel;
+        if (plancheck::ContextState* cs = pcheck(st)) {
+            // Before the transport release: a sender blocked in
+            // acquire_send must never observe EMPTY while the verifier
+            // still counts the message unreleased.
+            cs->note_released({st.comm->comm_id(), slot.peer_world, st.self_world, slot.tag});
+        }
         ch.transport->release(ch);
         st.recv_state[static_cast<std::size_t>(s)] = RecvState::released;
     }
@@ -581,6 +712,9 @@ private:
     int wait_any_polled(State& st, bool& blocked) {
         auto deadline = deadline_after(st.wait.timeout_seconds);
         int spin = st.wait.spin_iters;
+        // Registered lazily, at the first real sleep: the spin phase is
+        // the common case and a poll can still complete the wait.
+        std::optional<plancheck::BlockedScope> pblock;
         for (;;) {
             poll_recvs(st);
             {
@@ -595,8 +729,13 @@ private:
                 detail::cpu_relax();
             } else {
                 if (st.wait.timeout_seconds > 0.0 && mono_now() >= deadline) {
-                    throw CommError("plan operation timed out (probable deadlock): "
-                                    "Plan::wait_any_recv: message never arrived");
+                    detail::throw_plan_timeout(recv_timeout_message(st));
+                }
+                if (!pblock.has_value()) {
+                    plancheck::ContextState* cs = pcheck(st);
+                    pblock.emplace(cs, st.self_world,
+                                   cs != nullptr ? recv_awaits(st)
+                                                 : std::span<const plancheck::Await>{});
                 }
                 blocked = true;
                 std::this_thread::sleep_for(std::chrono::microseconds(50));

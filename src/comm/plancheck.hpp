@@ -1,0 +1,233 @@
+/// \file plancheck.hpp
+/// \brief Whole-schedule communication verifier for persistent plans.
+///
+/// comm::Plan makes every schedule *declarative*: each rank registers its
+/// full (peer, tag, max_bytes) slot set before a byte moves. plancheck
+/// exploits that by assembling a context-wide model of the declared
+/// schedule as each rank's builder finalizes, then verifying the whole
+/// thing the moment it becomes checkable — so a mis-built schedule fails
+/// deterministically at build/enqueue time with names attached, instead
+/// of hanging until `recv_timeout_seconds` fires a "probable deadlock"
+/// guess.
+///
+/// Two halves:
+///
+///   static  every Plan::Builder::build() registers a PlanDecl (slots,
+///           communicator coordinates, build site). Immediate per-plan
+///           checks: declared max_bytes vs the transport's bound channel
+///           capacity (shm segments are sized at first bind and cannot
+///           grow under a peer's feet), sequence-band tags that were
+///           never allocated through new_plan_tag(), and duplicate
+///           (comm, src, dst, tag) slot collisions across *live* plans.
+///           Once every rank of a communicator has registered its k-th
+///           plan (plans are built collectively, see plan.hpp), the
+///           whole build group is slot-matched globally: a send slot
+///           with no matching recv — or the reverse — is a hard error
+///           naming both sides, the tag band, and the build site.
+///
+///   runtime blocked waits (`wait_any_recv`/`wait_any_polled`,
+///           `send_buffer`'s publish rendezvous, and the dissemination
+///           barrier) register waiter -> awaited edges in a per-context
+///           wait-for graph, cross-checked against in-flight
+///           publish/consume/release counters so an edge whose message
+///           is already in flight never counts as waiting. On every
+///           block the graph is scanned for a knot (an OR-wait cycle no
+///           in-flight message can break); a real deadlock becomes an
+///           immediate CommError naming every rank, channel, slot and
+///           tag in the cycle. Double-publish of a slot that was never
+///           re-acquired is caught before it corrupts protocol state.
+///
+/// Arming mirrors the telemetry layer, not devcheck: the hooks are
+/// *always compiled*; BEATNIK_PLANCHECK=1 in the environment (or arm())
+/// switches them on. Disabled hooks cost one relaxed atomic load and
+/// allocate nothing. Counters and the wait graph are trusted only for
+/// contexts created while armed (ContextState::active()), so arming
+/// mid-run can never produce a skewed false positive. Ranks living in
+/// other OS processes (forked shm schedules) never register locally:
+/// cross-process groups simply never complete and cross-process knots
+/// never form — the checks degrade to silence, not to guesses.
+///
+/// Hazards throw CommError and bump hazard_count(); tests/main.cpp fails
+/// any binary with unconsumed hazards (seeded true-positive tests consume
+/// theirs via take_hazard_count()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+#include "comm/channel.hpp"
+
+namespace beatnik::comm::plancheck {
+
+namespace detail_pc {
+/// -1 = uninitialized (read $BEATNIK_PLANCHECK on first query), 0 = off,
+/// 1 = armed. Relaxed loads: arming is a process-lifetime decision, not a
+/// synchronization edge.
+inline std::atomic<int> g_state{-1};
+inline std::atomic<std::uint64_t> g_hazards{0};
+[[nodiscard]] int init_from_env() noexcept;   // plancheck.cpp
+} // namespace detail_pc
+
+/// Whether the verifier is armed. One relaxed atomic load when disabled —
+/// cheap enough for every steady-state hook.
+[[nodiscard]] inline bool enabled() noexcept {
+    int s = detail_pc::g_state.load(std::memory_order_relaxed);
+    if (s < 0) s = detail_pc::init_from_env();
+    return s == 1;
+}
+
+/// Programmatic arming for tests (the environment path is
+/// BEATNIK_PLANCHECK=1). Arm *before* creating the context whose traffic
+/// should be verified: counters are only trusted for contexts created
+/// while armed.
+inline void arm() noexcept { detail_pc::g_state.store(1, std::memory_order_relaxed); }
+inline void disarm() noexcept { detail_pc::g_state.store(0, std::memory_order_relaxed); }
+
+/// Hazards reported so far (process-wide). Seeded true-positive tests
+/// consume theirs with take_hazard_count(); tests/main.cpp fails the
+/// binary on any residue.
+[[nodiscard]] inline std::uint64_t hazard_count() noexcept {
+    return detail_pc::g_hazards.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline std::uint64_t take_hazard_count() noexcept {
+    return detail_pc::g_hazards.exchange(0, std::memory_order_relaxed);
+}
+
+/// One declared slot of a plan, as registered at build.
+struct SlotDecl {
+    int peer_world = 0;
+    int tag = 0;
+    std::size_t max_bytes = 0;
+    /// Transport's bound channel capacity (SIZE_MAX for elastic buffers).
+    std::size_t capacity = 0;
+    const char* transport = "";   ///< static-storage transport name
+};
+
+/// A whole plan's declared schedule, snapshotted at build.
+struct PlanDecl {
+    int comm_id = 0;
+    int comm_size = 0;
+    int comm_rank = 0;
+    int self_world = 0;
+    int seq_tags_used = 0;   ///< Communicator::plan_tags_used() at build
+    std::string site;        ///< builder call site, "file:line"
+    std::vector<SlotDecl> sends;
+    std::vector<SlotDecl> recvs;
+};
+
+/// What a registered wait edge is waiting *for*.
+enum class WaitKind : std::uint8_t {
+    recv,      ///< a message on `key` (satisfied while published > consumed)
+    send,      ///< the peer's release of `key` (satisfied when published == released)
+    barrier,   ///< a barrier-round post on `key` (same rule as recv)
+};
+
+/// One waiter -> awaited edge of a blocked OR-wait: the blocked rank can
+/// proceed as soon as *any* of its registered edges is satisfied.
+struct Await {
+    WaitKind kind = WaitKind::recv;
+    int awaited_world = 0;
+    int slot = -1;           ///< plan slot index (-1 for barrier rounds)
+    ChannelKey key;
+};
+
+/// Per-context verifier state, owned by comm::Context and shared into
+/// every Plan (so unregistration stays safe past context death). All
+/// methods are no-ops unless the context was created while armed.
+class ContextState {
+public:
+    explicit ContextState(int world_size);
+
+    /// Whether this context was created with plancheck armed — counters
+    /// and the wait graph are only trusted in that case.
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+    /// Register a finalized plan. Sets \p out_id *before* running the
+    /// build-group verification, so the caller's detach can always
+    /// unregister — even when verification throws. Throws CommError on
+    /// any static hazard.
+    void register_plan(PlanDecl decl, std::uint64_t& out_id);
+    void unregister_plan(std::uint64_t id) noexcept;
+
+    /// In-flight counters. note_published also trips the double-publish
+    /// check when a live local recv slot is attached to \p key (throws
+    /// CommError). Barrier rounds reuse published/consumed.
+    void note_published(const ChannelKey& key);
+    void note_consumed(const ChannelKey& key) noexcept;
+    void note_released(const ChannelKey& key) noexcept;
+
+    /// Register rank \p world as blocked on the OR-wait \p edges and run
+    /// knot detection; throws CommError (naming the whole cycle) when the
+    /// wait can never be satisfied. unblock() on wake.
+    void block(int world, std::span<const Await> edges);
+    void unblock(int world) noexcept;
+
+private:
+    struct Flow {
+        std::int64_t published = 0;
+        std::int64_t consumed = 0;
+        std::int64_t released = 0;
+    };
+    struct PlanRec {
+        PlanDecl decl;
+        bool live = true;
+    };
+    struct LiveRef {
+        std::uint64_t plan = 0;
+        int slot = -1;
+    };
+    struct Group {
+        std::map<int, std::uint64_t> by_rank;   ///< comm_rank -> plan id
+        bool verified = false;
+    };
+    struct Blocked {
+        bool active = false;
+        std::vector<Await> edges;   ///< capacity reused across waits
+    };
+
+    [[nodiscard]] bool satisfied_locked(const Await& e) const;
+    void verify_group_locked(const Group& g);
+    void detect_locked(int registrant);
+    [[noreturn]] void report_locked(const std::string& msg);
+
+    mutable std::mutex mutex_;
+    bool active_ = false;
+    std::uint64_t next_id_ = 1;
+    std::map<std::uint64_t, PlanRec> plans_;
+    std::map<std::pair<int, int>, std::uint64_t> build_counts_;       ///< (comm, rank)
+    std::map<std::pair<int, std::uint64_t>, Group> groups_;           ///< (comm, build index)
+    std::map<ChannelKey, LiveRef> live_sends_;
+    std::map<ChannelKey, LiveRef> live_recvs_;
+    std::map<ChannelKey, Flow> flows_;
+    std::vector<Blocked> blocked_;      ///< world-rank indexed
+    std::vector<std::uint8_t> knot_;    ///< detection scratch, reused
+};
+
+/// RAII blocked-wait registration. A null state is an armed-off no-op, so
+/// call sites can construct unconditionally from a maybe-null pointer.
+class BlockedScope {
+public:
+    BlockedScope() = default;
+    BlockedScope(ContextState* cs, int world, std::span<const Await> edges)
+        : cs_(cs), world_(world) {
+        if (cs_ != nullptr) cs_->block(world_, edges);
+    }
+    ~BlockedScope() {
+        if (cs_ != nullptr) cs_->unblock(world_);
+    }
+    BlockedScope(const BlockedScope&) = delete;
+    BlockedScope& operator=(const BlockedScope&) = delete;
+
+private:
+    ContextState* cs_ = nullptr;
+    int world_ = 0;
+};
+
+} // namespace beatnik::comm::plancheck

@@ -312,6 +312,14 @@ public:
         return {s.data, s.capacity};
     }
 
+    /// Segments are sized once at first bind and mapped by every later
+    /// endpoint as-is — the fixed capacity the plan verifier checks
+    /// declared max_bytes against.
+    [[nodiscard]] std::size_t bound_capacity(const detail::PlanChannel& ch) const override {
+        return ch.tslot != nullptr ? slot(ch).capacity
+                                   : std::numeric_limits<std::size_t>::max();
+    }
+
     /// Cross-process abort propagation: raise the abort word in every
     /// bound segment and wake all futex waiters — peers observe it on
     /// their next poll or wait slice and unwind.

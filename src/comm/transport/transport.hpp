@@ -38,9 +38,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <limits>
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 
 #include "base/error.hpp"
 #include "base/timer.hpp"
@@ -75,12 +77,21 @@ struct LoopbackConfig {
 
 namespace detail {
 
+/// The shared "probable deadlock" framing for every plan-path timeout, so
+/// the wait sites compose the slot-level detail and nothing else.
+[[noreturn]] inline void throw_plan_timeout(const std::string& detail) {
+    throw CommError("plan operation timed out (probable deadlock): " + detail);
+}
+
 /// Condition wait with abort observation and timeout: blocked transport
 /// operations wake in short slices to check the context-wide abort flag,
 /// so one failing rank unwinds everyone instead of deadlocking them.
-template <class Pred>
+/// \p what is either a string (cheap, fixed) or an invocable returning
+/// one — composed only on the timeout path, so rich per-slot diagnostics
+/// cost nothing on the happy path.
+template <class Pred, class What>
 void transport_wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
-                          Pred pred, const char* what, const TransportWait& w) {
+                          Pred pred, const What& what, const TransportWait& w) {
     if (pred()) return;
     telemetry::Scope span("transport.block");
     auto deadline = deadline_after(w.timeout_seconds);
@@ -89,8 +100,11 @@ void transport_wait_until(std::unique_lock<std::mutex>& lock, std::condition_var
             throw CommError("plan operation aborted: another rank failed");
         }
         if (w.timeout_seconds > 0.0 && mono_now() >= deadline) {
-            throw CommError(std::string("plan operation timed out (probable deadlock): ") +
-                            what);
+            if constexpr (std::is_invocable_v<const What&>) {
+                throw_plan_timeout(what());
+            } else {
+                throw_plan_timeout(std::string(what));
+            }
         }
         cv.wait_for(lock, std::chrono::milliseconds(50));
     }
@@ -153,6 +167,15 @@ public:
     /// observation state so a successor plan re-discovers a still-FULL
     /// message through its own attach/poll.
     virtual void on_detach(detail::PlanChannel& ch) { (void)ch; }
+
+    /// The hard capacity the channel's storage was bound at, for the plan
+    /// verifier's capacity check. Elastic transports (in-process buffers
+    /// that regrow per message) report "unbounded"; fixed-segment
+    /// transports (shm) report the bind-time size.
+    [[nodiscard]] virtual std::size_t bound_capacity(const detail::PlanChannel& ch) const {
+        (void)ch;
+        return std::numeric_limits<std::size_t>::max();
+    }
 
     /// Pre-size the slot's buffer to \p max_bytes and return the stable
     /// span (device pinning hook — see Plan::pin_buffers). Must be called

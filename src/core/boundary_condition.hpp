@@ -75,6 +75,10 @@ private:
         const int wi = local.owned_extent(0) + 2 * w;
         const int wj = local.owned_extent(1) + 2 * w;
         auto v = z.device_view();
+        namespace dc = par::device::devcheck;
+        // Footprint: in-place shift over the whole ghosted rectangle.
+        dc::declare(q, "BoundaryCondition::periodic_positions",
+                    {dc::read(v.raw()), dc::write(v.raw())});
         q.parallel_for(static_cast<std::size_t>(wi) * static_cast<std::size_t>(wj),
                        [=](std::size_t k) {
                            const int i = -w + static_cast<int>(k) / wj;
@@ -108,6 +112,13 @@ private:
         // depends only on owned values (axis 0) or on values the previous
         // kernels already produced (axis 1 corners).
         auto band = [&](int nc, auto&& body) {
+            namespace dc = par::device::devcheck;
+            // Footprint: each band reads owned values and writes its
+            // ghost strip; the whole ghosted rectangle bounds both (the
+            // in-order queue serializes the bands, so the coarse range
+            // cannot manufacture a cross-band hazard).
+            dc::declare(q, "BoundaryCondition::extrapolate band",
+                        {dc::read(f.raw()), dc::write(f.raw())});
             q.parallel_for(static_cast<std::size_t>(w) * static_cast<std::size_t>(nc) * C,
                            [body, nc, C](std::size_t idx) {
                                const auto nC = static_cast<std::size_t>(C);

@@ -280,6 +280,9 @@ void steady_state_alloc_check(const std::string& transport) {
     if (devcheck::enabled()) {
         GTEST_SKIP() << "allocation counting not meaningful with devcheck armed";
     }
+    if (bc::plancheck::enabled()) {
+        GTEST_SKIP() << "armed plancheck allocates flow records on first use";
+    }
     constexpr int kRanks = 2;
     constexpr std::size_t kBytes = 2048;
     std::array<std::uint64_t, kRanks> deltas{};

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "comm/plancheck.hpp"
 #include "par/device/devcheck.hpp"
 #include "test_env.hpp"
 
@@ -26,6 +27,13 @@ int main(int argc, char** argv) {
     // the full suite must run devcheck-clean.
     if (const auto hazards = beatnik::par::device::devcheck::hazard_count(); hazards != 0) {
         std::fprintf(stderr, "[beatnik] devcheck: %llu unconsumed hazard(s)\n",
+                     static_cast<unsigned long long>(hazards));
+        return rc == 0 ? 1 : rc;
+    }
+    // Same contract for the plan-schedule verifier (BEATNIK_PLANCHECK=1):
+    // the full suite must run plancheck-clean.
+    if (const auto hazards = beatnik::comm::plancheck::hazard_count(); hazards != 0) {
+        std::fprintf(stderr, "[beatnik] plancheck: %llu unconsumed hazard(s)\n",
                      static_cast<unsigned long long>(hazards));
         return rc == 0 ? 1 : rc;
     }
